@@ -1,0 +1,470 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper (one benchmark per artifact, E1–E8 as indexed in DESIGN.md)
+// and adds ablation benches for the design choices the paper discusses
+// (pairwise sync, FORCED vs UNFORCED, shuffle cost ρ, schedule choice).
+//
+// Simulated virtual-time results are attached to each benchmark through
+// b.ReportMetric as "sim_µs" (virtual microseconds on the modeled
+// iPSC-860), so `go test -bench . -benchmem` prints the paper-comparable
+// numbers next to the wall-clock cost of computing them.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/collectives"
+	"repro/internal/comm"
+	"repro/internal/exchange"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/partition"
+	"repro/internal/schedule"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// simulate runs one exchange plan on a fresh simulated network.
+func simulate(b *testing.B, d, m int, D partition.Partition, prm model.Params) simnet.Result {
+	b.Helper()
+	plan, err := exchange.NewPlan(d, m, D)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := plan.Simulate(simnet.New(topology.MustNew(d), prm))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkE1_Crossover regenerates the §4.3 crossover example: SE vs OCS
+// on the hypothetical d=6 machine across the 0–100B sweep. Reported
+// metric: the crossover block size (paper: 30 bytes).
+func BenchmarkE1_Crossover(b *testing.B) {
+	prm := model.Hypothetical()
+	var crossover float64
+	for i := 0; i < b.N; i++ {
+		crossover = prm.CrossoverBlockSize(6)
+		for m := 0; m <= 100; m += 4 {
+			_ = prm.StandardExchange(m, 6)
+			_ = prm.OptimalCircuitSwitched(m, 6)
+		}
+	}
+	b.ReportMetric(crossover, "crossover_B")
+}
+
+// BenchmarkE2_TwoPhaseExample regenerates the §5.1 worked example: d=6,
+// m=24, partition {2,4} on the hypothetical machine, simulated end to end.
+// Paper arithmetic: 10944 µs (with its 160B phase-2 block); consistent
+// formula: 9984 µs. Reported metric: simulated total.
+func BenchmarkE2_TwoPhaseExample(b *testing.B) {
+	prm := model.Hypothetical()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res := simulate(b, 6, 24, partition.Partition{2, 4}, prm)
+		last = res.Makespan
+	}
+	b.ReportMetric(last, "sim_µs")
+}
+
+// BenchmarkE3_PartitionTable regenerates the §6 table of p(d) for
+// d = 1..20 by both counting methods. Reported metric: p(20) (paper: 627).
+func BenchmarkE3_PartitionTable(b *testing.B) {
+	var p20 int
+	for i := 0; i < b.N; i++ {
+		for d := 1; d <= 20; d++ {
+			if partition.Count(d) != partition.CountEuler(d) {
+				b.Fatal("counting methods disagree")
+			}
+		}
+		p20 = partition.Count(20)
+	}
+	b.ReportMetric(float64(p20), "p(20)")
+}
+
+// benchFigure simulates every curve of one paper figure across the block
+// sweep and reports the simulated time of the multiphase winner at 40B.
+func benchFigure(b *testing.B, d int) {
+	prm := model.IPSC860()
+	curves := experiments.FigureCurves(d)
+	sweep := experiments.BlockSweep()
+	var at40 float64
+	for i := 0; i < b.N; i++ {
+		for _, D := range curves {
+			for _, m := range sweep {
+				res := simulate(b, d, m, D, prm)
+				if m == 40 && len(D) == 2 {
+					at40 = res.Makespan
+				}
+			}
+		}
+	}
+	b.ReportMetric(at40, "mp_at_40B_µs")
+}
+
+// BenchmarkE4_Figure4_D5 regenerates Figure 4 (32-node iPSC-860):
+// curves {1,1,1,1,1}, {2,3}, {5} over 0–400B.
+func BenchmarkE4_Figure4_D5(b *testing.B) { benchFigure(b, 5) }
+
+// BenchmarkE5_Figure5_D6 regenerates Figure 5 (64-node iPSC-860):
+// curves {1,...}, {2,2,2}, {3,3}, {6} over 0–400B.
+func BenchmarkE5_Figure5_D6(b *testing.B) { benchFigure(b, 6) }
+
+// BenchmarkE6_Figure6_D7 regenerates Figure 6 (128-node iPSC-860):
+// curves {1,...}, {2,2,3}, {3,4}, {7} over 0–400B. The 40B metric is the
+// paper's headline: {3,4} ≈ 16000 µs vs 37000 µs for both classics.
+func BenchmarkE6_Figure6_D7(b *testing.B) { benchFigure(b, 7) }
+
+// BenchmarkE7_SyncOverhead regenerates the §7.2/§7.4 synchronization
+// accounting: one 100B exchange under synced/serialized/ideal modes.
+// Reported metric: synced-exchange simulated time (λ0+δ + λ+τ·100+δ).
+func BenchmarkE7_SyncOverhead(b *testing.B) {
+	var synced float64
+	for i := 0; i < b.N; i++ {
+		for _, prm := range []model.Params{
+			model.IPSC860(), model.IPSC860NoSync(), model.IPSC860Raw(),
+		} {
+			net := simnet.New(topology.MustNew(1), prm)
+			res, err := net.Run([]simnet.Program{
+				{simnet.Exchange(1, 100)},
+				{simnet.Exchange(0, 100)},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if prm.Exchange == model.ExchangeSynced {
+				synced = res.Makespan
+			}
+		}
+	}
+	b.ReportMetric(synced, "sim_µs")
+}
+
+// BenchmarkE8_ContentionFree verifies (and times) the schedule-analysis
+// claim: every step of every multiphase plan for d ≤ 6 is edge-contention-
+// free under e-cube routing. Reported metric: steps analyzed.
+func BenchmarkE8_ContentionFree(b *testing.B) {
+	var steps int
+	for i := 0; i < b.N; i++ {
+		steps = 0
+		for d := 1; d <= 6; d++ {
+			h := topology.MustNew(d)
+			for _, D := range partition.All(d) {
+				plan, err := exchange.NewPlan(d, 1, D)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, step := range plan.Steps() {
+					r, err := h.AnalyzeStep(step)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !r.EdgeContentionFree() {
+						b.Fatal("contended step in multiphase plan")
+					}
+					steps++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(steps), "steps")
+}
+
+// BenchmarkAblation_PairwiseSync compares the full d=6, 40B exchange with
+// and without pairwise synchronization (§7.2: sync always wins on the
+// iPSC-860). Reported metric: serialized/synced time ratio (>1).
+func BenchmarkAblation_PairwiseSync(b *testing.B) {
+	D := partition.Partition{3, 3}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		synced := simulate(b, 6, 40, D, model.IPSC860())
+		serial := simulate(b, 6, 40, D, model.IPSC860NoSync())
+		ratio = serial.Makespan / synced.Makespan
+	}
+	b.ReportMetric(ratio, "serial/synced")
+}
+
+// BenchmarkAblation_RhoZero re-derives the d=7 hull with free shuffles
+// (ρ=0), the paper's §7.4 remark that better codegen would shrink ρ but
+// "will not affect our overall approach". Reported metric: number of hull
+// faces with ρ=0 (multiphase partitions must still appear).
+func BenchmarkAblation_RhoZero(b *testing.B) {
+	prm := model.IPSC860()
+	prm.Rho = 0
+	var faces int
+	for i := 0; i < b.N; i++ {
+		hull := prm.Hull(7, 0, 400, 8, false)
+		parts := model.HullPartitions(hull)
+		multiphase := false
+		for _, D := range parts {
+			if len(D) > 1 {
+				multiphase = true
+			}
+		}
+		if !multiphase {
+			b.Fatal("with rho=0 multiphase should still win somewhere")
+		}
+		faces = len(parts)
+	}
+	b.ReportMetric(float64(faces), "hull_faces")
+}
+
+// BenchmarkAblation_ForcedVsUnforced compares a 400B one-sided send under
+// FORCED vs UNFORCED semantics (§7.1: UNFORCED pays a reserve-ack round
+// trip above 100B). Reported metric: UNFORCED/FORCED time ratio.
+func BenchmarkAblation_ForcedVsUnforced(b *testing.B) {
+	prm := model.IPSC860Raw()
+	net := simnet.New(topology.MustNew(2), prm)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		run := func(t simnet.MsgType) float64 {
+			res, err := net.Run([]simnet.Program{
+				{simnet.PostRecv(1), simnet.Send(1, 400, t), simnet.WaitRecv(1)},
+				{simnet.PostRecv(0), simnet.Send(0, 400, t), simnet.WaitRecv(0)},
+				nil, nil,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Makespan
+		}
+		ratio = run(simnet.Unforced) / run(simnet.Forced)
+	}
+	b.ReportMetric(ratio, "unforced/forced")
+}
+
+// BenchmarkAblation_NaiveSchedule quantifies why scheduling matters: the
+// naive all-into-one complete exchange (every node sends block i to node i
+// at step i) against the XOR schedule, both as raw sends on d=5. Reported
+// metric: naive/XOR simulated time ratio (edge contention serializes the
+// naive schedule).
+func BenchmarkAblation_NaiveSchedule(b *testing.B) {
+	prm := model.IPSC860Raw()
+	h := topology.MustNew(5)
+	n := h.Nodes()
+	m := 64
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		// Naive: step i, everyone sends to node i.
+		naive := make([]simnet.Program, n)
+		for p := 0; p < n; p++ {
+			var prog simnet.Program
+			for q := 0; q < n; q++ {
+				if q != p {
+					prog = append(prog, simnet.PostRecv(q))
+				}
+			}
+			prog = append(prog, simnet.Barrier())
+			for step := 0; step < n; step++ {
+				if step != p {
+					prog = append(prog, simnet.Send(step, m, simnet.Forced))
+				}
+			}
+			for q := 0; q < n; q++ {
+				if q != p {
+					prog = append(prog, simnet.WaitRecv(q))
+				}
+			}
+			naive[p] = prog
+		}
+		net := simnet.New(h, prm)
+		naiveRes, err := net.Run(naive)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if naiveRes.ContentionStall == 0 {
+			b.Fatal("naive schedule should stall on contention")
+		}
+		xor := simulate(b, 5, m, partition.Partition{5}, prm)
+		ratio = naiveRes.Makespan / xor.Makespan
+	}
+	b.ReportMetric(ratio, "naive/xor")
+}
+
+// BenchmarkOptimizerEnumeration times the §6 enumeration: best partition
+// for d=10 (p(10)=42 candidates) at one block size.
+func BenchmarkOptimizerEnumeration(b *testing.B) {
+	prm := model.IPSC860()
+	for i := 0; i < b.N; i++ {
+		opt := optimize.New(prm) // fresh cache each iteration
+		if _, err := opt.Best(10, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateOCS_D7 times one full 128-node Optimal Circuit-Switched
+// simulation (127 steps × 128 nodes), the heaviest single simulation in
+// the figure sweeps.
+func BenchmarkSimulateOCS_D7(b *testing.B) {
+	prm := model.IPSC860()
+	for i := 0; i < b.N; i++ {
+		_ = simulate(b, 7, 160, partition.Partition{7}, prm)
+	}
+}
+
+// BenchmarkRuntimeExchange_D5 times the real-data goroutine execution of
+// the d=5 multiphase exchange (32 goroutines moving 16B blocks).
+func BenchmarkRuntimeExchange_D5(b *testing.B) {
+	plan, err := exchange.NewPlan(5, 16, partition.Partition{2, 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := plan.RunData(time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionIteration times the partition iterator over d=20
+// (627 partitions), the enumeration cost the paper calls trivial.
+func BenchmarkPartitionIteration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		it := partition.NewIterator(20)
+		count := 0
+		for D := it.Next(); D != nil; D = it.Next() {
+			count++
+		}
+		if count != 627 {
+			b.Fatalf("p(20) = %d", count)
+		}
+	}
+}
+
+// BenchmarkCollectives simulates the §9 collectives (broadcast, scatter,
+// gather, allgather) on a 64-node cube at 64B and reports the allgather
+// time — the all-to-all broadcast the paper names as the next target for
+// multiphase treatment.
+func BenchmarkCollectives(b *testing.B) {
+	prm := model.IPSC860()
+	net := simnet.New(topology.MustNew(6), prm)
+	var ag float64
+	for i := 0; i < b.N; i++ {
+		for _, k := range []collectives.Kind{
+			collectives.Broadcast, collectives.Scatter,
+			collectives.Gather, collectives.AllGather,
+		} {
+			res, err := collectives.Simulate(k, net, 64, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if k == collectives.AllGather {
+				ag = res.Makespan
+			}
+		}
+	}
+	b.ReportMetric(ag, "allgather_µs")
+}
+
+// BenchmarkScheduleCompleteGraph times the §9 generalized scheduler on
+// the complete-exchange requirement for d=5 and reports the step count
+// (the XOR specialist needs 31).
+func BenchmarkScheduleCompleteGraph(b *testing.B) {
+	h := topology.MustNew(5)
+	req := schedule.CompleteGraph(h)
+	var steps int
+	for i := 0; i < b.N; i++ {
+		s, err := schedule.Build(h, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Verify(req); err != nil {
+			b.Fatal(err)
+		}
+		steps = s.NumSteps()
+	}
+	b.ReportMetric(float64(steps), "steps")
+}
+
+// BenchmarkScheduleRandomGraph times the generalized scheduler on a random
+// sparse requirement (the arbitrary-directed-graph case of §9).
+func BenchmarkScheduleRandomGraph(b *testing.B) {
+	h := topology.MustNew(6)
+	rng := rand.New(rand.NewSource(5))
+	req := make([]topology.Transfer, 300)
+	for i := range req {
+		req[i] = topology.Transfer{Src: rng.Intn(64), Dst: rng.Intn(64)}
+	}
+	for i := 0; i < b.N; i++ {
+		s, err := schedule.Build(h, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Verify(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceOverhead measures the cost of timeline recording on the
+// d=6 OCS simulation (off vs on is visible by comparing with
+// BenchmarkSimulateOCS_D7).
+func BenchmarkTraceOverhead(b *testing.B) {
+	plan, err := exchange.NewPlan(6, 64, partition.Partition{6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := simnet.New(topology.MustNew(6), model.IPSC860())
+	net.SetTrace(true)
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Simulate(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCircuitHopLevel runs a full d=5 XOR exchange step set through
+// the hop-level circuit simulator (header walks, partial-path holding)
+// and reports the virtual completion time of the last step.
+func BenchmarkCircuitHopLevel(b *testing.B) {
+	prm := model.IPSC860Raw()
+	h := topology.MustNew(5)
+	net := circuit.New(h, prm, nil)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for mask := 1; mask < h.Nodes(); mask++ {
+			msgs := make([]circuit.Message, 0, h.Nodes())
+			for p := 0; p < h.Nodes(); p++ {
+				msgs = append(msgs, circuit.Message{Src: p, Dst: p ^ mask, Bytes: 64})
+			}
+			res, err := net.Run(msgs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Deadlocked {
+				b.Fatal("e-cube deadlocked")
+			}
+			last = res.Makespan
+		}
+	}
+	b.ReportMetric(last, "laststep_µs")
+}
+
+// BenchmarkCommAllToAll times the user-facing communicator's auto-tuned
+// AllToAll with real goroutine data movement on 32 ranks.
+func BenchmarkCommAllToAll(b *testing.B) {
+	c, err := comm.New(5, model.IPSC860())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.SetTimeout(time.Minute)
+	n := c.Size()
+	for i := 0; i < b.N; i++ {
+		err := c.Run(func(r *comm.Rank) error {
+			send := make([][]byte, n)
+			for j := range send {
+				send[j] = make([]byte, 40)
+			}
+			_, err := r.AllToAll(send)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

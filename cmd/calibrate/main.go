@@ -1,0 +1,91 @@
+// Command calibrate reproduces the measurement methodology of the paper's
+// §7.4 (and its reference [2]) against the simulated machine: it times
+// messages, pairwise exchanges, and shuffles of varying sizes and
+// distances, fits t = λ + τm + δh by least squares, and prints the
+// recovered constants next to the configured ones.
+//
+// Usage:
+//
+//	calibrate                  # iPSC-860
+//	calibrate -machine ncube2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/calibrate"
+	"repro/internal/model"
+	"repro/internal/report"
+)
+
+func main() {
+	machine := flag.String("machine", "ipsc", "machine model: ipsc | ipsc-nosync | ncube2 | hypo")
+	d := flag.Int("d", 5, "cube dimension for the measurement runs")
+	flag.Parse()
+
+	var prm model.Params
+	switch *machine {
+	case "ipsc":
+		prm = model.IPSC860()
+	case "ipsc-nosync":
+		prm = model.IPSC860NoSync()
+	case "ncube2":
+		prm = model.Ncube2()
+	case "hypo":
+		prm = model.Hypothetical()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+
+	sizes := []int{0, 16, 64, 256, 1024, 4096}
+	dists := make([]int, *d)
+	for i := range dists {
+		dists[i] = i + 1
+	}
+
+	raw := prm
+	raw.Exchange = model.ExchangeIdeal
+	msgSamples, err := calibrate.MeasureMessages(raw, *d, sizes, dists)
+	if err != nil {
+		fatal(err)
+	}
+	msgFit, err := calibrate.FitMessageModel(msgSamples)
+	if err != nil {
+		fatal(err)
+	}
+	exSamples, err := calibrate.MeasureExchanges(prm, *d, sizes, dists)
+	if err != nil {
+		fatal(err)
+	}
+	exFit, err := calibrate.FitMessageModel(exSamples)
+	if err != nil {
+		fatal(err)
+	}
+	rho, err := calibrate.MeasureShuffle(prm, []int{64, 512, 4096, 65536})
+	if err != nil {
+		fatal(err)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("calibration against simulated %s (d=%d, %d samples per fit)",
+			*machine, *d, len(msgSamples)),
+		"constant", "fitted", "configured")
+	t.AddRowStrings("λ (µs)", report.FormatMicros(msgFit.Lambda), report.FormatMicros(prm.Lambda))
+	t.AddRowStrings("τ (µs/B)", fmt.Sprintf("%.4f", msgFit.Tau), fmt.Sprintf("%.4f", prm.Tau))
+	t.AddRowStrings("δ (µs/dim)", report.FormatMicros(msgFit.Delta), report.FormatMicros(prm.Delta))
+	t.AddRowStrings("λ_eff (µs)", report.FormatMicros(exFit.Lambda), report.FormatMicros(prm.EffLambda()))
+	t.AddRowStrings("τ_eff (µs/B)", fmt.Sprintf("%.4f", exFit.Tau), fmt.Sprintf("%.4f", prm.EffTau()))
+	t.AddRowStrings("δ_eff (µs/dim)", report.FormatMicros(exFit.Delta), report.FormatMicros(prm.EffDelta()))
+	t.AddRowStrings("ρ (µs/B)", fmt.Sprintf("%.4f", rho), fmt.Sprintf("%.4f", prm.Rho))
+	t.AddRowStrings("fit RMS (µs)", fmt.Sprintf("%.2e / %.2e", msgFit.RMS, exFit.RMS), "0 expected")
+	if err := t.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
+}

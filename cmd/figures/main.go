@@ -1,0 +1,81 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation in one run: the §4.3 crossover example (E1), the §5.1 worked
+// example (E2), the §6 partition table (E3), Figures 4–6 with their hulls
+// of optimality (E4–E6), the synchronization overhead accounting (E7), and
+// the contention verification (E8).
+//
+// Usage:
+//
+//	figures            # everything
+//	figures -only E5   # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment: E1..E8 (default all)")
+	plot := flag.Bool("plot", false, "render Figures 4-6 as ASCII charts instead of tables")
+	flag.Parse()
+
+	want := func(id string) bool {
+		return *only == "" || strings.EqualFold(*only, id)
+	}
+
+	if want("E1") {
+		fmt.Println(experiments.E1Crossover())
+	}
+	if want("E2") {
+		tbl, err := experiments.E2WorkedExample()
+		check(err)
+		fmt.Println(tbl)
+	}
+	if want("E3") {
+		fmt.Println(experiments.E3PartitionTable())
+	}
+	for i, d := range []int{5, 6, 7} {
+		id := fmt.Sprintf("E%d", 4+i)
+		if !want(id) {
+			continue
+		}
+		fig, err := experiments.Figure(d)
+		check(err)
+		if *plot {
+			fmt.Println(fig.Plot(90, 24))
+		} else {
+			fmt.Println(fig)
+		}
+		fmt.Println(experiments.Hull(d))
+		mvp, err := experiments.MeasuredVsPredicted(d)
+		check(err)
+		fmt.Println(mvp)
+	}
+	if want("E6") {
+		tbl, err := experiments.Headline()
+		check(err)
+		fmt.Println(tbl)
+	}
+	if want("E7") {
+		tbl, err := experiments.E7SyncOverhead()
+		check(err)
+		fmt.Println(tbl)
+	}
+	if want("E8") {
+		tbl, err := experiments.E8Contention(7)
+		check(err)
+		fmt.Println(tbl)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command mpx runs a single multiphase complete exchange on the simulated
+// circuit-switched hypercube and reports predicted vs simulated time.
+//
+// Usage:
+//
+//	mpx -d 7 -m 40                 # auto-tuned partition
+//	mpx -d 7 -m 40 -D "{3,4}"      # explicit partition
+//	mpx -d 6 -m 24 -machine hypo   # the paper's hypothetical machine
+//	mpx -d 5 -m 16 -verify         # also run real data through goroutines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/report"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func main() {
+	d := flag.Int("d", 6, "hypercube dimension (n = 2^d nodes)")
+	m := flag.Int("m", 40, "block size in bytes per destination")
+	part := flag.String("D", "", "explicit partition, e.g. \"{3,4}\" (default: auto-tune)")
+	machine := flag.String("machine", "ipsc", "machine model: ipsc | ipsc-nosync | ncube2 | hypo")
+	verify := flag.Bool("verify", false, "also execute with real data on the goroutine runtime")
+	gantt := flag.Bool("gantt", false, "render a per-node timeline of the simulated run")
+	ganttWidth := flag.Int("gantt-width", 100, "timeline width in characters")
+	flag.Parse()
+
+	prm, err := machineParams(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := core.NewSystem(*d, prm)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res core.Result
+	if *part != "" {
+		D, err := partition.Parse(*part)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = sys.ExchangeWith(*m, D)
+		if err != nil {
+			fatal(err)
+		}
+	} else if *verify {
+		res, err = sys.VerifiedExchange(*m, 2*time.Minute)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		res, err = sys.CompleteExchange(*m)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *verify && *part != "" {
+		plan, err := sys.Plan(*m, res.Partition)
+		if err != nil {
+			fatal(err)
+		}
+		if err := plan.RunData(2 * time.Minute); err != nil {
+			fatal(fmt.Errorf("data verification failed: %w", err))
+		}
+		res.DataVerified = true
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("complete exchange: d=%d (%d nodes), block=%dB, machine=%s",
+			*d, sys.Nodes(), *m, *machine),
+		"quantity", "value")
+	t.AddRowStrings("partition", res.Partition.String())
+	t.AddRow("predicted (µs)", res.PredictedMicros)
+	t.AddRow("simulated (µs)", res.SimulatedMicros)
+	t.AddRow("contention stall (µs)", res.ContentionStall)
+	t.AddRowStrings("data verified", fmt.Sprintf("%v", res.DataVerified))
+	if err := t.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *gantt {
+		plan, err := sys.Plan(*m, res.Partition)
+		if err != nil {
+			fatal(err)
+		}
+		net := simnet.New(topology.MustNew(*d), prm)
+		net.SetTrace(true)
+		traced, err := plan.Simulate(net)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(trace.Summary(traced))
+		fmt.Print(trace.Gantt(traced, *ganttWidth))
+	}
+}
+
+func machineParams(name string) (model.Params, error) {
+	switch name {
+	case "ipsc":
+		return model.IPSC860(), nil
+	case "ipsc-nosync":
+		return model.IPSC860NoSync(), nil
+	case "ncube2":
+		return model.Ncube2(), nil
+	case "hypo":
+		return model.Hypothetical(), nil
+	default:
+		return model.Params{}, fmt.Errorf("unknown machine %q (want ipsc, ipsc-nosync, ncube2, hypo)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpx:", err)
+	os.Exit(1)
+}

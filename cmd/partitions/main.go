@@ -1,0 +1,52 @@
+// Command partitions prints the integer-partition table of paper §6 — the
+// number of multiphase algorithm candidates per hypercube dimension — and
+// optionally enumerates the partitions themselves.
+//
+// Usage:
+//
+//	partitions            # the p(d) table for d = 1..20
+//	partitions -d 7       # enumerate the 15 partitions of 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/partition"
+	"repro/internal/report"
+)
+
+func main() {
+	d := flag.Int("d", 0, "enumerate the partitions of this dimension (0 = print the p(d) table)")
+	flag.Parse()
+
+	if *d > 0 {
+		if *d > 40 {
+			fatal(fmt.Errorf("d=%d too large to enumerate", *d))
+		}
+		fmt.Printf("partitions of %d (p(%d) = %d):\n", *d, *d, partition.Count(*d))
+		it := partition.NewIterator(*d)
+		for D := it.Next(); D != nil; D = it.Next() {
+			fmt.Println("  ", D)
+		}
+		return
+	}
+
+	t := report.NewTable("number of multiphase algorithms: p(d) (paper §6)",
+		"d", "nodes", "p(d)")
+	for dd := 1; dd <= 20; dd++ {
+		t.AddRowStrings(
+			fmt.Sprintf("%d", dd),
+			fmt.Sprintf("%d", 1<<uint(dd)),
+			fmt.Sprintf("%d", partition.Count(dd)))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "partitions:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+// Package repro reproduces Bokhari's "Multiphase Complete Exchange on a
+// Circuit Switched Hypercube" (ICPP 1991, ICASE Report 91-5): the unified
+// multiphase all-to-all personalized communication algorithm for
+// circuit-switched hypercubes, together with the machine it needs — a
+// calibrated discrete-event simulator of the Intel iPSC-860's network —
+// and a goroutine runtime that executes the same algorithms with real
+// payloads.
+//
+// Layout:
+//
+//	internal/...   the library (see README.md for the package map)
+//	cmd/...        mpx, hull, partitions, figures, calibrate
+//	examples/...   runnable demonstrations
+//
+// The benchmark harness in this package (bench_test.go) regenerates every
+// table and figure of the paper; integration_test.go pins the headline
+// end-to-end results. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-reproduction record.
+package repro

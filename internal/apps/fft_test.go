@@ -1,0 +1,191 @@
+package apps
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func complexAlmost(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := DFTReference(x, false)
+		got := append([]complex128(nil), x...)
+		if err := FFT(got, false); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !complexAlmost(got[i], want[i], 1e-9*float64(n)) {
+				t.Fatalf("n=%d: FFT[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	y := append([]complex128(nil), x...)
+	if err := FFT(y, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT(y, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !complexAlmost(x[i], y[i], 1e-9) {
+			t.Fatalf("round trip differs at %d: %v vs %v", i, x[i], y[i])
+		}
+	}
+}
+
+func TestFFTNonPow2(t *testing.T) {
+	if err := FFT(make([]complex128, 6), false); err == nil {
+		t.Error("non-power-of-two length must fail")
+	}
+	if err := FFT(nil, false); err != nil {
+		t.Error("empty FFT must succeed")
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]complex128, 64)
+	var inEnergy float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		inEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	if err := FFT(x, false); err != nil {
+		t.Fatal(err)
+	}
+	var outEnergy float64
+	for _, v := range x {
+		outEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(outEnergy-64*inEnergy) > 1e-6*outEnergy {
+		t.Errorf("Parseval violated: %v vs %v", outEnergy, 64*inEnergy)
+	}
+}
+
+func TestNewGrid2DValidation(t *testing.T) {
+	fill := func(r, c int) complex128 { return complex(float64(r), float64(c)) }
+	if _, err := NewGrid2D(8, 3, fill); err == nil {
+		t.Error("non-pow2 procs must fail")
+	}
+	if _, err := NewGrid2D(6, 4, fill); err == nil {
+		t.Error("n not divisible by procs must fail")
+	}
+	if _, err := NewGrid2D(0, 1, fill); err == nil {
+		t.Error("empty grid must fail")
+	}
+}
+
+func TestGrid2DAt(t *testing.T) {
+	fill := func(r, c int) complex128 { return complex(float64(r*100+c), 0) }
+	g, err := NewGrid2D(8, 4, fill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if g.At(r, c) != fill(r, c) {
+				t.Fatalf("At(%d,%d) = %v", r, c, g.At(r, c))
+			}
+		}
+	}
+}
+
+// The distributed 2-D FFT must match the serial row-column 2-D DFT.
+func TestFFT2DMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 16
+	const procs = 4
+	vals := make([][]complex128, n)
+	for r := range vals {
+		vals[r] = make([]complex128, n)
+		for c := range vals[r] {
+			vals[r][c] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	fill := func(r, c int) complex128 { return vals[r][c] }
+	g, err := NewGrid2D(n, procs, fill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT2D(g, model.IPSC860(), false, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Serial reference: FFT rows then FFT columns.
+	ref := make([][]complex128, n)
+	for r := range ref {
+		ref[r] = append([]complex128(nil), vals[r]...)
+		if err := FFT(ref[r], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col := make([]complex128, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = ref[r][c]
+		}
+		if err := FFT(col, false); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < n; r++ {
+			ref[r][c] = col[r]
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if !complexAlmost(g.At(r, c), ref[r][c], 1e-6) {
+				t.Fatalf("FFT2D(%d,%d) = %v, want %v", r, c, g.At(r, c), ref[r][c])
+			}
+		}
+	}
+}
+
+func TestFFT2DInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 8
+	const procs = 8
+	orig := make([][]complex128, n)
+	for r := range orig {
+		orig[r] = make([]complex128, n)
+		for c := range orig[r] {
+			orig[r][c] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	g, err := NewGrid2D(n, procs, func(r, c int) complex128 { return orig[r][c] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT2D(g, model.Hypothetical(), false, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT2D(g, model.Hypothetical(), true, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if !complexAlmost(g.At(r, c), orig[r][c], 1e-9) {
+				t.Fatalf("round trip (%d,%d): %v vs %v", r, c, g.At(r, c), orig[r][c])
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func TestNewLookupTableValidation(t *testing.T) {
+	if _, err := NewLookupTable(3, nil); err == nil {
+		t.Error("non-pow2 procs must fail")
+	}
+	if _, err := NewLookupTable(0, nil); err == nil {
+		t.Error("zero procs must fail")
+	}
+}
+
+func TestShardingByKeyMod(t *testing.T) {
+	entries := map[uint64]uint64{0: 10, 1: 11, 5: 15, 8: 18, 13: 23}
+	tbl, err := NewLookupTable(4, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range entries {
+		owner := tbl.Owner(k)
+		if _, ok := tbl.Shards[owner][k]; !ok {
+			t.Errorf("key %d not on owner %d", k, owner)
+		}
+		for p := 0; p < 4; p++ {
+			if p == owner {
+				continue
+			}
+			if _, ok := tbl.Shards[p][k]; ok {
+				t.Errorf("key %d duplicated on %d", k, p)
+			}
+		}
+	}
+}
+
+func TestBatchLookupCorrect(t *testing.T) {
+	const procs = 8
+	rng := rand.New(rand.NewSource(21))
+	entries := make(map[uint64]uint64)
+	for i := 0; i < 500; i++ {
+		entries[uint64(rng.Intn(1000))] = uint64(rng.Intn(1 << 30))
+	}
+	tbl, err := NewLookupTable(procs, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]uint64, procs)
+	for p := range queries {
+		for q := 0; q < 20+p; q++ { // uneven query loads
+			queries[p] = append(queries[p], uint64(rng.Intn(1200)))
+		}
+	}
+	answers, ok, err := tbl.BatchLookup(queries, model.IPSC860(), 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range queries {
+		if len(answers[p]) != len(queries[p]) || len(ok[p]) != len(queries[p]) {
+			t.Fatalf("proc %d: answer shape mismatch", p)
+		}
+		for i, k := range queries[p] {
+			want, exists := entries[k]
+			if ok[p][i] != exists {
+				t.Errorf("proc %d query %d (key %d): ok=%v want %v", p, i, k, ok[p][i], exists)
+			}
+			if exists && answers[p][i] != want {
+				t.Errorf("proc %d key %d: got %d want %d", p, k, answers[p][i], want)
+			}
+		}
+	}
+}
+
+func TestBatchLookupEmptyQueries(t *testing.T) {
+	tbl, _ := NewLookupTable(4, map[uint64]uint64{1: 2})
+	answers, ok, err := tbl.BatchLookup(make([][]uint64, 4), model.IPSC860(), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range answers {
+		if len(answers[p]) != 0 || len(ok[p]) != 0 {
+			t.Error("empty queries must yield empty answers")
+		}
+	}
+}
+
+func TestBatchLookupWrongShape(t *testing.T) {
+	tbl, _ := NewLookupTable(4, nil)
+	if _, _, err := tbl.BatchLookup(make([][]uint64, 3), model.IPSC860(), time.Second); err == nil {
+		t.Error("wrong query-set count must fail")
+	}
+}
+
+func TestBatchLookupSkewedLoad(t *testing.T) {
+	// All queries target one owner — the worst padding case.
+	tbl, _ := NewLookupTable(4, map[uint64]uint64{4: 44, 8: 88})
+	queries := [][]uint64{{4, 8, 4, 8, 4}, {4}, {}, {8}}
+	answers, ok, err := tbl.BatchLookup(queries, model.Hypothetical(), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers[0][0] != 44 || answers[0][1] != 88 || !ok[0][4] {
+		t.Errorf("skewed lookup wrong: %v %v", answers[0], ok[0])
+	}
+	if answers[3][0] != 88 {
+		t.Errorf("proc 3: %v", answers[3])
+	}
+}

@@ -1,0 +1,110 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/runtime"
+)
+
+// MatVec computes y = A·x for a block-row-mapped matrix (the §3 mapping:
+// node p owns block row p of A and the slice x_p of the input vector).
+// The input vector is assembled everywhere with a recursive-doubling
+// allgather — the all-to-all broadcast pattern of §9 — then each node
+// computes its slice of y locally. Returns the distributed result,
+// ys[p] being node p's slice.
+func MatVec(m *BlockMatrix, x [][]float64, prm model.Params, timeout time.Duration) ([][]float64, error) {
+	d := log2(m.N)
+	if d < 0 {
+		return nil, fmt.Errorf("apps: matrix grid %d is not a power of two", m.N)
+	}
+	if len(x) != m.N {
+		return nil, fmt.Errorf("apps: %d vector slices for %d nodes", len(x), m.N)
+	}
+	for p := range x {
+		if len(x[p]) != m.BS {
+			return nil, fmt.Errorf("apps: slice %d has %d elements, want %d", p, len(x[p]), m.BS)
+		}
+	}
+	_ = prm // the machine model prices the exchange; data movement below is real
+
+	c, err := runtime.NewCluster(m.N)
+	if err != nil {
+		return nil, err
+	}
+	ys := make([][]float64, m.N)
+	err = c.Run(func(nd *runtime.Node) error {
+		p := nd.ID()
+		n := m.N
+		// Allgather the vector slices by recursive doubling, exactly the
+		// collectives.AllGather schedule, inlined over float64 payloads.
+		slices := make([][]float64, n)
+		slices[p] = append([]float64(nil), x[p]...)
+		for i := 0; i < d; i++ {
+			bit := 1 << uint(i)
+			peer := p ^ bit
+			var msg []byte
+			for q := 0; q < n; q++ {
+				if q&^(bit-1) == p&^(bit-1) {
+					msg = appendFloats(msg, slices[q])
+				}
+			}
+			in := nd.Exchange(peer, msg)
+			idx := 0
+			for q := 0; q < n; q++ {
+				if q&^(bit-1) == peer&^(bit-1) {
+					slices[q] = floatsAt(in, idx, m.BS)
+					idx++
+				}
+			}
+		}
+		// Local block-row × vector.
+		y := make([]float64, m.BS)
+		for j := 0; j < n; j++ {
+			blk := m.Rows[p][j]
+			xs := slices[j]
+			for r := 0; r < m.BS; r++ {
+				sum := 0.0
+				for cc := 0; cc < m.BS; cc++ {
+					sum += blk[r*m.BS+cc] * xs[cc]
+				}
+				y[r] += sum
+			}
+		}
+		ys[p] = y
+		return nil
+	}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return ys, nil
+}
+
+// MatVecCost returns the modeled communication time of the MatVec: one
+// allgather of bs·8-byte slices on the d-cube.
+func MatVecCost(prm model.Params, bs, d int) float64 {
+	df := float64(d)
+	full := float64(int(1)<<uint(d) - 1)
+	return df*prm.EffLambda() + prm.EffTau()*float64(bs*8)*full + df*prm.EffDelta()
+}
+
+func appendFloats(b []byte, xs []float64) []byte {
+	for _, v := range xs {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		b = append(b, buf[:]...)
+	}
+	return b
+}
+
+func floatsAt(b []byte, idx, count int) []float64 {
+	out := make([]float64, count)
+	off := idx * count * 8
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off+i*8:]))
+	}
+	return out
+}

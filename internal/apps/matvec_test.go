@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func TestMatVecMatchesSerial(t *testing.T) {
+	const nProc, bs = 8, 3
+	rng := rand.New(rand.NewSource(31))
+	m, err := NewBlockMatrix(nProc, bs, func(r, c int) float64 {
+		return rng.NormFloat64()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([][]float64, nProc)
+	for p := range x {
+		x[p] = make([]float64, bs)
+		for i := range x[p] {
+			x[p][i] = rng.NormFloat64()
+		}
+	}
+	ys, err := MatVec(m, x, model.IPSC860(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial reference.
+	side := nProc * bs
+	flatX := make([]float64, side)
+	for p := range x {
+		copy(flatX[p*bs:], x[p])
+	}
+	for r := 0; r < side; r++ {
+		want := 0.0
+		for c := 0; c < side; c++ {
+			want += m.At(r, c) * flatX[c]
+		}
+		got := ys[r/bs][r%bs]
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("y[%d] = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestMatVecIdentity(t *testing.T) {
+	const nProc, bs = 4, 2
+	m, err := NewBlockMatrix(nProc, bs, func(r, c int) float64 {
+		if r == c {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([][]float64, nProc)
+	for p := range x {
+		x[p] = []float64{float64(p * 2), float64(p*2 + 1)}
+	}
+	ys, err := MatVec(m, x, model.Hypothetical(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range ys {
+		for i := range ys[p] {
+			if ys[p][i] != x[p][i] {
+				t.Fatalf("identity matvec changed x at (%d,%d)", p, i)
+			}
+		}
+	}
+}
+
+func TestMatVecValidation(t *testing.T) {
+	m, _ := NewBlockMatrix(4, 2, fillLinear)
+	if _, err := MatVec(m, make([][]float64, 3), model.IPSC860(), time.Second); err == nil {
+		t.Error("wrong slice count must fail")
+	}
+	bad := make([][]float64, 4)
+	for i := range bad {
+		bad[i] = make([]float64, 1) // wrong slice width
+	}
+	if _, err := MatVec(m, bad, model.IPSC860(), time.Second); err == nil {
+		t.Error("wrong slice width must fail")
+	}
+	m3, _ := NewBlockMatrix(3, 2, fillLinear)
+	x3 := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	if _, err := MatVec(m3, x3, model.IPSC860(), time.Second); err == nil {
+		t.Error("non-power-of-two grid must fail")
+	}
+}
+
+func TestMatVecCostPositive(t *testing.T) {
+	prm := model.IPSC860()
+	c := MatVecCost(prm, 16, 5)
+	if c <= 0 {
+		t.Errorf("cost = %v", c)
+	}
+	if MatVecCost(prm, 16, 6) <= c {
+		t.Error("cost must grow with dimension")
+	}
+}

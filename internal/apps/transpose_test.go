@@ -1,0 +1,102 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func fillLinear(r, c int) float64 { return float64(r*1000 + c) }
+
+func TestNewBlockMatrixValidation(t *testing.T) {
+	if _, err := NewBlockMatrix(0, 2, fillLinear); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := NewBlockMatrix(4, 0, fillLinear); err == nil {
+		t.Error("bs=0 must fail")
+	}
+}
+
+func TestBlockMatrixAt(t *testing.T) {
+	m, err := NewBlockMatrix(4, 3, fillLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 12; r++ {
+		for c := 0; c < 12; c++ {
+			if m.At(r, c) != fillLinear(r, c) {
+				t.Fatalf("At(%d,%d) = %v", r, c, m.At(r, c))
+			}
+		}
+	}
+	if m.BlockBytes() != 72 {
+		t.Errorf("BlockBytes = %d", m.BlockBytes())
+	}
+}
+
+func TestTransposeCorrect(t *testing.T) {
+	for _, cfg := range []struct{ n, bs int }{{2, 1}, {4, 2}, {8, 3}, {16, 2}} {
+		m, err := NewBlockMatrix(cfg.n, cfg.bs, fillLinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Transpose(m, model.IPSC860(), 30*time.Second); err != nil {
+			t.Fatalf("n=%d bs=%d: %v", cfg.n, cfg.bs, err)
+		}
+		side := cfg.n * cfg.bs
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				if m.At(r, c) != fillLinear(c, r) {
+					t.Fatalf("n=%d bs=%d: At(%d,%d) = %v, want %v",
+						cfg.n, cfg.bs, r, c, m.At(r, c), fillLinear(c, r))
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m, _ := NewBlockMatrix(8, 2, fillLinear)
+	if err := Transpose(m, model.Hypothetical(), 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := Transpose(m, model.Hypothetical(), 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 16; c++ {
+			if m.At(r, c) != fillLinear(r, c) {
+				t.Fatalf("double transpose not identity at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestTransposeNonPow2Fails(t *testing.T) {
+	m, _ := NewBlockMatrix(3, 2, fillLinear)
+	if err := Transpose(m, model.IPSC860(), 5*time.Second); err == nil {
+		t.Error("non-power-of-two grid must fail")
+	}
+}
+
+func TestADISweeps(t *testing.T) {
+	m, _ := NewBlockMatrix(4, 2, fillLinear)
+	// opFn doubles each row; after row sweep + column sweep every
+	// element is multiplied by 4, and orientation is restored.
+	double := func(row []float64) {
+		for i := range row {
+			row[i] *= 2
+		}
+	}
+	if err := ADISweeps(m, model.IPSC860(), double, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if m.At(r, c) != 4*fillLinear(r, c) {
+				t.Fatalf("ADI at (%d,%d) = %v, want %v", r, c, m.At(r, c), 4*fillLinear(r, c))
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package calibrate recovers machine performance constants from timing
+// experiments, reproducing the measurement methodology behind the paper's
+// §7.4 table (and its reference [2], "Communication overheads on the
+// Intel iPSC-860"): send messages of varying size m across varying
+// distances h, record the times, and fit
+//
+//	t(m, h) = λ + τ·m + δ·h
+//
+// by linear least squares. Running the fit against the network simulator
+// closes the loop: the recovered (λ, τ, δ) must equal the constants the
+// simulator was configured with, which the tests assert to numerical
+// precision. The same harness can calibrate the shuffle cost ρ and the
+// per-exchange synchronization overhead.
+package calibrate
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Sample is one timing observation: an m-byte transfer across h
+// dimensions took Micros µs.
+type Sample struct {
+	Bytes  int
+	Dims   int
+	Micros float64
+}
+
+// Fit holds the least-squares estimate of the message-time model.
+type Fit struct {
+	Lambda float64 // µs
+	Tau    float64 // µs/byte
+	Delta  float64 // µs/dimension
+	// RMS is the root-mean-square residual of the fit in µs.
+	RMS float64
+}
+
+// FitMessageModel solves min Σ (λ + τ·mᵢ + δ·hᵢ − tᵢ)² by the normal
+// equations of the 3-parameter linear model. It needs at least three
+// samples with nondegenerate (m, h) variation.
+func FitMessageModel(samples []Sample) (Fit, error) {
+	if len(samples) < 3 {
+		return Fit{}, fmt.Errorf("calibrate: need ≥3 samples, have %d", len(samples))
+	}
+	// Normal equations A·x = b for x = (λ, τ, δ) with rows (1, m, h).
+	var a [3][3]float64
+	var b [3]float64
+	for _, s := range samples {
+		row := [3]float64{1, float64(s.Bytes), float64(s.Dims)}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			b[i] += row[i] * s.Micros
+		}
+	}
+	x, err := solve3(a, b)
+	if err != nil {
+		return Fit{}, err
+	}
+	fit := Fit{Lambda: x[0], Tau: x[1], Delta: x[2]}
+	var ss float64
+	for _, s := range samples {
+		r := fit.Lambda + fit.Tau*float64(s.Bytes) + fit.Delta*float64(s.Dims) - s.Micros
+		ss += r * r
+	}
+	fit.RMS = sqrt(ss / float64(len(samples)))
+	return fit, nil
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with partial
+// pivoting.
+func solve3(a [3][3]float64, b [3]float64) ([3]float64, error) {
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < 3; r++ {
+			if abs(a[r][col]) > abs(a[p][col]) {
+				p = r
+			}
+		}
+		if abs(a[p][col]) < 1e-12 {
+			return [3]float64{}, fmt.Errorf("calibrate: degenerate sample design (singular system)")
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		for r := col + 1; r < 3; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < 3; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [3]float64
+	for r := 2; r >= 0; r-- {
+		x[r] = b[r]
+		for c := r + 1; c < 3; c++ {
+			x[r] -= a[r][c] * x[c]
+		}
+		x[r] /= a[r][r]
+	}
+	return x, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations are plenty for reporting purposes.
+	g := x
+	for i := 0; i < 40; i++ {
+		g = (g + x/g) / 2
+	}
+	return g
+}
+
+// MeasureMessages runs one-sided FORCED sends of every (bytes × dims)
+// combination on a simulated d-cube and returns the samples. This is the
+// ping benchmark of [2] run against our virtual machine.
+func MeasureMessages(prm model.Params, d int, sizes, dists []int) ([]Sample, error) {
+	h := topology.MustNew(d)
+	net := simnet.New(h, prm)
+	var out []Sample
+	for _, m := range sizes {
+		for _, hd := range dists {
+			if hd < 1 || hd > d {
+				return nil, fmt.Errorf("calibrate: distance %d out of 1..%d", hd, d)
+			}
+			dst := (1 << uint(hd)) - 1 // node at distance hd from 0
+			progs := make([]simnet.Program, h.Nodes())
+			progs[dst] = simnet.Program{simnet.PostRecv(0), simnet.WaitRecv(0)}
+			progs[0] = simnet.Program{simnet.Send(dst, m, simnet.Forced)}
+			res, err := net.Run(progs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Sample{Bytes: m, Dims: hd, Micros: res.Makespan})
+		}
+	}
+	return out, nil
+}
+
+// MeasureExchanges runs pairwise exchanges and fits the *effective*
+// constants (the paper's λ=177.5, δ=20.6 row): under ExchangeSynced the
+// fitted λ must come out λ+λ0 and the fitted δ must double.
+func MeasureExchanges(prm model.Params, d int, sizes, dists []int) ([]Sample, error) {
+	h := topology.MustNew(d)
+	net := simnet.New(h, prm)
+	var out []Sample
+	for _, m := range sizes {
+		for _, hd := range dists {
+			if hd < 1 || hd > d {
+				return nil, fmt.Errorf("calibrate: distance %d out of 1..%d", hd, d)
+			}
+			dst := (1 << uint(hd)) - 1
+			progs := make([]simnet.Program, h.Nodes())
+			progs[0] = simnet.Program{simnet.Exchange(dst, m)}
+			progs[dst] = simnet.Program{simnet.Exchange(0, m)}
+			res, err := net.Run(progs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Sample{Bytes: m, Dims: hd, Micros: res.Makespan})
+		}
+	}
+	return out, nil
+}
+
+// MeasureShuffle estimates ρ by timing local shuffles of growing size on
+// the simulator and fitting t = ρ·bytes through the origin.
+func MeasureShuffle(prm model.Params, sizes []int) (float64, error) {
+	if len(sizes) == 0 {
+		return 0, fmt.Errorf("calibrate: no sizes")
+	}
+	h := topology.MustNew(0)
+	net := simnet.New(h, prm)
+	var num, den float64
+	for _, m := range sizes {
+		progs := []simnet.Program{{simnet.Shuffle(m)}}
+		res, err := net.Run(progs)
+		if err != nil {
+			return 0, err
+		}
+		num += float64(m) * res.Makespan
+		den += float64(m) * float64(m)
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("calibrate: all sizes zero")
+	}
+	return num / den, nil
+}

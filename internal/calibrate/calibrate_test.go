@@ -1,0 +1,142 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+var sizes = []int{0, 16, 64, 256, 1024}
+var dists = []int{1, 2, 3, 4, 5}
+
+// The calibration loop must recover the simulator's configured constants
+// exactly: this is the §7.4 measurement table reproduced against our
+// virtual iPSC-860.
+func TestFitRecoversRawConstants(t *testing.T) {
+	prm := model.IPSC860Raw()
+	samples, err := MeasureMessages(prm, 5, sizes, dists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := FitMessageModel(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Lambda, 95.0, 1e-6) {
+		t.Errorf("λ = %v, want 95.0", fit.Lambda)
+	}
+	if !almost(fit.Tau, 0.394, 1e-9) {
+		t.Errorf("τ = %v, want 0.394", fit.Tau)
+	}
+	if !almost(fit.Delta, 10.3, 1e-6) {
+		t.Errorf("δ = %v, want 10.3", fit.Delta)
+	}
+	if fit.RMS > 1e-6 {
+		t.Errorf("RMS = %v, model should be exact", fit.RMS)
+	}
+}
+
+// Exchange calibration must recover the *effective* constants of §7.4:
+// λ_eff = 177.5, δ_eff = 20.6 under pairwise synchronization.
+func TestFitRecoversEffectiveConstants(t *testing.T) {
+	prm := model.IPSC860()
+	samples, err := MeasureExchanges(prm, 5, sizes, dists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := FitMessageModel(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Lambda, 177.5, 1e-6) {
+		t.Errorf("effective λ = %v, want 177.5", fit.Lambda)
+	}
+	if !almost(fit.Delta, 20.6, 1e-6) {
+		t.Errorf("effective δ = %v, want 20.6", fit.Delta)
+	}
+	if !almost(fit.Tau, 0.394, 1e-9) {
+		t.Errorf("τ = %v, want 0.394 (sync does not touch bandwidth)", fit.Tau)
+	}
+}
+
+// Serialized exchanges double both startup and bandwidth terms.
+func TestFitSerializedMode(t *testing.T) {
+	prm := model.IPSC860NoSync()
+	samples, err := MeasureExchanges(prm, 5, sizes, dists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := FitMessageModel(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Lambda, 190.0, 1e-6) || !almost(fit.Tau, 0.788, 1e-9) || !almost(fit.Delta, 20.6, 1e-6) {
+		t.Errorf("serialized fit = %+v, want 2λ, 2τ, 2δ", fit)
+	}
+}
+
+func TestMeasureShuffleRecoversRho(t *testing.T) {
+	prm := model.IPSC860()
+	rho, err := MeasureShuffle(prm, []int{64, 128, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(rho, 0.54, 1e-9) {
+		t.Errorf("ρ = %v, want 0.54", rho)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := FitMessageModel(nil); err == nil {
+		t.Error("no samples must fail")
+	}
+	// Degenerate design: all samples identical → singular system.
+	same := []Sample{{10, 1, 5}, {10, 1, 5}, {10, 1, 5}, {10, 1, 5}}
+	if _, err := FitMessageModel(same); err == nil {
+		t.Error("degenerate design must fail")
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	prm := model.IPSC860()
+	if _, err := MeasureMessages(prm, 3, []int{8}, []int{4}); err == nil {
+		t.Error("distance beyond cube must fail")
+	}
+	if _, err := MeasureExchanges(prm, 3, []int{8}, []int{0}); err == nil {
+		t.Error("distance 0 must fail")
+	}
+	if _, err := MeasureShuffle(prm, nil); err == nil {
+		t.Error("no sizes must fail")
+	}
+	if _, err := MeasureShuffle(prm, []int{0}); err == nil {
+		t.Error("all-zero sizes must fail")
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	// A noisy but consistent dataset: fit must land near the truth with
+	// small RMS reported honestly.
+	var samples []Sample
+	noise := []float64{0.5, -0.5, 0.25, -0.25}
+	i := 0
+	for _, m := range sizes {
+		for _, h := range dists {
+			truth := 100 + 0.5*float64(m) + 12*float64(h)
+			samples = append(samples, Sample{m, h, truth + noise[i%len(noise)]})
+			i++
+		}
+	}
+	fit, err := FitMessageModel(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Lambda, 100, 1) || !almost(fit.Tau, 0.5, 0.01) || !almost(fit.Delta, 12, 0.5) {
+		t.Errorf("noisy fit = %+v", fit)
+	}
+	if fit.RMS <= 0 || fit.RMS > 1 {
+		t.Errorf("RMS = %v", fit.RMS)
+	}
+}

@@ -1,0 +1,255 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRouteOrders(t *testing.T) {
+	// 0→31 differs in bits 0..4.
+	lo := ECubeOrder(0, 31)
+	hi := HighFirstOrder(0, 31)
+	for i := 0; i < 5; i++ {
+		if lo[i] != i {
+			t.Errorf("ECubeOrder = %v", lo)
+			break
+		}
+		if hi[i] != 4-i {
+			t.Errorf("HighFirstOrder = %v", hi)
+			break
+		}
+	}
+	if len(ECubeOrder(5, 5)) != 0 {
+		t.Error("self route must have no dims")
+	}
+	if MixedOrder(0, 3)[0] != 0 || MixedOrder(1, 30)[0] != 4 {
+		t.Error("MixedOrder policy wrong")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	n := New(topology.MustNew(3), model.IPSC860Raw(), nil)
+	if _, err := n.Run([]Message{{Src: 0, Dst: 9}}); err == nil {
+		t.Error("out-of-cube must fail")
+	}
+	if _, err := n.Run([]Message{{Src: 0, Dst: 1, Bytes: -1}}); err == nil {
+		t.Error("negative size must fail")
+	}
+	if _, err := n.Run([]Message{{Src: 0, Dst: 1, Start: -2}}); err == nil {
+		t.Error("negative start must fail")
+	}
+}
+
+// Uncontended latency must reduce to λ + τm + δh — the same law the
+// path-level simulator and the analytic model use.
+func TestUncontendedLatencyMatchesModel(t *testing.T) {
+	prm := model.IPSC860Raw()
+	n := New(topology.MustNew(5), prm, nil)
+	for _, m := range []Message{
+		{Src: 0, Dst: 31, Bytes: 100},
+		{Src: 3, Dst: 3, Bytes: 64},
+		{Src: 7, Dst: 8, Bytes: 0},
+	} {
+		res, err := n.Run([]Message{m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked || !res.Completions[0].Done {
+			t.Fatalf("message did not complete: %+v", res)
+		}
+		want := n.Latency(m)
+		if !almost(res.Completions[0].Finish, want, 1e-9) {
+			t.Errorf("%d→%d: finish %v, want %v", m.Src, m.Dst,
+				res.Completions[0].Finish, want)
+		}
+		h := n.cube.Distance(m.Src, m.Dst)
+		wantModel := prm.Delta*float64(h) + prm.Lambda + prm.Tau*float64(m.Bytes)
+		if !almost(want, wantModel, 1e-9) {
+			t.Errorf("Latency disagrees with model: %v vs %v", want, wantModel)
+		}
+	}
+}
+
+// Edge contention serializes: two messages over a shared link finish
+// sequentially, and the second's delay equals the first's holding time of
+// the shared prefix.
+func TestSharedLinkSerializes(t *testing.T) {
+	prm := model.IPSC860Raw()
+	n := New(topology.MustNew(2), prm, nil)
+	// 0→3 routes 0→1→3; 1→3 routes 1→3: both need link 1→3.
+	res, err := n.Run([]Message{
+		{Src: 0, Dst: 3, Bytes: 100},
+		{Src: 1, Dst: 3, Bytes: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("unexpected deadlock")
+	}
+	f0 := res.Completions[0].Finish
+	f1 := res.Completions[1].Finish
+	if f0 == f1 {
+		t.Error("shared-link messages cannot finish simultaneously")
+	}
+	// The later one must finish at least a full transmission after the
+	// earlier one started streaming.
+	later := math.Max(f0, f1)
+	earlier := math.Min(f0, f1)
+	if later-earlier < prm.Lambda {
+		t.Errorf("serialization too small: %v", later-earlier)
+	}
+}
+
+// The four-message cycle on a 2-cube: under mixed routing orders each
+// circuit acquires its first link and waits for the next in a cycle —
+// deadlock. Under e-cube the same batch completes.
+func TestMixedOrderDeadlocksECubeDoesNot(t *testing.T) {
+	prm := model.IPSC860Raw()
+	// Four circuits around the 4-node ring 0→1→3→2→0, each holding one
+	// ring link and wanting the next — the canonical hold-and-wait
+	// cycle. The route orders are chosen per source to build the cycle.
+	adversarial := func(src, dst int) []int {
+		switch src {
+		case 0: // 0→3: bit0 then bit1: 0→1→3
+			return []int{0, 1}
+		case 1: // 1→2: bit1 then bit0: 1→3→2
+			return []int{1, 0}
+		case 3: // 3→0: bit0 then bit1: 3→2→0
+			return []int{0, 1}
+		default: // 2→1: bit1 then bit0: 2→0→1
+			return []int{1, 0}
+		}
+	}
+	batch := []Message{
+		{Src: 0, Dst: 3, Bytes: 10},
+		{Src: 1, Dst: 2, Bytes: 10},
+		{Src: 3, Dst: 0, Bytes: 10},
+		{Src: 2, Dst: 1, Bytes: 10},
+	}
+	adv := New(topology.MustNew(2), prm, adversarial)
+	res, err := adv.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("adversarial orders must deadlock")
+	}
+	stuck := 0
+	for _, c := range res.Completions {
+		if !c.Done {
+			stuck++
+			if len(c.PathHeld) == 0 {
+				t.Error("deadlocked circuit must report held links")
+			}
+		}
+	}
+	if stuck != 4 {
+		t.Errorf("%d circuits stuck, want all 4", stuck)
+	}
+
+	// Same batch under e-cube: completes.
+	ec := New(topology.MustNew(2), prm, nil)
+	res, err = ec.Run(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("e-cube must not deadlock")
+	}
+	for i, c := range res.Completions {
+		if !c.Done {
+			t.Errorf("message %d incomplete under e-cube", i)
+		}
+	}
+}
+
+// The classical theorem, tested empirically: e-cube routing never
+// deadlocks, for any random batch.
+func TestECubeDeadlockFreedom(t *testing.T) {
+	prm := model.IPSC860Raw()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		d := rng.Intn(4) + 2
+		h := topology.MustNew(d)
+		n := New(h, prm, nil)
+		k := rng.Intn(40) + 2
+		msgs := make([]Message, k)
+		for i := range msgs {
+			msgs[i] = Message{
+				Src:   rng.Intn(h.Nodes()),
+				Dst:   rng.Intn(h.Nodes()),
+				Bytes: rng.Intn(500),
+				Start: float64(rng.Intn(100)),
+			}
+		}
+		res, err := n.Run(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked {
+			t.Fatalf("trial %d: e-cube deadlocked on %v", trial, msgs)
+		}
+		for i, c := range res.Completions {
+			if !c.Done {
+				t.Fatalf("trial %d: message %d incomplete", trial, i)
+			}
+			if c.Finish < msgs[i].Start {
+				t.Fatalf("trial %d: finish before start", trial)
+			}
+		}
+	}
+}
+
+// Any single fixed order is deadlock-free too (high-first included).
+func TestHighFirstAloneDeadlockFree(t *testing.T) {
+	prm := model.IPSC860Raw()
+	rng := rand.New(rand.NewSource(7))
+	h := topology.MustNew(4)
+	n := New(h, prm, HighFirstOrder)
+	msgs := make([]Message, 30)
+	for i := range msgs {
+		msgs[i] = Message{Src: rng.Intn(16), Dst: rng.Intn(16), Bytes: 64}
+	}
+	res, err := n.Run(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("uniform high-first order must be deadlock-free")
+	}
+}
+
+// The XOR schedule, run as raw circuits, stays contention-free: every
+// message of a step finishes in exactly the uncontended latency.
+func TestXORStepAtHopLevel(t *testing.T) {
+	prm := model.IPSC860Raw()
+	h := topology.MustNew(4)
+	n := New(h, prm, nil)
+	for mask := 1; mask < 16; mask++ {
+		msgs := make([]Message, 0, 16)
+		for p := 0; p < 16; p++ {
+			msgs = append(msgs, Message{Src: p, Dst: p ^ mask, Bytes: 64})
+		}
+		res, err := n.Run(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked {
+			t.Fatalf("mask %d deadlocked", mask)
+		}
+		want := n.Latency(msgs[0])
+		for i, c := range res.Completions {
+			if !almost(c.Finish, want, 1e-9) {
+				t.Errorf("mask %d msg %d: finish %v, want %v (contention-free)",
+					mask, i, c.Finish, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package collectives implements the other hypercube communication
+// patterns the paper's conclusion (§9) points at — one-to-all broadcast,
+// one-to-all personalized (scatter/gather), and all-to-all broadcast
+// (allgather) — with the classical subcube-recursive algorithms of
+// Johnsson & Ho (paper reference [8]).
+//
+// Each collective, like the complete exchange, runs on both backends:
+// real data movement on the goroutine runtime (data.go) and virtual-time
+// costing on the circuit-switched simulator. The paper's observation that
+// the complete exchange upper-bounds every pattern ("the time taken by
+// our multiphase algorithm is an upper bound on the time required by any
+// of these patterns") is enforced by tests.
+//
+// Tree addressing: all rooted collectives work in relative address space
+// r = p XOR root. The binomial tree is defined by the lowest set bit:
+// node r ≠ 0 is attached to parent r XOR lsb(r) and owns the contiguous
+// relative block range [r, r+lsb(r)). Scatter walks dimensions downward
+// (the root first splits off the top half of its range), gather walks
+// them upward, broadcast walks upward doubling the informed set. Every
+// transfer crosses exactly one cube dimension, so no step can suffer edge
+// contention.
+package collectives
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+	"repro/internal/model"
+	"repro/internal/simnet"
+)
+
+// Kind enumerates the implemented collectives.
+type Kind int
+
+const (
+	// Broadcast: one root sends one m-byte block to all 2^d−1 others
+	// along a binomial tree (d steps, message size m).
+	Broadcast Kind = iota
+	// Scatter: one root sends a different m-byte block to every node
+	// (one-to-all personalized); a binomial tree with halving payloads.
+	Scatter
+	// Gather: the inverse of Scatter — all blocks converge on the root
+	// with doubling payloads.
+	Gather
+	// AllGather: every node contributes one m-byte block; all nodes end
+	// with all 2^d blocks (all-to-all broadcast); recursive doubling
+	// with doubling payloads.
+	AllGather
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Broadcast:
+		return "broadcast"
+	case Scatter:
+		return "scatter"
+	case Gather:
+		return "gather"
+	case AllGather:
+		return "allgather"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Model returns the analytic time of the collective on a d-cube with
+// block size m under the machine parameters:
+//
+//	broadcast:  d(λ + τm + δ)                       (critical path: d hops)
+//	scatter:    dλ + τ·m(2^d−1) + dδ                (root transmits m(n−1))
+//	gather:     same as scatter (reversed)
+//	allgather:  d·λx + τx·m(2^d−1) + d·δx           (exchange constants)
+//
+// Scatter/gather/broadcast steps are one-sided sends at distance 1;
+// allgather steps are pairwise exchanges, so the effective exchange
+// constants λx, τx, δx of the parameter set apply.
+func Model(k Kind, prm model.Params, m, d int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	df := float64(d)
+	mf := float64(m)
+	full := float64(int(1)<<uint(d) - 1)
+	switch k {
+	case Broadcast:
+		return df * (prm.Lambda + prm.Tau*mf + prm.Delta)
+	case Scatter, Gather:
+		return df*prm.Lambda + prm.Tau*mf*full + df*prm.Delta
+	case AllGather:
+		return df*prm.EffLambda() + prm.EffTau()*mf*full + df*prm.EffDelta()
+	default:
+		return 0
+	}
+}
+
+// joinBit returns the tree level at which relative address r is attached:
+// lsb(r) for r ≠ 0, and 2^d (above every level) for the root.
+func joinBit(r, d int) int {
+	if r == 0 {
+		return 1 << uint(d)
+	}
+	return 1 << uint(bitutil.LowestSetBit(r))
+}
+
+// Programs generates per-node simnet programs for the collective with the
+// given root (must be 0 ≤ root < 2^d; AllGather ignores it).
+func Programs(k Kind, d, m, root int) ([]simnet.Program, error) {
+	n := 1 << uint(d)
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collectives: root %d outside %d-cube", root, d)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("collectives: negative block size %d", m)
+	}
+	progs := make([]simnet.Program, n)
+	for p := 0; p < n; p++ {
+		r := p ^ root
+		join := joinBit(r, d)
+		var prog simnet.Program
+		// As in the paper's implementation (§7.1), the communication
+		// pattern is fully known, so receives are posted up front and
+		// the efficient FORCED message type is used throughout.
+		switch k {
+		case Broadcast:
+			// Ascending levels: at level bit, informed nodes (r < bit)
+			// send the block to r+bit. Unlike the scatter/gather tree
+			// (parent across the lowest set bit), the doubling tree's
+			// parent is across the *highest* set bit of r.
+			if r != 0 {
+				parent := p ^ (1 << uint(bitutil.HighestSetBit(r)))
+				prog = append(prog, simnet.PostRecv(parent))
+			}
+			for i := 0; i < d; i++ {
+				bit := 1 << uint(i)
+				switch {
+				case r < bit:
+					prog = append(prog, simnet.Send(p^bit, m, simnet.Forced))
+				case r < bit*2:
+					prog = append(prog, simnet.WaitRecv(p^bit))
+				}
+			}
+		case Scatter:
+			// Descending levels: a node holding [r, r+2·bit) sends the
+			// upper half [r+bit, r+2·bit) — m·bit bytes — to r+bit. A
+			// node participates as sender at levels below its join bit
+			// and receives exactly at its join bit.
+			if r != 0 {
+				prog = append(prog, simnet.PostRecv(p^join))
+			}
+			for i := d - 1; i >= 0; i-- {
+				bit := 1 << uint(i)
+				switch {
+				case bit < join:
+					prog = append(prog, simnet.Send(p^bit, m*bit, simnet.Forced))
+				case bit == join:
+					prog = append(prog, simnet.WaitRecv(p^bit))
+				}
+			}
+		case Gather:
+			// Ascending levels: receive children's ranges, then send
+			// the accumulated [r, r+join) to the parent at the join
+			// level. All child receives are posted before any traffic.
+			for i := 0; i < d; i++ {
+				if bit := 1 << uint(i); bit < join {
+					prog = append(prog, simnet.PostRecv(p^bit))
+				}
+			}
+			for i := 0; i < d; i++ {
+				bit := 1 << uint(i)
+				switch {
+				case bit < join:
+					prog = append(prog, simnet.WaitRecv(p^bit))
+				case bit == join:
+					prog = append(prog, simnet.Send(p^bit, m*bit, simnet.Forced))
+				}
+			}
+		case AllGather:
+			// Recursive doubling: exchange the accumulated m·2^i bytes
+			// across dimension i.
+			for i := 0; i < d; i++ {
+				prog = append(prog, simnet.Exchange(p^(1<<uint(i)), m<<uint(i)))
+			}
+		default:
+			return nil, fmt.Errorf("collectives: unknown kind %v", k)
+		}
+		progs[p] = prog
+	}
+	return progs, nil
+}
+
+// Simulate runs the collective on a simulated d-cube and returns the
+// result.
+func Simulate(k Kind, net *simnet.Network, m, root int) (simnet.Result, error) {
+	progs, err := Programs(k, net.Cube().Dim(), m, root)
+	if err != nil {
+		return simnet.Result{}, err
+	}
+	return net.Run(progs)
+}

@@ -1,0 +1,214 @@
+package collectives
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/runtime"
+)
+
+// payload returns the canonical test block "node src's contribution for
+// destination dst" (dst = −1 for single-payload patterns).
+func payload(src, dst, m int) []byte {
+	out := make([]byte, m)
+	for i := range out {
+		out[i] = exchange.PayloadByte(src, dst+1, i)
+	}
+	return out
+}
+
+// RunBroadcast executes a binomial-tree broadcast of an m-byte block from
+// root on a goroutine cluster of 2^d nodes and verifies every node
+// received it intact.
+func RunBroadcast(d, m, root int, timeout time.Duration) error {
+	n := 1 << uint(d)
+	if root < 0 || root >= n {
+		return fmt.Errorf("collectives: root %d outside %d-cube", root, d)
+	}
+	want := payload(root, -1, m)
+	c, err := runtime.NewCluster(n)
+	if err != nil {
+		return err
+	}
+	return c.Run(func(nd *runtime.Node) error {
+		p := nd.ID()
+		r := p ^ root
+		var have []byte
+		if r == 0 {
+			have = append([]byte(nil), want...)
+		}
+		for i := 0; i < d; i++ {
+			bit := 1 << uint(i)
+			switch {
+			case r < bit:
+				nd.Send(p^bit, have)
+			case r < bit*2:
+				have = nd.Recv(p ^ bit)
+			}
+		}
+		if !bytes.Equal(have, want) {
+			return fmt.Errorf("collectives: node %d received wrong broadcast", p)
+		}
+		return nil
+	}, timeout)
+}
+
+// RunScatter executes a binomial-tree scatter from root: the root starts
+// with one m-byte block per destination; every node must end with exactly
+// its own block. Each tree node owns the contiguous *relative* range
+// [r, r+joinBit(r)) and forwards the upper half of its current range at
+// every level below its join level. Payloads are canonical and verified.
+func RunScatter(d, m, root int, timeout time.Duration) error {
+	n := 1 << uint(d)
+	if root < 0 || root >= n {
+		return fmt.Errorf("collectives: root %d outside %d-cube", root, d)
+	}
+	c, err := runtime.NewCluster(n)
+	if err != nil {
+		return err
+	}
+	return c.Run(func(nd *runtime.Node) error {
+		p := nd.ID()
+		r := p ^ root
+		join := joinBit(r, d)
+		// held[j] is the block for relative address r+j (j < current
+		// range width). The root starts with the full range [0, n).
+		var held [][]byte
+		if r == 0 {
+			held = make([][]byte, n)
+			for j := 0; j < n; j++ {
+				held[j] = payload(root, j^root, m)
+			}
+		}
+		for i := d - 1; i >= 0; i-- {
+			bit := 1 << uint(i)
+			switch {
+			case bit < join:
+				// Send the upper half [r+bit, r+2bit) of my range.
+				var msg []byte
+				for j := bit; j < 2*bit && j < len(held); j++ {
+					msg = append(msg, held[j]...)
+				}
+				nd.Send(p^bit, msg)
+				if len(held) > bit {
+					held = held[:bit]
+				}
+			case bit == join:
+				msg := nd.Recv(p ^ bit)
+				if len(msg) != bit*m {
+					return fmt.Errorf("collectives: node %d expected %dB, got %d",
+						p, bit*m, len(msg))
+				}
+				held = make([][]byte, bit)
+				for j := 0; j < bit; j++ {
+					held[j] = append([]byte(nil), msg[j*m:(j+1)*m]...)
+				}
+			}
+		}
+		if len(held) < 1 || !bytes.Equal(held[0], payload(root, p, m)) {
+			return fmt.Errorf("collectives: node %d got wrong scatter block", p)
+		}
+		return nil
+	}, timeout)
+}
+
+// RunGather executes the inverse of scatter: every node contributes its
+// canonical block; the root must end with all 2^d blocks, each verified.
+func RunGather(d, m, root int, timeout time.Duration) error {
+	n := 1 << uint(d)
+	if root < 0 || root >= n {
+		return fmt.Errorf("collectives: root %d outside %d-cube", root, d)
+	}
+	c, err := runtime.NewCluster(n)
+	if err != nil {
+		return err
+	}
+	return c.Run(func(nd *runtime.Node) error {
+		p := nd.ID()
+		r := p ^ root
+		join := joinBit(r, d)
+		// held[j] = block from relative address r+j; grows as children
+		// report in, then is shipped whole to the parent.
+		held := [][]byte{payload(p, root, m)}
+		for i := 0; i < d; i++ {
+			bit := 1 << uint(i)
+			switch {
+			case bit < join:
+				msg := nd.Recv(p ^ bit)
+				if len(msg) != bit*m {
+					return fmt.Errorf("collectives: node %d expected %dB, got %d",
+						p, bit*m, len(msg))
+				}
+				for j := 0; j < bit; j++ {
+					held = append(held, append([]byte(nil), msg[j*m:(j+1)*m]...))
+				}
+			case bit == join:
+				var msg []byte
+				for _, blk := range held {
+					msg = append(msg, blk...)
+				}
+				nd.Send(p^bit, msg)
+			}
+		}
+		if r == 0 {
+			if len(held) != n {
+				return fmt.Errorf("collectives: root holds %d blocks, want %d", len(held), n)
+			}
+			for j := 0; j < n; j++ {
+				if !bytes.Equal(held[j], payload(j^root, root, m)) {
+					return fmt.Errorf("collectives: root got wrong block from %d", j^root)
+				}
+			}
+		}
+		return nil
+	}, timeout)
+}
+
+// RunAllGather executes recursive-doubling allgather: every node
+// contributes its canonical block and must end with all 2^d blocks.
+func RunAllGather(d, m int, timeout time.Duration) error {
+	n := 1 << uint(d)
+	c, err := runtime.NewCluster(n)
+	if err != nil {
+		return err
+	}
+	return c.Run(func(nd *runtime.Node) error {
+		p := nd.ID()
+		blocks := make([][]byte, n)
+		blocks[p] = payload(p, -1, m)
+		for i := 0; i < d; i++ {
+			bit := 1 << uint(i)
+			peer := p ^ bit
+			// I currently hold the 2^i blocks whose labels agree with
+			// mine above bit i; pack them in ascending label order.
+			var msg []byte
+			for q := 0; q < n; q++ {
+				if q&^(bit-1) == p&^(bit-1) {
+					if blocks[q] == nil {
+						return fmt.Errorf("collectives: node %d missing %d at step %d", p, q, i)
+					}
+					msg = append(msg, blocks[q]...)
+				}
+			}
+			in := nd.Exchange(peer, msg)
+			if len(in) != bit*m {
+				return fmt.Errorf("collectives: node %d expected %dB, got %d", p, bit*m, len(in))
+			}
+			idx := 0
+			for q := 0; q < n; q++ {
+				if q&^(bit-1) == peer&^(bit-1) {
+					blocks[q] = append([]byte(nil), in[idx*m:(idx+1)*m]...)
+					idx++
+				}
+			}
+		}
+		for q := 0; q < n; q++ {
+			if !bytes.Equal(blocks[q], payload(q, -1, m)) {
+				return fmt.Errorf("collectives: node %d ended with wrong block from %d", p, q)
+			}
+		}
+		return nil
+	}, timeout)
+}

@@ -1,0 +1,329 @@
+// Package comm is the high-level message-passing interface of the
+// library — the API a downstream application would program against, in
+// the style of the MPI collectives this paper's algorithm fed into
+// (MPI_Alltoall et al.). A Communicator wraps the goroutine runtime, the
+// partition optimizer, and the collective algorithms:
+//
+//	c, _ := comm.New(5, model.IPSC860())      // 32 ranks
+//	c.Run(func(r *comm.Rank) error {
+//	    out := r.AllToAll(myBlocks)           // multiphase, auto-tuned
+//	    all := r.AllGather(myBlock)
+//	    r.Barrier()
+//	    ...
+//	})
+//
+// AllToAll picks the best multiphase partition for the block size via the
+// §6 enumeration and executes the paper's algorithm; the tree collectives
+// use the binomial/recursive-doubling schedules of package collectives.
+package comm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitutil"
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/runtime"
+)
+
+// Communicator is a group of 2^d ranks over the goroutine runtime with an
+// auto-tuning all-to-all.
+type Communicator struct {
+	dim     int
+	cluster *runtime.Cluster
+	opt     *optimize.Optimizer
+	timeout time.Duration
+}
+
+// New returns a communicator over a d-cube with the given machine model
+// (used by the optimizer to choose multiphase partitions).
+func New(d int, prm model.Params) (*Communicator, error) {
+	if d < 0 || d > 10 {
+		return nil, fmt.Errorf("comm: dimension %d out of range [0,10]", d)
+	}
+	cl, err := runtime.NewCluster(1 << uint(d))
+	if err != nil {
+		return nil, err
+	}
+	return &Communicator{
+		dim:     d,
+		cluster: cl,
+		opt:     optimize.New(prm),
+		timeout: 2 * time.Minute,
+	}, nil
+}
+
+// SetTimeout overrides the watchdog for Run (default two minutes;
+// non-positive means wait forever).
+func (c *Communicator) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Size returns the number of ranks.
+func (c *Communicator) Size() int { return 1 << uint(c.dim) }
+
+// Dim returns the cube dimension.
+func (c *Communicator) Dim() int { return c.dim }
+
+// Rank is the per-goroutine handle inside Run.
+type Rank struct {
+	nd *runtime.Node
+	c  *Communicator
+}
+
+// Run executes fn on every rank concurrently.
+func (c *Communicator) Run(fn func(r *Rank) error) error {
+	return c.cluster.Run(func(nd *runtime.Node) error {
+		return fn(&Rank{nd: nd, c: c})
+	}, c.timeout)
+}
+
+// ID returns this rank's id in [0, Size).
+func (r *Rank) ID() int { return r.nd.ID() }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.c.Size() }
+
+// Barrier blocks until every rank reaches it.
+func (r *Rank) Barrier() { r.nd.Barrier() }
+
+// Send and Recv expose raw point-to-point messaging.
+func (r *Rank) Send(dst int, data []byte) { r.nd.Send(dst, data) }
+
+// Recv blocks for the next message from src.
+func (r *Rank) Recv(src int) []byte { return r.nd.Recv(src) }
+
+// AllToAll performs the complete exchange: send[i] goes to rank i, and
+// the result's slot j holds rank j's block for this rank. All blocks must
+// have equal length (the paper's uniform block size m); the multiphase
+// partition is chosen by the optimizer for that m. len(send) must equal
+// Size.
+func (r *Rank) AllToAll(send [][]byte) ([][]byte, error) {
+	n := r.Size()
+	if len(send) != n {
+		return nil, fmt.Errorf("comm: AllToAll with %d blocks on %d ranks", len(send), n)
+	}
+	m := 0
+	if n > 0 {
+		m = len(send[0])
+	}
+	for i, b := range send {
+		if len(b) != m {
+			return nil, fmt.Errorf("comm: AllToAll block %d has %d bytes, want uniform %d",
+				i, len(b), m)
+		}
+	}
+	plan, err := r.c.plan(m)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := exchange.NewBuffer(r.c.dim, m)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range send {
+		copy(buf.Block(i), b)
+	}
+	if err := plan.Execute(r.nd, buf); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = append([]byte(nil), buf.Block(i)...)
+	}
+	return out, nil
+}
+
+// plan returns the cached best plan for block size m (safe to call from
+// every rank concurrently: the optimizer is concurrency-safe and the plan
+// is deterministic, so all ranks agree).
+func (c *Communicator) plan(m int) (*exchange.Plan, error) {
+	return c.opt.Plan(c.dim, m)
+}
+
+// Bcast broadcasts root's data to every rank along the binomial tree;
+// every rank returns the payload.
+func (r *Rank) Bcast(root int, data []byte) ([]byte, error) {
+	n := r.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("comm: Bcast root %d out of range", root)
+	}
+	p := r.ID()
+	rel := p ^ root
+	var have []byte
+	if rel == 0 {
+		have = append([]byte(nil), data...)
+	}
+	for i := 0; i < r.c.dim; i++ {
+		bit := 1 << uint(i)
+		switch {
+		case rel < bit:
+			r.nd.Send(p^bit, have)
+		case rel < bit*2:
+			have = r.nd.Recv(p ^ bit)
+		}
+	}
+	return have, nil
+}
+
+// Scatter delivers blocks[i] (given at the root) to rank i. Blocks must
+// be uniform length; non-root ranks pass nil.
+func (r *Rank) Scatter(root int, blocks [][]byte) ([]byte, error) {
+	n := r.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("comm: Scatter root %d out of range", root)
+	}
+	p := r.ID()
+	rel := p ^ root
+	join := 1 << uint(r.c.dim)
+	if rel != 0 {
+		join = 1 << uint(bitutil.LowestSetBit(rel))
+	}
+	var held [][]byte
+	if rel == 0 {
+		if len(blocks) != n {
+			return nil, fmt.Errorf("comm: Scatter with %d blocks on %d ranks", len(blocks), n)
+		}
+		m := len(blocks[0])
+		held = make([][]byte, n)
+		for j := 0; j < n; j++ {
+			if len(blocks[j^root]) != m {
+				return nil, fmt.Errorf("comm: Scatter blocks must be uniform")
+			}
+			held[j] = blocks[j^root] // held is indexed by relative address
+		}
+	}
+	for i := r.c.dim - 1; i >= 0; i-- {
+		bit := 1 << uint(i)
+		switch {
+		case bit < join:
+			var msg []byte
+			for j := bit; j < 2*bit && j < len(held); j++ {
+				msg = append(msg, held[j]...)
+			}
+			r.nd.Send(p^bit, msg)
+			if len(held) > bit {
+				held = held[:bit]
+			}
+		case bit == join:
+			msg := r.nd.Recv(p ^ bit)
+			m := len(msg) / bit
+			held = make([][]byte, bit)
+			for j := 0; j < bit; j++ {
+				held[j] = append([]byte(nil), msg[j*m:(j+1)*m]...)
+			}
+		}
+	}
+	if len(held) == 0 {
+		return nil, fmt.Errorf("comm: Scatter rank %d received nothing", p)
+	}
+	return held[0], nil
+}
+
+// Gather collects every rank's block at the root; the root's result slot
+// i holds rank i's block, other ranks return nil.
+func (r *Rank) Gather(root int, block []byte) ([][]byte, error) {
+	n := r.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("comm: Gather root %d out of range", root)
+	}
+	p := r.ID()
+	rel := p ^ root
+	join := 1 << uint(r.c.dim)
+	if rel != 0 {
+		join = 1 << uint(bitutil.LowestSetBit(rel))
+	}
+	held := [][]byte{append([]byte(nil), block...)}
+	for i := 0; i < r.c.dim; i++ {
+		bit := 1 << uint(i)
+		switch {
+		case bit < join:
+			msg := r.nd.Recv(p ^ bit)
+			m := len(msg) / bit
+			for j := 0; j < bit; j++ {
+				held = append(held, append([]byte(nil), msg[j*m:(j+1)*m]...))
+			}
+		case bit == join:
+			var msg []byte
+			for _, b := range held {
+				msg = append(msg, b...)
+			}
+			r.nd.Send(p^bit, msg)
+		}
+	}
+	if rel != 0 {
+		return nil, nil
+	}
+	// held[j] is the block of relative address j; reindex to absolute.
+	out := make([][]byte, n)
+	for j := 0; j < n; j++ {
+		out[j^root] = held[j]
+	}
+	return out, nil
+}
+
+// AllGather gives every rank every rank's block (slot i = rank i's
+// block), via recursive doubling.
+func (r *Rank) AllGather(block []byte) ([][]byte, error) {
+	n := r.Size()
+	p := r.ID()
+	blocks := make([][]byte, n)
+	blocks[p] = append([]byte(nil), block...)
+	m := len(block)
+	for i := 0; i < r.c.dim; i++ {
+		bit := 1 << uint(i)
+		peer := p ^ bit
+		var msg []byte
+		for q := 0; q < n; q++ {
+			if q&^(bit-1) == p&^(bit-1) {
+				if blocks[q] == nil {
+					return nil, fmt.Errorf("comm: AllGather missing block %d at step %d", q, i)
+				}
+				msg = append(msg, blocks[q]...)
+			}
+		}
+		in := r.nd.Exchange(peer, msg)
+		if len(in) != bit*m {
+			return nil, fmt.Errorf("comm: AllGather rank %d got %dB, want %d (mismatched block sizes?)",
+				p, len(in), bit*m)
+		}
+		idx := 0
+		for q := 0; q < n; q++ {
+			if q&^(bit-1) == peer&^(bit-1) {
+				blocks[q] = append([]byte(nil), in[idx*m:(idx+1)*m]...)
+				idx++
+			}
+		}
+	}
+	return blocks, nil
+}
+
+// Reduce applies fn pairwise up the gather tree and returns the reduction
+// of all ranks' values at the root (nil elsewhere). fn must be
+// associative and commutative over the byte-slice encoding.
+func (r *Rank) Reduce(root int, value []byte, fn func(a, b []byte) []byte) ([]byte, error) {
+	n := r.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("comm: Reduce root %d out of range", root)
+	}
+	p := r.ID()
+	rel := p ^ root
+	join := 1 << uint(r.c.dim)
+	if rel != 0 {
+		join = 1 << uint(bitutil.LowestSetBit(rel))
+	}
+	acc := append([]byte(nil), value...)
+	for i := 0; i < r.c.dim; i++ {
+		bit := 1 << uint(i)
+		switch {
+		case bit < join:
+			acc = fn(acc, r.nd.Recv(p^bit))
+		case bit == join:
+			r.nd.Send(p^bit, acc)
+		}
+	}
+	if rel != 0 {
+		return nil, nil
+	}
+	return acc, nil
+}

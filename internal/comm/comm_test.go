@@ -1,0 +1,275 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func newComm(t *testing.T, d int) *Communicator {
+	t.Helper()
+	c, err := New(d, model.IPSC860())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTimeout(time.Minute)
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, model.IPSC860()); err == nil {
+		t.Error("negative dim must fail")
+	}
+	if _, err := New(11, model.IPSC860()); err == nil {
+		t.Error("dim > 10 must fail")
+	}
+	c := newComm(t, 3)
+	if c.Size() != 8 || c.Dim() != 3 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	for _, d := range []int{0, 1, 3, 5} {
+		c := newComm(t, d)
+		n := c.Size()
+		err := c.Run(func(r *Rank) error {
+			send := make([][]byte, n)
+			for i := range send {
+				send[i] = []byte{byte(r.ID()), byte(i), 0xAB}
+			}
+			got, err := r.AllToAll(send)
+			if err != nil {
+				return err
+			}
+			for i := range got {
+				want := []byte{byte(i), byte(r.ID()), 0xAB}
+				if !bytes.Equal(got[i], want) {
+					return fmt.Errorf("rank %d slot %d: %v, want %v", r.ID(), i, got[i], want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestAllToAllValidation(t *testing.T) {
+	c := newComm(t, 2)
+	err := c.Run(func(r *Rank) error {
+		if _, err := r.AllToAll(make([][]byte, 3)); err == nil {
+			return fmt.Errorf("wrong block count accepted")
+		}
+		ragged := [][]byte{{1}, {1, 2}, {1}, {1}}
+		if _, err := r.AllToAll(ragged); err == nil {
+			return fmt.Errorf("ragged blocks accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	c := newComm(t, 4)
+	payload := []byte("hello hypercube")
+	for _, root := range []int{0, 7, 15} {
+		err := c.Run(func(r *Rank) error {
+			var in []byte
+			if r.ID() == root {
+				in = payload
+			}
+			got, err := r.Bcast(root, in)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, payload) {
+				return fmt.Errorf("rank %d got %q", r.ID(), got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("root=%d: %v", root, err)
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	c := newComm(t, 3)
+	n := c.Size()
+	for _, root := range []int{0, 5} {
+		err := c.Run(func(r *Rank) error {
+			var blocks [][]byte
+			if r.ID() == root {
+				blocks = make([][]byte, n)
+				for i := range blocks {
+					blocks[i] = []byte{byte(i), byte(i * 3)}
+				}
+			}
+			mine, err := r.Scatter(root, blocks)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(mine, []byte{byte(r.ID()), byte(r.ID() * 3)}) {
+				return fmt.Errorf("rank %d scattered %v", r.ID(), mine)
+			}
+			// Gather the scattered blocks back.
+			all, err := r.Gather(root, mine)
+			if err != nil {
+				return err
+			}
+			if r.ID() == root {
+				for i := range all {
+					if !bytes.Equal(all[i], []byte{byte(i), byte(i * 3)}) {
+						return fmt.Errorf("gather slot %d = %v", i, all[i])
+					}
+				}
+			} else if all != nil {
+				return fmt.Errorf("non-root got gather result")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("root=%d: %v", root, err)
+		}
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	c := newComm(t, 2)
+	err := c.Run(func(r *Rank) error {
+		if r.ID() != 0 {
+			// Participate so the root's errors surface cleanly: the
+			// invalid calls below fail at the root before any sends.
+			return nil
+		}
+		if _, err := r.Scatter(9, nil); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		if _, err := r.Scatter(0, make([][]byte, 2)); err == nil {
+			return fmt.Errorf("wrong block count accepted")
+		}
+		if _, err := r.Scatter(0, [][]byte{{1}, {1, 2}, {1}, {1}}); err == nil {
+			return fmt.Errorf("ragged blocks accepted")
+		}
+		return nil
+	})
+	// The other ranks block in nothing; only root validates. A deadlock
+	// would surface as timeout error.
+	if err != nil && err.Error() != "runtime: timeout waiting for node programs (deadlock?)" {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	c := newComm(t, 4)
+	err := c.Run(func(r *Rank) error {
+		all, err := r.AllGather([]byte{byte(r.ID()), 0x55})
+		if err != nil {
+			return err
+		}
+		for i := range all {
+			if !bytes.Equal(all[i], []byte{byte(i), 0x55}) {
+				return fmt.Errorf("rank %d slot %d = %v", r.ID(), i, all[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	c := newComm(t, 5)
+	n := c.Size()
+	sum := func(a, b []byte) []byte {
+		va := binary.LittleEndian.Uint64(a)
+		vb := binary.LittleEndian.Uint64(b)
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, va+vb)
+		return out
+	}
+	for _, root := range []int{0, 13} {
+		err := c.Run(func(r *Rank) error {
+			v := make([]byte, 8)
+			binary.LittleEndian.PutUint64(v, uint64(r.ID()))
+			res, err := r.Reduce(root, v, sum)
+			if err != nil {
+				return err
+			}
+			if r.ID() == root {
+				want := uint64(n * (n - 1) / 2)
+				if got := binary.LittleEndian.Uint64(res); got != want {
+					return fmt.Errorf("sum = %d, want %d", got, want)
+				}
+			} else if res != nil {
+				return fmt.Errorf("non-root got reduce result")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("root=%d: %v", root, err)
+		}
+	}
+}
+
+func TestBarrierAndPointToPoint(t *testing.T) {
+	c := newComm(t, 3)
+	err := c.Run(func(r *Rank) error {
+		// Ring send: rank i → i+1 mod n.
+		n := r.Size()
+		next := (r.ID() + 1) % n
+		prev := (r.ID() + n - 1) % n
+		r.Send(next, []byte{byte(r.ID())})
+		got := r.Recv(prev)
+		if got[0] != byte(prev) {
+			return fmt.Errorf("ring got %d from %d", got[0], prev)
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllZeroBytes(t *testing.T) {
+	c := newComm(t, 2)
+	err := c.Run(func(r *Rank) error {
+		send := make([][]byte, 4) // all nil = zero-length blocks
+		got, err := r.AllToAll(send)
+		if err != nil {
+			return err
+		}
+		if len(got) != 4 {
+			return fmt.Errorf("got %d slots", len(got))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastBadRoot(t *testing.T) {
+	c := newComm(t, 2)
+	err := c.Run(func(r *Rank) error {
+		if _, err := r.Bcast(-1, nil); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package core is the top-level entry point of the library: it ties the
+// machine model, the partition optimizer, the circuit-switched network
+// simulator and the executable exchange plans together behind one facade.
+//
+// Typical use:
+//
+//	sys := core.NewSystem(6, model.IPSC860())     // 64-node iPSC-860
+//	res, err := sys.CompleteExchange(40)           // auto-tuned partition
+//	fmt.Println(res.Partition, res.SimulatedMicros)
+//
+// The System chooses the optimal multiphase partition for each block size
+// by enumerating the p(d) partitions of the cube dimension (§6), runs the
+// exchange on the discrete-event network simulator for its virtual-time
+// cost, and can additionally execute it on the goroutine runtime with real
+// payloads to machine-check the data movement.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/partition"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// System is a configured hypercube machine: dimension plus performance
+// parameters. It is safe for concurrent use.
+type System struct {
+	dim  int
+	prm  model.Params
+	opt  *optimize.Optimizer
+	cube *topology.Hypercube
+}
+
+// NewSystem returns a system for a d-dimensional cube with the given
+// machine parameters.
+func NewSystem(d int, prm model.Params) (*System, error) {
+	cube, err := topology.New(d)
+	if err != nil {
+		return nil, err
+	}
+	return &System{dim: d, prm: prm, opt: optimize.New(prm), cube: cube}, nil
+}
+
+// MustNewSystem is NewSystem, panicking on error.
+func MustNewSystem(d int, prm model.Params) *System {
+	s, err := NewSystem(d, prm)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dim returns the cube dimension.
+func (s *System) Dim() int { return s.dim }
+
+// Nodes returns the node count 2^d.
+func (s *System) Nodes() int { return s.cube.Nodes() }
+
+// Params returns the machine parameters.
+func (s *System) Params() model.Params { return s.prm }
+
+// Result describes one complete exchange.
+type Result struct {
+	// Block is the per-destination block size in bytes.
+	Block int
+	// Partition is the multiphase partition used.
+	Partition partition.Partition
+	// PredictedMicros is the analytic model's time (eq. 3 summed).
+	PredictedMicros float64
+	// SimulatedMicros is the network simulator's makespan.
+	SimulatedMicros float64
+	// ContentionStall is the simulator's total circuit wait time; zero
+	// for the paper's schedules.
+	ContentionStall float64
+	// DataVerified reports whether the exchange was also executed on the
+	// goroutine runtime with payload verification.
+	DataVerified bool
+}
+
+// CompleteExchange runs an auto-tuned multiphase complete exchange of the
+// given block size: the optimizer picks the best partition, the simulator
+// measures it. Data execution is skipped (see VerifiedExchange).
+func (s *System) CompleteExchange(block int) (Result, error) {
+	choice, err := s.opt.Best(s.dim, block)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.ExchangeWith(block, choice.Part)
+}
+
+// ExchangeWith runs a complete exchange with an explicit partition.
+func (s *System) ExchangeWith(block int, D partition.Partition) (Result, error) {
+	plan, err := s.newPlan(block, D)
+	if err != nil {
+		return Result{}, err
+	}
+	pred, _ := s.prm.Multiphase(block, s.dim, D)
+	if s.dim == 0 {
+		pred = 0
+	}
+	sim, err := plan.Simulate(simnet.New(s.cube, s.prm))
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Block:           block,
+		Partition:       plan.Partition(),
+		PredictedMicros: pred,
+		SimulatedMicros: sim.Makespan,
+		ContentionStall: sim.ContentionStall,
+	}, nil
+}
+
+// VerifiedExchange is CompleteExchange plus a real data execution on the
+// goroutine runtime with canonical payloads: the result has DataVerified
+// set only if every block arrived at the right node intact.
+func (s *System) VerifiedExchange(block int, timeout time.Duration) (Result, error) {
+	choice, err := s.opt.Best(s.dim, block)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := s.ExchangeWith(block, choice.Part)
+	if err != nil {
+		return Result{}, err
+	}
+	plan, err := s.newPlan(block, choice.Part)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := plan.RunData(timeout); err != nil {
+		return Result{}, fmt.Errorf("core: data verification failed: %w", err)
+	}
+	res.DataVerified = true
+	return res, nil
+}
+
+// BestPartition returns the optimizer's choice for a block size.
+func (s *System) BestPartition(block int) (partition.Partition, error) {
+	c, err := s.opt.Best(s.dim, block)
+	if err != nil {
+		return nil, err
+	}
+	return c.Part, nil
+}
+
+// Plan returns an executable plan for an explicit partition, for callers
+// that want direct access to the exchange layer.
+func (s *System) Plan(block int, D partition.Partition) (*exchange.Plan, error) {
+	return s.newPlan(block, D)
+}
+
+func (s *System) newPlan(block int, D partition.Partition) (*exchange.Plan, error) {
+	if s.dim == 0 {
+		return exchange.NewPlan(0, block, nil)
+	}
+	return exchange.NewPlan(s.dim, block, D)
+}
+
+// Predict returns the analytic multiphase time for an explicit partition.
+func (s *System) Predict(block int, D partition.Partition) (float64, error) {
+	if s.dim == 0 {
+		return 0, nil
+	}
+	if !D.Canonical().IsValid(s.dim) {
+		return 0, fmt.Errorf("core: %v is not a partition of %d", D, s.dim)
+	}
+	t, _ := s.prm.Multiphase(block, s.dim, D)
+	return t, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(-1, model.IPSC860()); err == nil {
+		t.Error("negative dim must fail")
+	}
+	s, err := NewSystem(5, model.IPSC860())
+	if err != nil || s.Dim() != 5 || s.Nodes() != 32 {
+		t.Fatalf("NewSystem: %v %v", s, err)
+	}
+	if s.Params().Lambda != 95.0 {
+		t.Error("Params accessor")
+	}
+}
+
+func TestMustNewSystemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewSystem(-1) must panic")
+		}
+	}()
+	MustNewSystem(-1, model.IPSC860())
+}
+
+func TestCompleteExchangeAutoTunes(t *testing.T) {
+	s := MustNewSystem(6, model.IPSC860())
+	res, err := s.CompleteExchange(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Figure 5: at 40 bytes on d=6 the best partition is {3,3}.
+	if !res.Partition.Canonical().Equal(partition.Partition{3, 3}) {
+		t.Errorf("partition = %v, want {3,3}", res.Partition)
+	}
+	if res.SimulatedMicros <= 0 || res.PredictedMicros <= 0 {
+		t.Error("times must be positive")
+	}
+	if res.ContentionStall != 0 {
+		t.Errorf("paper schedule must be contention-free, stall=%v", res.ContentionStall)
+	}
+	if res.DataVerified {
+		t.Error("CompleteExchange must not claim data verification")
+	}
+}
+
+func TestPredictionMatchesSimulation(t *testing.T) {
+	s := MustNewSystem(5, model.IPSC860())
+	for _, m := range []int{1, 40, 200} {
+		res, err := s.CompleteExchange(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := res.SimulatedMicros - res.PredictedMicros
+		if diff < -1e-6 || diff > 1e-6 {
+			t.Errorf("m=%d: sim %v != pred %v", m, res.SimulatedMicros, res.PredictedMicros)
+		}
+	}
+}
+
+func TestExchangeWithExplicitPartition(t *testing.T) {
+	s := MustNewSystem(5, model.IPSC860())
+	res, err := s.ExchangeWith(24, partition.Partition{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partition.Equal(partition.Partition{2, 3}) {
+		t.Errorf("partition = %v", res.Partition)
+	}
+	if _, err := s.ExchangeWith(24, partition.Partition{4}); err == nil {
+		t.Error("invalid partition must fail")
+	}
+}
+
+func TestVerifiedExchange(t *testing.T) {
+	s := MustNewSystem(4, model.IPSC860())
+	res, err := s.VerifiedExchange(8, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DataVerified {
+		t.Error("DataVerified must be set")
+	}
+}
+
+func TestBestPartitionDelegates(t *testing.T) {
+	s := MustNewSystem(7, model.IPSC860())
+	p, err := s.BestPartition(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Figure 6: {3,4} wins at 40 bytes on d=7.
+	if !p.Canonical().Equal(partition.Partition{4, 3}) {
+		t.Errorf("best = %v, want {3,4}", p)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	s := MustNewSystem(5, model.IPSC860())
+	if _, err := s.Predict(10, partition.Partition{9}); err == nil {
+		t.Error("bad partition must fail")
+	}
+	v, err := s.Predict(10, partition.Partition{2, 3})
+	if err != nil || v <= 0 {
+		t.Errorf("Predict: %v %v", v, err)
+	}
+}
+
+func TestZeroDimSystem(t *testing.T) {
+	s := MustNewSystem(0, model.IPSC860())
+	res, err := s.CompleteExchange(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimulatedMicros != 0 || res.PredictedMicros != 0 {
+		t.Errorf("0-cube exchange must be free: %+v", res)
+	}
+	if v, err := s.Predict(5, nil); err != nil || v != 0 {
+		t.Errorf("0-cube predict: %v %v", v, err)
+	}
+}
+
+func TestPlanAccessor(t *testing.T) {
+	s := MustNewSystem(5, model.IPSC860())
+	p, err := s.Plan(16, partition.Partition{2, 3})
+	if err != nil || p.Dim() != 5 {
+		t.Fatalf("Plan: %v %v", p, err)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s := MustNewSystem(3, model.IPSC860())
+	// Negative block sizes propagate from the optimizer.
+	if _, err := s.CompleteExchange(-1); err == nil {
+		t.Error("negative block must fail")
+	}
+	if _, err := s.VerifiedExchange(-1, time.Second); err == nil {
+		t.Error("negative block must fail in VerifiedExchange")
+	}
+	if _, err := s.BestPartition(-1); err == nil {
+		t.Error("negative block must fail in BestPartition")
+	}
+}

@@ -1,0 +1,168 @@
+// Package event provides a deterministic discrete-event simulation engine:
+// a virtual clock in microseconds and a priority queue of timestamped
+// callbacks. The circuit-switched network simulator (package simnet) and
+// its clients are built on it.
+//
+// Determinism: events at equal times fire in scheduling order (FIFO among
+// ties), so repeated runs of the same program produce identical traces.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in microseconds.
+type Time float64
+
+// Handler is a callback fired when an event matures.
+type Handler func(now Time)
+
+// Event is a scheduled callback. It is returned by Engine.At so callers
+// can cancel it.
+type Event struct {
+	time    Time
+	seq     uint64
+	index   int // heap index, -1 when not queued
+	handler Handler
+}
+
+// Time returns the maturity time of the event.
+func (e *Event) Time() Time { return e.time }
+
+// Engine is a discrete-event scheduler.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	nsteps uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (g *Engine) Now() Time { return g.now }
+
+// Steps returns the number of events executed so far.
+func (g *Engine) Steps() uint64 { return g.nsteps }
+
+// Pending returns the number of queued events.
+func (g *Engine) Pending() int { return len(g.queue) }
+
+// At schedules h to fire at absolute time t. Scheduling in the past
+// (t < Now) panics: it indicates a logic error in the caller.
+func (g *Engine) At(t Time, h Handler) *Event {
+	if t < g.now {
+		panic(fmt.Sprintf("event: scheduling at %v before now %v", t, g.now))
+	}
+	if h == nil {
+		panic("event: nil handler")
+	}
+	e := &Event{time: t, seq: g.seq, handler: h}
+	g.seq++
+	heap.Push(&g.queue, e)
+	return e
+}
+
+// After schedules h to fire dt microseconds from now (dt ≥ 0).
+func (g *Engine) After(dt Time, h Handler) *Event {
+	if dt < 0 {
+		panic(fmt.Sprintf("event: negative delay %v", dt))
+	}
+	return g.At(g.now+dt, h)
+}
+
+// Cancel removes a scheduled event; cancelling an already-fired or
+// already-cancelled event is a no-op. Reports whether the event was
+// actually removed.
+func (g *Engine) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&g.queue, e.index)
+	e.index = -1
+	return true
+}
+
+// Step executes the single earliest event. It reports false when the
+// queue is empty.
+func (g *Engine) Step() bool {
+	if len(g.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&g.queue).(*Event)
+	if e.time < g.now {
+		panic("event: time ran backwards")
+	}
+	g.now = e.time
+	g.nsteps++
+	e.handler(g.now)
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (g *Engine) Run() Time {
+	for g.Step() {
+	}
+	return g.now
+}
+
+// RunUntil executes events with time ≤ deadline; events beyond the
+// deadline remain queued. The clock is advanced to min(deadline, time of
+// last executed event ... deadline) — after RunUntil, Now() == deadline if
+// any events remained, else the time of the last event.
+func (g *Engine) RunUntil(deadline Time) Time {
+	for len(g.queue) > 0 && g.queue[0].time <= deadline {
+		g.Step()
+	}
+	if len(g.queue) > 0 && g.now < deadline {
+		g.now = deadline
+	}
+	return g.now
+}
+
+// RunLimit executes at most n events; useful as a watchdog against
+// runaway simulations. It reports whether the queue drained.
+func (g *Engine) RunLimit(n uint64) bool {
+	for i := uint64(0); i < n; i++ {
+		if !g.Step() {
+			return true
+		}
+	}
+	return len(g.queue) == 0
+}
+
+// Inf is an effectively infinite simulation time.
+const Inf = Time(math.MaxFloat64)
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,222 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestFIFOAmongTies(t *testing.T) {
+	g := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		g.At(5, func(Time) { order = append(order, i) })
+	}
+	g.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	g := New()
+	var fired []Time
+	times := []Time{9, 3, 7, 1, 3, 8, 0}
+	for _, tm := range times {
+		tm := tm
+		g.At(tm, func(now Time) {
+			if now != tm {
+				t.Errorf("fired at %v, scheduled %v", now, tm)
+			}
+			fired = append(fired, now)
+		})
+	}
+	end := g.Run()
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Errorf("events out of order: %v", fired)
+	}
+	if end != 9 {
+		t.Errorf("final time %v, want 9", end)
+	}
+	if g.Steps() != uint64(len(times)) {
+		t.Errorf("steps = %d", g.Steps())
+	}
+}
+
+func TestAfter(t *testing.T) {
+	g := New()
+	var hit Time
+	g.At(10, func(Time) {
+		g.After(5, func(now Time) { hit = now })
+	})
+	g.Run()
+	if hit != 15 {
+		t.Errorf("After fired at %v, want 15", hit)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	g := New()
+	g.At(10, func(Time) {})
+	g.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past must panic")
+		}
+	}()
+	g.At(5, func(Time) {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	g := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay must panic")
+		}
+	}()
+	g.After(-1, func(Time) {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	g := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler must panic")
+		}
+	}()
+	g.At(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	g := New()
+	fired := false
+	e := g.At(5, func(Time) { fired = true })
+	if !g.Cancel(e) {
+		t.Error("first cancel must succeed")
+	}
+	if g.Cancel(e) {
+		t.Error("second cancel must be a no-op")
+	}
+	if g.Cancel(nil) {
+		t.Error("cancel(nil) must be a no-op")
+	}
+	g.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	g := New()
+	var fired []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, g.At(Time(i), func(Time) { fired = append(fired, i) }))
+	}
+	// Cancel all odd events.
+	for i := 1; i < 20; i += 2 {
+		g.Cancel(evs[i])
+	}
+	g.Run()
+	if len(fired) != 10 {
+		t.Fatalf("fired %v", fired)
+	}
+	for _, v := range fired {
+		if v%2 != 0 {
+			t.Fatalf("odd event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	g := New()
+	var fired []Time
+	for _, tm := range []Time{1, 5, 10, 15} {
+		tm := tm
+		g.At(tm, func(now Time) { fired = append(fired, now) })
+	}
+	g.RunUntil(10)
+	if len(fired) != 3 {
+		t.Errorf("fired %v, want 3 events", fired)
+	}
+	if g.Now() != 10 {
+		t.Errorf("now = %v, want 10", g.Now())
+	}
+	if g.Pending() != 1 {
+		t.Errorf("pending = %d", g.Pending())
+	}
+	g.Run()
+	if len(fired) != 4 {
+		t.Error("remaining event must fire on Run")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	g := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		g.At(Time(i), func(Time) { count++ })
+	}
+	if g.RunLimit(4) {
+		t.Error("queue must not drain in 4 steps")
+	}
+	if count != 4 {
+		t.Errorf("count = %d", count)
+	}
+	if !g.RunLimit(100) {
+		t.Error("queue must drain")
+	}
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	g := New()
+	e := g.At(7, func(Time) {})
+	if e.Time() != 7 {
+		t.Errorf("Time() = %v", e.Time())
+	}
+}
+
+func TestDeterministicUnderRandomLoad(t *testing.T) {
+	run := func(seed int64) []Time {
+		g := New()
+		rng := rand.New(rand.NewSource(seed))
+		var trace []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			g.After(Time(rng.Intn(100)), func(now Time) {
+				trace = append(trace, now)
+				spawn(depth + 1)
+				spawn(depth + 1)
+			})
+		}
+		spawn(0)
+		g.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic trace length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic trace")
+		}
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	g := New()
+	if g.Run() != 0 {
+		t.Error("empty run must end at time 0")
+	}
+	if g.Step() {
+		t.Error("Step on empty queue must be false")
+	}
+}

@@ -1,0 +1,139 @@
+// Package exchange implements the paper's complete-exchange algorithms for
+// a circuit-switched hypercube: the Standard Exchange algorithm (§4.1),
+// the Optimal Circuit-Switched algorithm (§4.2), and the unified
+// multiphase algorithm (§5) that subsumes both as the extreme partitions
+// {1,1,...,1} and {d}.
+//
+// A Plan fixes (d, m, partition) and can be executed two ways:
+//
+//   - on the goroutine runtime (package runtime), moving real bytes, so
+//     correctness — every block landing in the right slot of the right
+//     node — is machine-checked; and
+//   - as simnet Programs (package simnet), so the virtual-time cost under
+//     circuit-switched contention, pairwise sync, and global sync is
+//     measured and compared against the analytic model (package model).
+package exchange
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+)
+
+// Buffer is one node's block storage for a complete exchange: 2^d blocks
+// of m bytes. Before the exchange, block t holds the data this node sends
+// to node t; afterwards block s holds the data received from node s.
+type Buffer struct {
+	d, m int
+	data []byte
+}
+
+// NewBuffer allocates a buffer for a d-cube exchange with block size m.
+// m may be zero (the paper's curves start at zero-byte blocks).
+func NewBuffer(d, m int) (*Buffer, error) {
+	if d < 0 || d > 24 {
+		return nil, fmt.Errorf("exchange: dimension %d out of range [0,24]", d)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("exchange: negative block size %d", m)
+	}
+	return &Buffer{d: d, m: m, data: make([]byte, m<<uint(d))}, nil
+}
+
+// Dim returns the cube dimension the buffer is sized for.
+func (b *Buffer) Dim() int { return b.d }
+
+// BlockSize returns m, the bytes per block.
+func (b *Buffer) BlockSize() int { return b.m }
+
+// Blocks returns the number of blocks, 2^d.
+func (b *Buffer) Blocks() int { return 1 << uint(b.d) }
+
+// Block returns the t-th block as a mutable slice view.
+func (b *Buffer) Block(t int) []byte {
+	if t < 0 || t >= b.Blocks() {
+		panic(fmt.Sprintf("exchange: block index %d out of range [0,%d)", t, b.Blocks()))
+	}
+	return b.data[t*b.m : (t+1)*b.m : (t+1)*b.m]
+}
+
+// Bytes returns the whole underlying storage.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Gather copies the blocks at the given positions, in order, into a single
+// contiguous message. This is the data-permutation work the paper charges
+// at ρ µs/byte.
+func (b *Buffer) Gather(positions []int) []byte {
+	out := make([]byte, 0, len(positions)*b.m)
+	for _, t := range positions {
+		out = append(out, b.Block(t)...)
+	}
+	return out
+}
+
+// Scatter copies a contiguous message back into the blocks at the given
+// positions, in order. The message length must be len(positions)·m.
+func (b *Buffer) Scatter(positions []int, msg []byte) error {
+	if len(msg) != len(positions)*b.m {
+		return fmt.Errorf("exchange: scatter of %d bytes into %d blocks of %d",
+			len(msg), len(positions), b.m)
+	}
+	for i, t := range positions {
+		copy(b.Block(t), msg[i*b.m:(i+1)*b.m])
+	}
+	return nil
+}
+
+// PayloadByte is the canonical test payload: byte i of the block sent from
+// src to dst. It mixes src, dst and the offset so misplaced or torn blocks
+// are detected.
+func PayloadByte(src, dst, i int) byte {
+	x := uint32(src)*2654435761 + uint32(dst)*40503 + uint32(i)*97
+	x ^= x >> 15
+	return byte(x)
+}
+
+// FillOutgoing initializes the buffer of node src for a complete exchange:
+// block t gets the canonical payload for src→t.
+func (b *Buffer) FillOutgoing(src int) {
+	for t := 0; t < b.Blocks(); t++ {
+		blk := b.Block(t)
+		for i := range blk {
+			blk[i] = PayloadByte(src, t, i)
+		}
+	}
+}
+
+// VerifyIncoming checks that the buffer of node dst holds, in block s, the
+// canonical payload for s→dst — the postcondition of a complete exchange.
+func (b *Buffer) VerifyIncoming(dst int) error {
+	for s := 0; s < b.Blocks(); s++ {
+		blk := b.Block(s)
+		for i := range blk {
+			if blk[i] != PayloadByte(s, dst, i) {
+				return fmt.Errorf("exchange: node %d block %d byte %d = %#x, want %#x",
+					dst, s, i, blk[i], PayloadByte(s, dst, i))
+			}
+		}
+	}
+	return nil
+}
+
+// FieldPositions returns, in increasing order, the block indices t of a
+// d-cube buffer whose bit field [lo, lo+w) equals val. These are the
+// positions exchanged with the partner whose label has that field value
+// during a partial exchange (§5.2); there are 2^(d−w) of them, forming
+// one effective block of m·2^(d−w) bytes.
+func FieldPositions(d, lo, w, val int) []int {
+	if lo < 0 || w < 0 || lo+w > d {
+		panic(fmt.Sprintf("exchange: field [%d,%d) out of a %d-cube label", lo, lo+w, d))
+	}
+	n := 1 << uint(d)
+	out := make([]int, 0, 1<<uint(d-w))
+	for t := 0; t < n; t++ {
+		if bitutil.Field(t, lo, w) == val {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package exchange
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/simnet"
+)
+
+// Execute runs the plan's phases on one node of the goroutine runtime,
+// moving the real bytes in buf. On entry buf must hold the node's outgoing
+// blocks (block t = data for node t); on return block s holds the data
+// received from node s.
+//
+// This is the paper's Multiphase procedure (§5.2). Each step j of a phase
+// exchanges one effective block (the gathered superblock) with partner
+// p ⊕ (j·2^lo); incoming superblocks are scattered back into the same
+// positions, which performs the data permutation the paper charges as the
+// per-phase shuffle.
+func (p *Plan) Execute(nd *runtime.Node, buf *Buffer) error {
+	if nd.N() != p.Nodes() {
+		return fmt.Errorf("exchange: plan for %d nodes on cluster of %d", p.Nodes(), nd.N())
+	}
+	if buf.Dim() != p.d || buf.BlockSize() != p.m {
+		return fmt.Errorf("exchange: buffer (d=%d,m=%d) does not match plan (d=%d,m=%d)",
+			buf.Dim(), buf.BlockSize(), p.d, p.m)
+	}
+	me := nd.ID()
+	for _, ph := range p.phases {
+		// The implementation posts all receives and globally
+		// synchronizes before each phase's FORCED-mode traffic (§7.3).
+		nd.Barrier()
+		for j := 1; j <= ph.steps(); j++ {
+			q := ph.partner(me, j)
+			positions := p.sendPositions(ph, q)
+			out := buf.Gather(positions)
+			in := nd.Exchange(q, out)
+			if err := buf.Scatter(positions, in); err != nil {
+				return fmt.Errorf("exchange: node %d phase lo=%d step %d: %w",
+					me, ph.Lo, j, err)
+			}
+		}
+	}
+	return nil
+}
+
+// RunData executes the plan on a fresh goroutine cluster with canonical
+// payloads and verifies the complete-exchange postcondition on every node.
+// It is the end-to-end correctness check used by tests and examples.
+func (p *Plan) RunData(timeout time.Duration) error {
+	c, err := runtime.NewCluster(p.Nodes())
+	if err != nil {
+		return err
+	}
+	return c.Run(func(nd *runtime.Node) error {
+		buf, err := NewBuffer(p.d, p.m)
+		if err != nil {
+			return err
+		}
+		buf.FillOutgoing(nd.ID())
+		if err := p.Execute(nd, buf); err != nil {
+			return err
+		}
+		return buf.VerifyIncoming(nd.ID())
+	}, timeout)
+}
+
+// Programs generates the per-node simnet programs of the plan: for each
+// phase, a global synchronization (modeling the posting of FORCED receives,
+// §7.3), the subcube-restricted XOR schedule of pairwise exchanges with
+// effective blocks, and — except when the phase spans the whole cube — the
+// shuffle of the full local buffer (ρ·m·2^d).
+func (p *Plan) Programs() []simnet.Program {
+	n := p.Nodes()
+	progs := make([]simnet.Program, n)
+	shuffleBytes := p.m << uint(p.d)
+	for node := 0; node < n; node++ {
+		var prog simnet.Program
+		for _, ph := range p.phases {
+			prog = append(prog, simnet.Barrier())
+			for j := 1; j <= ph.steps(); j++ {
+				prog = append(prog, simnet.Exchange(ph.partner(node, j), ph.EffBytes))
+			}
+			if ph.SubcubeDim != p.d {
+				prog = append(prog, simnet.Shuffle(shuffleBytes))
+			}
+		}
+		progs[node] = prog
+	}
+	return progs
+}
+
+// Simulate runs the plan's programs on a simulated network and returns the
+// result. The network's cube dimension must match the plan.
+func (p *Plan) Simulate(net *simnet.Network) (simnet.Result, error) {
+	if net.Cube().Dim() != p.d {
+		return simnet.Result{}, fmt.Errorf("exchange: plan d=%d on %d-cube network",
+			p.d, net.Cube().Dim())
+	}
+	return net.Run(p.Programs())
+}

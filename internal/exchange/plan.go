@@ -1,0 +1,172 @@
+package exchange
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// Phase describes one partial exchange of a multiphase plan: the bit field
+// of the node label it operates on and the derived sizes.
+type Phase struct {
+	// SubcubeDim is d_i, the dimension of the subcubes of this phase.
+	SubcubeDim int
+	// Lo is the lowest bit of the label field the phase exchanges over.
+	Lo int
+	// EffBlocks is the superblock size in blocks, 2^(d−d_i).
+	EffBlocks int
+	// EffBytes is the superblock size in bytes, m·2^(d−d_i).
+	EffBytes int
+}
+
+// Plan is a fully specified multiphase complete exchange on a d-cube with
+// block size m and subcube partition D (paper §5.2). The two classical
+// algorithms are the extreme plans {1,1,...,1} (Standard Exchange) and
+// {d} (Optimal Circuit-Switched).
+type Plan struct {
+	d, m   int
+	part   partition.Partition
+	phases []Phase
+}
+
+// NewPlan validates (d, m, D) and precomputes the phase layout. Phases
+// consume label bits from the top down, as in the paper's pseudocode: the
+// first phase uses the highest d_1 bits, and so on.
+func NewPlan(d, m int, D partition.Partition) (*Plan, error) {
+	if d < 0 || d > 24 {
+		return nil, fmt.Errorf("exchange: dimension %d out of range [0,24]", d)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("exchange: negative block size %d", m)
+	}
+	if d == 0 {
+		if len(D) != 0 {
+			return nil, fmt.Errorf("exchange: nonempty partition %v for 0-cube", D)
+		}
+		return &Plan{d: d, m: m}, nil
+	}
+	if !D.IsValid(d) && !D.Canonical().IsValid(d) {
+		return nil, fmt.Errorf("exchange: %v is not a partition of %d", D, d)
+	}
+	sum := 0
+	for _, di := range D {
+		if di <= 0 {
+			return nil, fmt.Errorf("exchange: nonpositive phase dimension %d", di)
+		}
+		sum += di
+	}
+	if sum != d {
+		return nil, fmt.Errorf("exchange: partition %v sums to %d, want %d", D, sum, d)
+	}
+	p := &Plan{d: d, m: m, part: D.Clone()}
+	start := d - 1
+	for _, di := range D {
+		lo := start - di + 1
+		p.phases = append(p.phases, Phase{
+			SubcubeDim: di,
+			Lo:         lo,
+			EffBlocks:  1 << uint(d-di),
+			EffBytes:   m << uint(d-di),
+		})
+		start = lo - 1
+	}
+	return p, nil
+}
+
+// NewStandardPlan returns the Standard Exchange algorithm (§4.1) as the
+// degenerate plan {1,1,...,1}.
+func NewStandardPlan(d, m int) (*Plan, error) {
+	ones := make(partition.Partition, d)
+	for i := range ones {
+		ones[i] = 1
+	}
+	return NewPlan(d, m, ones)
+}
+
+// NewOptimalPlan returns the Optimal Circuit-Switched algorithm (§4.2) as
+// the degenerate plan {d}.
+func NewOptimalPlan(d, m int) (*Plan, error) {
+	if d == 0 {
+		return NewPlan(0, m, nil)
+	}
+	return NewPlan(d, m, partition.Partition{d})
+}
+
+// Dim returns the cube dimension.
+func (p *Plan) Dim() int { return p.d }
+
+// BlockSize returns the per-destination block size m in bytes.
+func (p *Plan) BlockSize() int { return p.m }
+
+// Partition returns a copy of the subcube partition.
+func (p *Plan) Partition() partition.Partition { return p.part.Clone() }
+
+// Phases returns the phase layout.
+func (p *Plan) Phases() []Phase {
+	out := make([]Phase, len(p.phases))
+	copy(out, p.phases)
+	return out
+}
+
+// Nodes returns 2^d.
+func (p *Plan) Nodes() int { return 1 << uint(p.d) }
+
+// String formats the plan, e.g. "multiphase{3,4} d=7 m=40".
+func (p *Plan) String() string {
+	return fmt.Sprintf("multiphase%v d=%d m=%d", p.part, p.d, p.m)
+}
+
+// partner returns the peer of node p in step j of the given phase:
+// p XOR (j << lo), the subcube-restricted Schmiermund–Seidel schedule.
+func (ph Phase) partner(p, j int) int { return p ^ (j << uint(ph.Lo)) }
+
+// steps returns 2^d_i − 1, the number of pairwise-exchange steps in the
+// phase.
+func (ph Phase) steps() int { return 1<<uint(ph.SubcubeDim) - 1 }
+
+// Steps returns the complete transfer schedule of the plan, phase-major:
+// element [k] is the set of simultaneous transfers of global step k. Every
+// step is a perfect matching of exchange partners; package topology can
+// verify each step edge-contention-free under e-cube routing.
+func (p *Plan) Steps() [][]topology.Transfer {
+	var out [][]topology.Transfer
+	n := p.Nodes()
+	for _, ph := range p.phases {
+		for j := 1; j <= ph.steps(); j++ {
+			step := make([]topology.Transfer, 0, n)
+			for node := 0; node < n; node++ {
+				step = append(step, topology.Transfer{Src: node, Dst: ph.partner(node, j)})
+			}
+			out = append(out, step)
+		}
+	}
+	return out
+}
+
+// sendPositions returns the block positions node holds that must travel to
+// partner q during a phase: those whose label field matches q's field.
+func (p *Plan) sendPositions(ph Phase, q int) []int {
+	return FieldPositions(p.d, ph.Lo, ph.SubcubeDim, bitutil.Field(q, ph.Lo, ph.SubcubeDim))
+}
+
+// TotalMessages returns the number of pairwise exchanges each node
+// performs: Σ (2^d_i − 1).
+func (p *Plan) TotalMessages() int {
+	total := 0
+	for _, ph := range p.phases {
+		total += ph.steps()
+	}
+	return total
+}
+
+// TotalTraffic returns the bytes each node transmits over the whole plan:
+// Σ (2^d_i − 1)·m·2^(d−d_i).
+func (p *Plan) TotalTraffic() int {
+	total := 0
+	for _, ph := range p.phases {
+		total += ph.steps() * ph.EffBytes
+	}
+	return total
+}

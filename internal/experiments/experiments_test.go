@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestE1CrossoverTable(t *testing.T) {
+	s := E1Crossover().String()
+	for _, want := range []string{"24", "15144", "SE", "OCS", "29.4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("E1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestE2WorkedExample(t *testing.T) {
+	tbl, err := E2WorkedExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, want := range []string{"1832", "3072", "15144", "9984", "10944"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("E2 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestE3PartitionTable(t *testing.T) {
+	s := E3PartitionTable().String()
+	for _, want := range []string{"42", "176", "627"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("E3 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigureCurvesHullMembers(t *testing.T) {
+	for d, want := range map[int][]string{
+		5: {"{2,3}", "{5}"},
+		6: {"{2,2,2}", "{3,3}", "{6}"},
+		7: {"{2,2,3}", "{3,4}", "{7}"},
+	} {
+		var names []string
+		for _, D := range FigureCurves(d) {
+			names = append(names, D.String())
+		}
+		joined := strings.Join(names, " ")
+		for _, w := range want {
+			if !strings.Contains(joined, w) {
+				t.Errorf("d=%d curves %v missing %s", d, names, w)
+			}
+		}
+	}
+	if len(FigureCurves(3)) != 2 {
+		t.Error("default curve set must be {1..} and {d}")
+	}
+}
+
+func TestFigureGeneration(t *testing.T) {
+	fig, err := Figure(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 3 {
+		t.Fatalf("curves = %d", len(fig.Curves))
+	}
+	for _, c := range fig.Curves {
+		if len(c.Y) != len(BlockSweep()) {
+			t.Fatalf("curve %s has %d points", c.Name, len(c.Y))
+		}
+		for i := 1; i < len(c.Y); i++ {
+			if c.Y[i] < c.Y[i-1] {
+				t.Errorf("curve %s not monotone at %d", c.Name, i)
+			}
+		}
+	}
+	// At 400 bytes {5} must be the fastest of the plotted curves
+	// (Figure 4: OCS optimal for large blocks).
+	last := len(BlockSweep()) - 1
+	ocs := fig.Curves[2]
+	if ocs.Name != "{5}" {
+		t.Fatalf("curve order: %v", ocs.Name)
+	}
+	for _, c := range fig.Curves[:2] {
+		if ocs.Y[last] >= c.Y[last] {
+			t.Errorf("{5} must win at 400B: %v vs %s %v", ocs.Y[last], c.Name, c.Y[last])
+		}
+	}
+}
+
+func TestHullTables(t *testing.T) {
+	for d, wants := range map[int][]string{
+		5: {"{3,2}", "{5}"},
+		6: {"{2,2,2}", "{3,3}", "{6}"},
+		7: {"{3,2,2}", "{4,3}", "{7}"},
+	} {
+		s := Hull(d).String()
+		for _, w := range wants {
+			if !strings.Contains(s, w) {
+				t.Errorf("hull d=%d missing %s:\n%s", d, w, s)
+			}
+		}
+	}
+}
+
+func TestE7SyncOverhead(t *testing.T) {
+	tbl, err := E7SyncOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, want := range []string{"177.5", "20.6", "synced", "unsynced", "ideal"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("E7 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestE8Contention(t *testing.T) {
+	tbl, err := E8Contention(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Every data row must report 0 contended multiphase steps and a
+	// naive load > 1 for d ≥ 2.
+	for _, line := range lines[3:] { // skip title, header, rule
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			t.Fatalf("bad row %q", line)
+		}
+		if fields[2] != "0" {
+			t.Errorf("contended steps nonzero: %q", line)
+		}
+	}
+	if !strings.Contains(lines[len(lines)-1], " 5 ") && !strings.HasPrefix(lines[len(lines)-1], "5") {
+		t.Errorf("last row should be d=5: %q", lines[len(lines)-1])
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	tbl, err := Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, want := range []string{"{3,4}", "{7}", "standard exchange"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("headline missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBlockSweepShape(t *testing.T) {
+	sweep := BlockSweep()
+	if sweep[0] != 0 || sweep[len(sweep)-1] != 400 {
+		t.Errorf("sweep endpoints: %d..%d", sweep[0], sweep[len(sweep)-1])
+	}
+	if len(sweep) != 51 {
+		t.Errorf("sweep length %d", len(sweep))
+	}
+}
+
+func TestFigureCurvesAreValidPartitions(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		for _, D := range FigureCurves(d) {
+			if !D.Canonical().IsValid(d) {
+				t.Errorf("d=%d: invalid curve partition %v", d, D)
+			}
+		}
+	}
+	_ = partition.Count // keep import honest if asserts change
+}
+
+func TestMeasuredVsPredicted(t *testing.T) {
+	tbl, err := MeasuredVsPredicted(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3+len(FigureCurves(5)) {
+		t.Fatalf("rows = %d:\n%s", len(lines), s)
+	}
+	// ±5% jitter: RMS must be positive but comfortably below 5%, and
+	// the max single deviation below ~6%.
+	for _, line := range lines[3:] {
+		fields := strings.Fields(line)
+		var rms, maxDev float64
+		if _, err := fmt.Sscanf(fields[len(fields)-2], "%f", &rms); err != nil {
+			t.Fatalf("bad row %q", line)
+		}
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%f", &maxDev); err != nil {
+			t.Fatalf("bad row %q", line)
+		}
+		if rms <= 0 || rms > 5 {
+			t.Errorf("RMS %.2f%% out of expected band: %q", rms, line)
+		}
+		if maxDev <= 0 || maxDev > 6 {
+			t.Errorf("max dev %.2f%% out of expected band: %q", maxDev, line)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/partition"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Paper §4.3: on the hypothetical machine (d=6, τ=ρ=1, λ=200, δ=20) the
+// Standard Exchange algorithm is better for blocks of size less than 30.
+func TestHypotheticalCrossover(t *testing.T) {
+	p := Hypothetical()
+	x := p.CrossoverBlockSize(6)
+	if !(x > 29 && x < 30) {
+		t.Errorf("crossover = %v, want in (29,30)", x)
+	}
+	// Direct comparison must agree with the closed form.
+	for m := 1; m <= 29; m++ {
+		if p.StandardExchange(m, 6) >= p.OptimalCircuitSwitched(m, 6) {
+			t.Errorf("m=%d: SE should beat OCS below crossover", m)
+		}
+	}
+	for m := 30; m <= 100; m++ {
+		if p.StandardExchange(m, 6) <= p.OptimalCircuitSwitched(m, 6) {
+			t.Errorf("m=%d: OCS should beat SE above crossover", m)
+		}
+	}
+}
+
+// Paper §5.1: on the hypothetical machine, SE at m=24 takes 15144 µs.
+func TestHypotheticalStandardExchange24(t *testing.T) {
+	p := Hypothetical()
+	if got := p.StandardExchange(24, 6); !almost(got, 15144, 1e-9) {
+		t.Errorf("t_s(24,6) = %v, want 15144", got)
+	}
+}
+
+// Paper §5.1 worked example: the phase on dimension-2 subcubes with
+// effective block size 384 takes 1832 µs with the circuit-switched
+// algorithm; the shuffle overhead is ρ·m·2^d = 1536 µs per phase (the
+// paper quotes 3072 µs for the two shuffles together).
+func TestHypotheticalTwoPhaseExample(t *testing.T) {
+	p := Hypothetical()
+	if got := EffectiveBlockSize(24, 6, 2); got != 384 {
+		t.Fatalf("effective block (d1=2) = %d, want 384", got)
+	}
+	// Bare exchange time of the d1=2 phase (no shuffle: compare eq. 2 on
+	// the subcube with the effective block size).
+	bare := p.OptimalCircuitSwitched(384, 2)
+	if !almost(bare, 1832, 0.5) {
+		t.Errorf("phase-1 exchange = %v, want ≈1832", bare)
+	}
+	if got := p.ShuffleTime(24, 6); !almost(got, 1536, 1e-9) {
+		t.Errorf("shuffle = %v, want 1536", got)
+	}
+	// PhaseCost = exchange + shuffle for a non-full-cube phase.
+	if got := p.PhaseCost(24, 6, 2); !almost(got, bare+1536, 1e-9) {
+		t.Errorf("PhaseCost(24,6,2) = %v, want %v", got, bare+1536)
+	}
+	// The full two-phase {2,4} multiphase must beat SE's 15144 µs.
+	total, phases := p.Multiphase(24, 6, partition.Partition{2, 4})
+	if len(phases) != 2 {
+		t.Fatalf("want 2 phases, got %d", len(phases))
+	}
+	if total >= 15144 {
+		t.Errorf("two-phase total %v must beat SE 15144", total)
+	}
+	// Note: the paper's printed total is 10944 µs using a phase-2
+	// effective block of 160 bytes; with the paper's own formula
+	// m_i = m·2^(d−di) the phase-2 block is 96 bytes and the total is
+	// 9984 µs. We assert our internally consistent value.
+	if !almost(total, 9984, 1.0) {
+		t.Errorf("two-phase total = %v, want ≈9984", total)
+	}
+}
+
+// Degenerate cases (§5.2): partition {1,1,...,1} must cost the same as the
+// Standard Exchange structure with per-phase sync, and {d} must equal the
+// Optimal Circuit-Switched algorithm.
+func TestMultiphaseDegeneratesToOCS(t *testing.T) {
+	for _, p := range []Params{Hypothetical(), IPSC860(), IPSC860Raw()} {
+		for d := 1; d <= 7; d++ {
+			for _, m := range []int{1, 16, 100, 400} {
+				got, _ := p.Multiphase(m, d, partition.Partition{d})
+				want := p.OptimalCircuitSwitched(m, d)
+				if !almost(got, want, 1e-6) {
+					t.Errorf("d=%d m=%d: {d} multiphase %v != OCS %v", d, m, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiphaseAllOnesMatchesSEStructure(t *testing.T) {
+	// With all di = 1: each phase is 1 transmission of m·2^(d-1) bytes at
+	// distance 1 plus a shuffle — exactly eq. (1)'s per-step cost. The
+	// only difference is per-phase global sync (d syncs vs 1).
+	// d starts at 2: at d=1 the single phase has di=d, so the (identity)
+	// shuffle is skipped, while eq. (1) charges it unconditionally.
+	p := Hypothetical() // no sync, so must match exactly
+	for d := 2; d <= 7; d++ {
+		ones := make(partition.Partition, d)
+		for i := range ones {
+			ones[i] = 1
+		}
+		for _, m := range []int{1, 24, 200} {
+			got, _ := p.Multiphase(m, d, ones)
+			want := p.StandardExchange(m, d)
+			if !almost(got, want, 1e-6) {
+				t.Errorf("d=%d m=%d: {1..1} %v != SE %v", d, m, got, want)
+			}
+		}
+	}
+}
+
+func TestEffectiveBlockSize(t *testing.T) {
+	// Figure 3: d=3, partition {2,1}: superblocks of size 2 then 4 blocks.
+	if EffectiveBlockSize(1, 3, 2) != 2 {
+		t.Error("phase d1=2 superblock must be 2 blocks")
+	}
+	if EffectiveBlockSize(1, 3, 1) != 4 {
+		t.Error("phase d2=1 superblock must be 4 blocks")
+	}
+	if EffectiveBlockSize(24, 6, 6) != 24 {
+		t.Error("full-cube phase keeps original block size")
+	}
+}
+
+// §7.4: with FORCED messages and pre-posted receives λ=95.0, τ=0.394,
+// δ=10.3; pairwise sync gives effective λ=177.5 and δ=20.6.
+func TestIPSC860EffectiveParams(t *testing.T) {
+	p := IPSC860()
+	if !almost(p.EffLambda(), 177.5, 1e-9) {
+		t.Errorf("effective lambda = %v, want 177.5", p.EffLambda())
+	}
+	if !almost(p.EffDelta(), 20.6, 1e-9) {
+		t.Errorf("effective delta = %v, want 20.6", p.EffDelta())
+	}
+	raw := IPSC860Raw()
+	if !almost(raw.EffLambda(), 95.0, 1e-9) || !almost(raw.EffDelta(), 10.3, 1e-9) {
+		t.Error("raw params must not include sync overhead")
+	}
+	if !almost(p.GlobalSync(6), 900, 1e-9) {
+		t.Errorf("global sync d=6 = %v, want 900", p.GlobalSync(6))
+	}
+}
+
+func TestMessageTimeLinearity(t *testing.T) {
+	p := IPSC860Raw()
+	if got := p.MessageTime(0, 0); !almost(got, 95.0, 1e-9) {
+		t.Errorf("zero message = %v", got)
+	}
+	if got := p.MessageTime(1000, 3); !almost(got, 95.0+394.0+30.9, 1e-6) {
+		t.Errorf("MessageTime = %v", got)
+	}
+}
+
+func TestUnforcedMessageTime(t *testing.T) {
+	p := IPSC860Raw()
+	// At or below 100 bytes, identical to a raw FORCED message.
+	if p.UnforcedMessageTime(100, 2) != p.RawMessageTime(100, 2) {
+		t.Error("UNFORCED ≤100B must equal FORCED")
+	}
+	// Above 100 bytes, strictly more expensive (reserve-ack round trip).
+	if p.UnforcedMessageTime(101, 2) <= p.RawMessageTime(101, 2) {
+		t.Error("UNFORCED >100B must cost more")
+	}
+	want := p.RawMessageTime(101, 2) + 2*(82.5+10.3*2)
+	if got := p.UnforcedMessageTime(101, 2); !almost(got, want, 1e-9) {
+		t.Errorf("UnforcedMessageTime = %v, want %v", got, want)
+	}
+}
+
+func TestPhaseCostZeroDim(t *testing.T) {
+	p := IPSC860()
+	if p.PhaseCost(100, 6, 0) != 0 || p.PhaseCostStandard(100, 6, 0) != 0 {
+		t.Error("zero-dimension phase must cost 0")
+	}
+	if p.StandardExchange(10, 0) != 0 || p.OptimalCircuitSwitched(10, 0) != 0 {
+		t.Error("d=0 exchange must cost 0")
+	}
+}
+
+func TestPhaseAlgString(t *testing.T) {
+	if PhaseCS.String() != "CS" || PhaseSE.String() != "SE" {
+		t.Error("PhaseAlg strings wrong")
+	}
+	if PhaseAlg(9).String() == "" {
+		t.Error("unknown PhaseAlg must not be empty")
+	}
+}
+
+// Property: multiphase cost over any valid partition is positive and
+// monotonically nondecreasing in m.
+func TestMultiphaseMonotoneInBlockSize(t *testing.T) {
+	p := IPSC860()
+	f := func(seed uint8, m1, m2 uint8) bool {
+		d := int(seed)%6 + 2
+		parts := partition.All(d)
+		D := parts[int(seed)%len(parts)]
+		a, b := int(m1), int(m2)
+		if a > b {
+			a, b = b, a
+		}
+		ta, _ := p.Multiphase(a, d, D)
+		tb, _ := p.Multiphase(b, d, D)
+		return ta > 0 && ta <= tb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MultiphaseBestAlg never does worse than Multiphase (it can
+// only pick a cheaper per-phase algorithm).
+func TestBestAlgNeverWorse(t *testing.T) {
+	p := IPSC860()
+	for d := 2; d <= 7; d++ {
+		for _, D := range partition.All(d) {
+			for _, m := range []int{1, 8, 40, 160, 400} {
+				cs, _ := p.Multiphase(m, d, D)
+				ba, _ := p.MultiphaseBestAlg(m, d, D)
+				if ba > cs+1e-9 {
+					t.Errorf("d=%d D=%v m=%d: bestAlg %v > CS-only %v", d, D, m, ba, cs)
+				}
+			}
+		}
+	}
+}
+
+func TestShuffleSkippedForFullCubePhase(t *testing.T) {
+	p := Hypothetical()
+	// {d} phase must contain no shuffle: equals eq. (2) exactly.
+	d, m := 5, 50
+	got := p.PhaseCost(m, d, d)
+	want := p.OptimalCircuitSwitched(m, d)
+	if !almost(got, want, 1e-9) {
+		t.Errorf("full-cube phase %v != OCS %v", got, want)
+	}
+	// A sub-cube phase of the same dimension must include the shuffle.
+	sub := p.PhaseCost(m, d+1, d)
+	if sub <= got {
+		t.Error("subcube phase must include shuffle cost")
+	}
+}
+
+func TestCrossoverDegenerate(t *testing.T) {
+	p := Hypothetical()
+	if p.CrossoverBlockSize(0) != 0 || p.CrossoverBlockSize(1) != 0 {
+		t.Error("crossover for d<=1 must be 0")
+	}
+}

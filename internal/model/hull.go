@@ -1,0 +1,132 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/partition"
+)
+
+// Plan is the result of optimizing over all partitions of d for one block
+// size: the winning partition, its per-phase algorithm choices, and the
+// modeled time.
+type Plan struct {
+	D      int
+	Block  int
+	Part   partition.Partition
+	Phases []PhaseBreakdown
+	Time   float64
+}
+
+// BestPartition enumerates all p(d) partitions of d (§6) and returns the
+// plan with the minimal modeled time for block size m. When bestAlg is
+// true the per-phase algorithm is chosen freely (CS vs SE inside each
+// phase); otherwise every phase uses the circuit-switched algorithm.
+// Ties are broken toward fewer phases, then lexicographically larger first
+// parts, so results are deterministic.
+func (p Params) BestPartition(m, d int, bestAlg bool) Plan {
+	best := Plan{D: d, Block: m, Time: math.Inf(1)}
+	it := partition.NewIterator(d)
+	for D := it.Next(); D != nil; D = it.Next() {
+		var t float64
+		var phases []PhaseBreakdown
+		if bestAlg {
+			t, phases = p.MultiphaseBestAlg(m, d, D)
+		} else {
+			t, phases = p.Multiphase(m, d, D)
+		}
+		if t < best.Time || (t == best.Time && betterTie(D, best.Part)) {
+			best.Part = D
+			best.Phases = phases
+			best.Time = t
+		}
+	}
+	return best
+}
+
+// betterTie prefers fewer phases, then larger leading parts.
+func betterTie(a, b partition.Partition) bool {
+	if b == nil {
+		return true
+	}
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+	}
+	return false
+}
+
+// HullSegment is one face of the hull of optimality: the partition that is
+// optimal for every block size in [MinBlock, MaxBlock].
+type HullSegment struct {
+	Part     partition.Partition
+	MinBlock int
+	MaxBlock int
+}
+
+// Hull sweeps block sizes mLo..mHi (step ≥ 1) and returns the hull of
+// optimality (§8): the sequence of partitions that are optimal over
+// consecutive block-size ranges. Adjacent block sizes won by the same
+// partition are merged into one segment.
+func (p Params) Hull(d, mLo, mHi, step int, bestAlg bool) []HullSegment {
+	if step < 1 {
+		step = 1
+	}
+	var hull []HullSegment
+	for m := mLo; m <= mHi; m += step {
+		plan := p.BestPartition(m, d, bestAlg)
+		if n := len(hull); n > 0 && hull[n-1].Part.Equal(plan.Part) {
+			hull[n-1].MaxBlock = m
+			continue
+		}
+		hull = append(hull, HullSegment{Part: plan.Part, MinBlock: m, MaxBlock: m})
+	}
+	return hull
+}
+
+// HullPartitions returns the distinct partitions appearing on the hull, in
+// order of first appearance (increasing block size).
+func HullPartitions(hull []HullSegment) []partition.Partition {
+	var out []partition.Partition
+	for _, seg := range hull {
+		dup := false
+		for _, q := range out {
+			if q.Equal(seg.Part) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, seg.Part)
+		}
+	}
+	return out
+}
+
+// SwitchPoint returns the smallest block size in [mLo, mHi] at which
+// partition "to" first becomes at least as fast as partition "from", or -1
+// if it never does. Used to locate crossovers such as "{d} optimal beyond
+// ≈160 bytes".
+func (p Params) SwitchPoint(d, mLo, mHi int, from, to partition.Partition) int {
+	for m := mLo; m <= mHi; m++ {
+		tf, _ := p.Multiphase(m, d, from)
+		tt, _ := p.Multiphase(m, d, to)
+		if tt <= tf {
+			return m
+		}
+	}
+	return -1
+}
+
+// Series evaluates the modeled multiphase time for one partition across a
+// sweep of block sizes; used to regenerate the curves of Figures 4-6.
+func (p Params) Series(d int, D partition.Partition, blocks []int) []float64 {
+	out := make([]float64, len(blocks))
+	for i, m := range blocks {
+		out[i], _ = p.Multiphase(m, d, D)
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestBestPartitionIsTrueMinimum(t *testing.T) {
+	p := IPSC860()
+	for d := 2; d <= 7; d++ {
+		for _, m := range []int{1, 10, 40, 100, 200, 400} {
+			plan := p.BestPartition(m, d, false)
+			if !plan.Part.IsValid(d) {
+				t.Fatalf("d=%d m=%d: invalid best partition %v", d, m, plan.Part)
+			}
+			for _, D := range partition.All(d) {
+				tt, _ := p.Multiphase(m, d, D)
+				if tt < plan.Time-1e-9 {
+					t.Errorf("d=%d m=%d: %v (%v) beats reported best %v (%v)",
+						d, m, D, tt, plan.Part, plan.Time)
+				}
+			}
+		}
+	}
+}
+
+// Figure 4 (d=5): the hull of optimality is made up of two faces, {2,3}
+// and {5}, with {2,3} optimal below ≈100 bytes; {1,1,1,1,1} never optimal.
+func TestHullD5MatchesFigure4(t *testing.T) {
+	p := IPSC860()
+	hull := p.Hull(5, 4, 400, 4, false)
+	parts := HullPartitions(hull)
+	if len(parts) != 2 {
+		t.Fatalf("d=5 hull has %d faces (%v), want 2", len(parts), parts)
+	}
+	if !parts[0].Equal(partition.Partition{2, 3}) && !parts[0].Equal(partition.Partition{3, 2}) {
+		t.Errorf("first face = %v, want {2,3}", parts[0])
+	}
+	if !parts[len(parts)-1].Equal(partition.Partition{5}) {
+		t.Errorf("last face = %v, want {5}", parts[len(parts)-1])
+	}
+	sw := p.SwitchPoint(5, 4, 400, partition.Partition{2, 3}, partition.Partition{5})
+	if sw < 60 || sw > 160 {
+		t.Errorf("{2,3}→{5} switch at %d bytes, paper reports ≈100", sw)
+	}
+}
+
+// Figure 5 (d=6): optimal partitions are {2,2,2}, {3,3} and {6}, with {6}
+// optimal beyond about 140 bytes.
+func TestHullD6MatchesFigure5(t *testing.T) {
+	p := IPSC860()
+	hull := p.Hull(6, 2, 400, 2, false)
+	parts := HullPartitions(hull)
+	want := []partition.Partition{{2, 2, 2}, {3, 3}, {6}}
+	if len(parts) != len(want) {
+		t.Fatalf("d=6 hull = %v, want %v", parts, want)
+	}
+	for i := range want {
+		if !parts[i].Canonical().Equal(want[i]) {
+			t.Errorf("face %d = %v, want %v", i, parts[i], want[i])
+		}
+	}
+	sw := p.SwitchPoint(6, 2, 400, partition.Partition{3, 3}, partition.Partition{6})
+	if sw < 100 || sw > 200 {
+		t.Errorf("{3,3}→{6} switch at %d bytes, paper reports ≈140", sw)
+	}
+}
+
+// Figure 6 (d=7): optimal partitions are {2,2,3}, {3,4} and {7}, with {7}
+// optimal beyond about 160 bytes and {2,2,3} optimal for 0–12 bytes.
+func TestHullD7MatchesFigure6(t *testing.T) {
+	p := IPSC860()
+	hull := p.Hull(7, 2, 400, 2, false)
+	parts := HullPartitions(hull)
+	want := []partition.Partition{{3, 2, 2}, {4, 3}, {7}}
+	if len(parts) != len(want) {
+		t.Fatalf("d=7 hull = %v, want canonical %v", parts, want)
+	}
+	for i := range want {
+		if !parts[i].Canonical().Equal(want[i]) {
+			t.Errorf("face %d = %v, want %v", i, parts[i], want[i])
+		}
+	}
+	// {2,2,3} optimal only for very small blocks (paper: 0–12 bytes).
+	if hull[0].MaxBlock > 30 {
+		t.Errorf("{2,2,3} face extends to %d bytes, paper reports ≈12", hull[0].MaxBlock)
+	}
+	sw := p.SwitchPoint(7, 2, 400, partition.Partition{4, 3}, partition.Partition{7})
+	if sw < 120 || sw > 220 {
+		t.Errorf("{3,4}→{7} switch at %d bytes, paper reports ≈160", sw)
+	}
+}
+
+// Figure 6 headline: at m=40, d=7 the multiphase {3,4} is more than twice
+// as fast as both the Standard Exchange and the Optimal Circuit-Switched
+// algorithms (0.016 s vs 0.037 s measured).
+func TestD7Block40FactorOfTwo(t *testing.T) {
+	p := IPSC860()
+	mp, _ := p.Multiphase(40, 7, partition.Partition{4, 3})
+	se := p.StandardExchange(40, 7)
+	ocs := p.OptimalCircuitSwitched(40, 7)
+	// The paper's 2× is measured; its model (like ours) predicts slightly
+	// less for SE (the paper notes "the agreement is not perfect"). We
+	// assert a ≥1.7× modeled win over both classics.
+	if !(mp*1.7 < se && mp*1.7 < ocs) {
+		t.Errorf("m=40 d=7: multiphase %.0fµs vs SE %.0fµs OCS %.0fµs — want ≈2× win",
+			mp, se, ocs)
+	}
+	// Absolute scale sanity: paper measures 0.016s for {3,4} and 0.037s
+	// for the classics; our model should land in the same decade.
+	if mp < 8000 || mp > 32000 {
+		t.Errorf("multiphase time %.0fµs out of range of paper's 16000µs", mp)
+	}
+	if se < 18000 || se > 74000 {
+		t.Errorf("SE time %.0fµs out of range of paper's 37000µs", se)
+	}
+}
+
+// The Standard Exchange partition {1,1,...} is never on the hull for
+// d = 5,6,7 on the iPSC-860 (paper §8).
+func TestAllOnesNeverOptimalOnIPSC(t *testing.T) {
+	p := IPSC860()
+	for d := 5; d <= 7; d++ {
+		ones := make(partition.Partition, d)
+		for i := range ones {
+			ones[i] = 1
+		}
+		for m := 1; m <= 400; m += 7 {
+			plan := p.BestPartition(m, d, false)
+			if plan.Part.Equal(ones) {
+				t.Errorf("d=%d m=%d: {1,...} on the hull, paper says never", d, m)
+			}
+		}
+	}
+}
+
+func TestHullSegmentsAreContiguous(t *testing.T) {
+	p := IPSC860()
+	hull := p.Hull(6, 2, 400, 2, false)
+	if len(hull) == 0 {
+		t.Fatal("empty hull")
+	}
+	for i := 1; i < len(hull); i++ {
+		if hull[i].MinBlock != hull[i-1].MaxBlock+2 {
+			t.Errorf("hull gap between %v and %v", hull[i-1], hull[i])
+		}
+	}
+	if hull[0].MinBlock != 2 || hull[len(hull)-1].MaxBlock != 400 {
+		t.Error("hull must span the sweep range")
+	}
+}
+
+func TestHullStepClamped(t *testing.T) {
+	p := Hypothetical()
+	hull := p.Hull(3, 1, 5, 0, false) // step 0 → clamped to 1
+	total := 0
+	for _, s := range hull {
+		total += s.MaxBlock - s.MinBlock + 1
+	}
+	if total != 5 {
+		t.Errorf("clamped-step hull covers %d sizes, want 5", total)
+	}
+}
+
+func TestSwitchPointNever(t *testing.T) {
+	p := IPSC860()
+	// {7} never beats {2,2,3} in 1..8 bytes.
+	if got := p.SwitchPoint(7, 1, 8, partition.Partition{2, 2, 3}, partition.Partition{7}); got != -1 {
+		t.Errorf("unexpected switch at %d", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	p := IPSC860()
+	blocks := []int{10, 20, 40}
+	s := p.Series(5, partition.Partition{2, 3}, blocks)
+	if len(s) != 3 {
+		t.Fatalf("series length %d", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Error("series must increase with block size")
+		}
+	}
+	want, _ := p.Multiphase(20, 5, partition.Partition{2, 3})
+	if s[1] != want {
+		t.Errorf("series[1] = %v, want %v", s[1], want)
+	}
+}
+
+func TestBestPartitionWithBestAlg(t *testing.T) {
+	p := IPSC860()
+	// bestAlg=true must never be slower than bestAlg=false.
+	for _, m := range []int{1, 40, 200} {
+		a := p.BestPartition(m, 6, false)
+		b := p.BestPartition(m, 6, true)
+		if b.Time > a.Time+1e-9 {
+			t.Errorf("m=%d: bestAlg plan %v slower than CS-only %v", m, b.Time, a.Time)
+		}
+	}
+}
+
+func TestHullPartitionsDedup(t *testing.T) {
+	segs := []HullSegment{
+		{Part: partition.Partition{2, 3}, MinBlock: 0, MaxBlock: 10},
+		{Part: partition.Partition{5}, MinBlock: 11, MaxBlock: 20},
+		{Part: partition.Partition{2, 3}, MinBlock: 21, MaxBlock: 30},
+	}
+	parts := HullPartitions(segs)
+	if len(parts) != 2 {
+		t.Errorf("dedup failed: %v", parts)
+	}
+}

@@ -1,0 +1,89 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// §9: the multiphase approach should carry over to the Ncube-2. With our
+// synthetic Ncube-2 constants the qualitative structure must hold: some
+// interior partition beats both classical algorithms over a nonempty
+// block range, and the single-phase algorithm wins for large blocks.
+func TestNcube2MultiphaseStillWins(t *testing.T) {
+	prm := Ncube2()
+	d := 6
+	won := false
+	for m := 1; m <= 200; m++ {
+		plan := prm.BestPartition(m, d, false)
+		if k := len(plan.Part); k > 1 && k < d {
+			won = true
+			break
+		}
+	}
+	if !won {
+		t.Error("no interior partition ever optimal on Ncube-2 constants")
+	}
+	// Large blocks: single phase must win eventually.
+	plan := prm.BestPartition(100000, d, false)
+	if !plan.Part.Equal(partition.Partition{d}) {
+		t.Errorf("huge blocks pick %v, want {6}", plan.Part)
+	}
+}
+
+func TestNcube2HullStructure(t *testing.T) {
+	prm := Ncube2()
+	hull := prm.Hull(7, 0, 400, 8, false)
+	parts := HullPartitions(hull)
+	if len(parts) < 2 {
+		t.Fatalf("Ncube-2 hull has %d faces; expect a crossover structure", len(parts))
+	}
+	// The last face must be the coarsest partition seen (largest first
+	// part), mirroring the iPSC behaviour.
+	last := parts[len(parts)-1]
+	for _, p := range parts[:len(parts)-1] {
+		if p[0] > last[0] {
+			t.Errorf("hull coarsens out of order: %v before %v", p, last)
+		}
+	}
+}
+
+func TestNcube2SyncedLikeIPSC(t *testing.T) {
+	prm := Ncube2()
+	if prm.Exchange != ExchangeSynced {
+		t.Error("Ncube-2 preset should model synchronized exchanges")
+	}
+	if prm.EffLambda() != prm.Lambda+prm.LambdaZero {
+		t.Error("effective lambda must include sync message")
+	}
+}
+
+func TestExchangeModeStrings(t *testing.T) {
+	for m, want := range map[ExchangeMode]string{
+		ExchangeIdeal: "ideal", ExchangeSynced: "synced", ExchangeSerialized: "serialized",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+	}
+	if ExchangeMode(9).String() == "" {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestSerializedModeEffParams(t *testing.T) {
+	prm := IPSC860NoSync()
+	if prm.EffLambda() != 2*prm.Lambda {
+		t.Errorf("serialized eff lambda = %v", prm.EffLambda())
+	}
+	if prm.EffTau() != 2*prm.Tau {
+		t.Errorf("serialized eff tau = %v", prm.EffTau())
+	}
+	if prm.EffDelta() != 2*prm.Delta {
+		t.Errorf("serialized eff delta = %v", prm.EffDelta())
+	}
+	// Synced/ideal: tau unchanged.
+	if IPSC860().EffTau() != IPSC860().Tau || IPSC860Raw().EffTau() != IPSC860Raw().Tau {
+		t.Error("non-serialized eff tau must equal tau")
+	}
+}

@@ -1,0 +1,201 @@
+// Package optimize selects the best multiphase partition for a given cube
+// dimension and block size (paper §6): it enumerates all p(d) partitions
+// of d — a "trivial number" even for large cubes (p(10)=42, p(20)=627) —
+// evaluates each against the machine model, and caches the winning plan
+// for repeated use.
+//
+// Two evaluation backends are available: the closed-form analytic model
+// (fast, used by default, mirrors §4.3/§7.4) and full network simulation
+// (slower, accounts for any contention the analytic model cannot see).
+package optimize
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Backend selects how candidate partitions are costed.
+type Backend int
+
+const (
+	// Analytic costs candidates with the closed-form model (eq. 3).
+	Analytic Backend = iota
+	// Simulated costs candidates by running the network simulator.
+	Simulated
+)
+
+func (b Backend) String() string {
+	switch b {
+	case Analytic:
+		return "analytic"
+	case Simulated:
+		return "simulated"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Choice is the optimizer's answer for one (d, m) query.
+type Choice struct {
+	D         int
+	Block     int
+	Part      partition.Partition
+	TimeMicro float64
+	Backend   Backend
+}
+
+// Optimizer enumerates partitions for one machine parameter set and caches
+// results per (d, m). It is safe for concurrent use.
+type Optimizer struct {
+	params  model.Params
+	backend Backend
+
+	mu    sync.Mutex
+	cache map[[2]int]Choice
+}
+
+// New returns an optimizer over the given machine parameters using the
+// analytic backend.
+func New(p model.Params) *Optimizer {
+	return &Optimizer{params: p, backend: Analytic, cache: make(map[[2]int]Choice)}
+}
+
+// NewSimulated returns an optimizer that costs candidates by simulation.
+func NewSimulated(p model.Params) *Optimizer {
+	return &Optimizer{params: p, backend: Simulated, cache: make(map[[2]int]Choice)}
+}
+
+// Params returns the machine parameters the optimizer evaluates against.
+func (o *Optimizer) Params() model.Params { return o.params }
+
+// Best returns the fastest partition for a complete exchange of block size
+// m on a d-cube. Results are cached; the enumeration is over the p(d)
+// partitions of d.
+func (o *Optimizer) Best(d, m int) (Choice, error) {
+	if d < 0 || d > 20 {
+		return Choice{}, fmt.Errorf("optimize: dimension %d out of range [0,20]", d)
+	}
+	if m < 0 {
+		return Choice{}, fmt.Errorf("optimize: negative block size %d", m)
+	}
+	key := [2]int{d, m}
+	o.mu.Lock()
+	if c, ok := o.cache[key]; ok {
+		o.mu.Unlock()
+		return c, nil
+	}
+	o.mu.Unlock()
+
+	c, err := o.evaluateAll(d, m)
+	if err != nil {
+		return Choice{}, err
+	}
+	o.mu.Lock()
+	o.cache[key] = c
+	o.mu.Unlock()
+	return c, nil
+}
+
+func (o *Optimizer) evaluateAll(d, m int) (Choice, error) {
+	if d == 0 {
+		return Choice{D: 0, Block: m, Part: nil, TimeMicro: 0, Backend: o.backend}, nil
+	}
+	best := Choice{D: d, Block: m, Backend: o.backend}
+	first := true
+	var net *simnet.Network
+	if o.backend == Simulated {
+		if d > 10 {
+			return Choice{}, fmt.Errorf("optimize: simulated backend limited to d ≤ 10, got %d", d)
+		}
+		net = simnet.New(topology.MustNew(d), o.params)
+	}
+	it := partition.NewIterator(d)
+	for D := it.Next(); D != nil; D = it.Next() {
+		var t float64
+		switch o.backend {
+		case Analytic:
+			t, _ = o.params.Multiphase(m, d, D)
+		case Simulated:
+			plan, err := exchange.NewPlan(d, m, D)
+			if err != nil {
+				return Choice{}, err
+			}
+			res, err := plan.Simulate(net)
+			if err != nil {
+				return Choice{}, err
+			}
+			t = res.Makespan
+		}
+		if first || t < best.TimeMicro || (t == best.TimeMicro && len(D) < len(best.Part)) {
+			best.Part = D
+			best.TimeMicro = t
+			first = false
+		}
+	}
+	return best, nil
+}
+
+// Plan returns an executable exchange plan for the optimizer's best
+// partition at (d, m).
+func (o *Optimizer) Plan(d, m int) (*exchange.Plan, error) {
+	c, err := o.Best(d, m)
+	if err != nil {
+		return nil, err
+	}
+	if d == 0 {
+		return exchange.NewPlan(0, m, nil)
+	}
+	return exchange.NewPlan(d, m, c.Part)
+}
+
+// Table is the precomputed optimal-partition table over a block-size
+// range, the artifact the paper suggests computing once and storing "for
+// repeated future use" (§6).
+type Table struct {
+	D        int
+	Segments []model.HullSegment
+}
+
+// BuildTable sweeps block sizes [mLo, mHi] with the given step and returns
+// the hull-of-optimality table for dimension d.
+func (o *Optimizer) BuildTable(d, mLo, mHi, step int) (Table, error) {
+	if mLo < 0 || mHi < mLo {
+		return Table{}, fmt.Errorf("optimize: bad sweep [%d,%d]", mLo, mHi)
+	}
+	if step < 1 {
+		step = 1
+	}
+	var segs []model.HullSegment
+	for m := mLo; m <= mHi; m += step {
+		c, err := o.Best(d, m)
+		if err != nil {
+			return Table{}, err
+		}
+		if n := len(segs); n > 0 && segs[n-1].Part.Equal(c.Part) {
+			segs[n-1].MaxBlock = m
+			continue
+		}
+		segs = append(segs, model.HullSegment{Part: c.Part, MinBlock: m, MaxBlock: m})
+	}
+	return Table{D: d, Segments: segs}, nil
+}
+
+// Lookup returns the optimal partition for block size m from the table
+// (the segment containing m, or the nearest segment for out-of-range m).
+func (t Table) Lookup(m int) partition.Partition {
+	if len(t.Segments) == 0 {
+		return nil
+	}
+	i := sort.Search(len(t.Segments), func(i int) bool { return t.Segments[i].MaxBlock >= m })
+	if i == len(t.Segments) {
+		i = len(t.Segments) - 1
+	}
+	return t.Segments[i].Part
+}

@@ -1,0 +1,194 @@
+package optimize
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+func TestBestValidation(t *testing.T) {
+	o := New(model.IPSC860())
+	if _, err := o.Best(-1, 10); err == nil {
+		t.Error("negative dim must fail")
+	}
+	if _, err := o.Best(21, 10); err == nil {
+		t.Error("dim > 20 must fail")
+	}
+	if _, err := o.Best(5, -1); err == nil {
+		t.Error("negative block must fail")
+	}
+}
+
+func TestBestZeroDim(t *testing.T) {
+	o := New(model.IPSC860())
+	c, err := o.Best(0, 10)
+	if err != nil || c.TimeMicro != 0 || c.Part != nil {
+		t.Errorf("0-cube choice: %+v %v", c, err)
+	}
+}
+
+func TestBestMatchesModelBestPartition(t *testing.T) {
+	prm := model.IPSC860()
+	o := New(prm)
+	for _, d := range []int{3, 5, 6, 7} {
+		for _, m := range []int{1, 12, 40, 160, 400} {
+			c, err := o.Best(d, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := prm.BestPartition(m, d, false)
+			if c.TimeMicro != want.Time {
+				t.Errorf("d=%d m=%d: optimizer %v, model %v", d, m, c.TimeMicro, want.Time)
+			}
+			gotT, _ := prm.Multiphase(m, d, c.Part)
+			if gotT != c.TimeMicro {
+				t.Errorf("d=%d m=%d: reported time inconsistent with partition", d, m)
+			}
+		}
+	}
+}
+
+func TestCacheReturnsSameChoice(t *testing.T) {
+	o := New(model.IPSC860())
+	a, err := o.Best(6, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.Best(6, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Part.Equal(b.Part) || a.TimeMicro != b.TimeMicro {
+		t.Error("cached choice differs")
+	}
+}
+
+func TestBestConcurrent(t *testing.T) {
+	o := New(model.IPSC860())
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(m int) {
+			_, err := o.Best(7, m%5+1)
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The simulated backend must agree with the analytic backend on the
+// iPSC-860 (contention-free schedules make the two coincide).
+func TestSimulatedBackendAgrees(t *testing.T) {
+	prm := model.IPSC860()
+	oa := New(prm)
+	os := NewSimulated(prm)
+	for _, m := range []int{8, 40, 200} {
+		a, err := oa.Best(5, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := os.Best(5, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Part.Canonical().Equal(s.Part.Canonical()) {
+			t.Errorf("m=%d: analytic %v vs simulated %v", m, a.Part, s.Part)
+		}
+	}
+}
+
+func TestSimulatedBackendDimLimit(t *testing.T) {
+	o := NewSimulated(model.IPSC860())
+	if _, err := o.Best(11, 4); err == nil {
+		t.Error("simulated backend must refuse d > 10")
+	}
+}
+
+func TestPlanFromChoice(t *testing.T) {
+	o := New(model.IPSC860())
+	p, err := o.Plan(6, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 6 || p.BlockSize() != 40 {
+		t.Errorf("plan = %v", p)
+	}
+	c, _ := o.Best(6, 40)
+	if !p.Partition().Equal(c.Part) {
+		t.Error("plan partition differs from choice")
+	}
+	p0, err := o.Plan(0, 40)
+	if err != nil || p0.Nodes() != 1 {
+		t.Errorf("0-cube plan: %v %v", p0, err)
+	}
+}
+
+func TestBuildTableAndLookup(t *testing.T) {
+	o := New(model.IPSC860())
+	tbl, err := o.BuildTable(6, 2, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Segments) < 2 {
+		t.Fatalf("table has %d segments", len(tbl.Segments))
+	}
+	// Paper Figure 5: {6} optimal for large m, {2,2,2} for tiny m.
+	if !tbl.Lookup(400).Equal(partition.Partition{6}) {
+		t.Errorf("Lookup(400) = %v, want {6}", tbl.Lookup(400))
+	}
+	small := tbl.Lookup(2).Canonical()
+	if !small.Equal(partition.Partition{2, 2, 2}) {
+		t.Errorf("Lookup(2) = %v, want {2,2,2}", small)
+	}
+	// Out-of-range lookups clamp to nearest segment.
+	if tbl.Lookup(100000) == nil || tbl.Lookup(0) == nil {
+		t.Error("out-of-range lookups must clamp")
+	}
+	// Lookup must agree with Best at every swept size.
+	for m := 2; m <= 400; m += 26 {
+		c, _ := o.Best(6, m)
+		if !tbl.Lookup(m).Equal(c.Part) {
+			t.Errorf("m=%d: table %v, best %v", m, tbl.Lookup(m), c.Part)
+		}
+	}
+}
+
+func TestBuildTableValidation(t *testing.T) {
+	o := New(model.IPSC860())
+	if _, err := o.BuildTable(5, -1, 10, 1); err == nil {
+		t.Error("negative range must fail")
+	}
+	if _, err := o.BuildTable(5, 10, 5, 1); err == nil {
+		t.Error("inverted range must fail")
+	}
+	tbl, err := o.BuildTable(5, 1, 5, 0) // step clamps to 1
+	if err != nil || len(tbl.Segments) == 0 {
+		t.Errorf("clamped step: %v %v", tbl, err)
+	}
+}
+
+func TestEmptyTableLookup(t *testing.T) {
+	if (Table{}).Lookup(5) != nil {
+		t.Error("empty table must return nil")
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	if Analytic.String() != "analytic" || Simulated.String() != "simulated" {
+		t.Error("backend strings")
+	}
+	if Backend(9).String() == "" {
+		t.Error("unknown backend string")
+	}
+}
+
+func TestParamsAccessor(t *testing.T) {
+	prm := model.Hypothetical()
+	if New(prm).Params().Lambda != prm.Lambda {
+		t.Error("Params accessor")
+	}
+}

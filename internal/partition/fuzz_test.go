@@ -1,0 +1,38 @@
+package partition
+
+import "testing"
+
+// FuzzParse checks that Parse never panics and that everything it accepts
+// round-trips through String (modulo whitespace).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"{2,3}", "{5}", "{1,1,1}", "", "{}", "{-1}", "3, 4", "{99999999}"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", p.String(), s, err)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("round trip %q -> %v -> %v", s, p, q)
+		}
+	})
+}
+
+// FuzzCount checks the two counting implementations agree on arbitrary
+// small inputs.
+func FuzzCount(f *testing.F) {
+	f.Add(7)
+	f.Fuzz(func(t *testing.T, d int) {
+		if d < -2 || d > 64 {
+			return
+		}
+		if Count(d) != CountEuler(d) {
+			t.Fatalf("d=%d: %d != %d", d, Count(d), CountEuler(d))
+		}
+	})
+}

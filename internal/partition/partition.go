@@ -1,0 +1,289 @@
+// Package partition implements integer partitions, the combinatorial object
+// that indexes multiphase complete-exchange algorithms.
+//
+// A partition of d is a non-increasing sequence of positive integers that
+// sums to d. Each partition D = {d1,...,dk} of the hypercube dimension d
+// names one multiphase algorithm: phase i is a partial exchange on subcubes
+// of dimension di (paper §5.2). The paper's §6 table of p(d) — p(5)=7,
+// p(10)=42, p(15)=176, p(20)=627 — is reproduced by Count.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Partition is a non-increasing list of positive integers.
+type Partition []int
+
+// Sum returns the sum of the parts.
+func (p Partition) Sum() int {
+	s := 0
+	for _, x := range p {
+		s += x
+	}
+	return s
+}
+
+// K returns the number of parts (the number of phases, k in the paper).
+func (p Partition) K() int { return len(p) }
+
+// Clone returns an independent copy.
+func (p Partition) Clone() Partition {
+	q := make(Partition, len(p))
+	copy(q, p)
+	return q
+}
+
+// Canonical returns the partition sorted in non-increasing order.
+func (p Partition) Canonical() Partition {
+	q := p.Clone()
+	sort.Sort(sort.Reverse(sort.IntSlice(q)))
+	return q
+}
+
+// IsValid reports whether p is a well-formed partition of d: all parts
+// positive, non-increasing, summing to d.
+func (p Partition) IsValid(d int) bool {
+	if p.Sum() != d || len(p) == 0 {
+		return false
+	}
+	for i, x := range p {
+		if x <= 0 {
+			return false
+		}
+		if i > 0 && p[i-1] < x {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the partition in the paper's set notation, e.g. "{2,3}".
+// Parts are printed in the stored order.
+func (p Partition) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, x := range p {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Equal reports element-wise equality.
+func (p Partition) Equal(q Partition) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse parses the set notation produced by String, e.g. "{3,4}" or "3,4".
+func Parse(s string) (Partition, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "{")
+	s = strings.TrimSuffix(s, "}")
+	if s == "" {
+		return nil, fmt.Errorf("partition: empty")
+	}
+	fields := strings.Split(s, ",")
+	p := make(Partition, 0, len(fields))
+	for _, f := range fields {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &v); err != nil {
+			return nil, fmt.Errorf("partition: bad part %q: %v", f, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("partition: nonpositive part %d", v)
+		}
+		p = append(p, v)
+	}
+	return p, nil
+}
+
+// Count returns p(d), the number of partitions of d, using the dynamic
+// programming recurrence over largest part. Count(0) = 1 by convention.
+func Count(d int) int {
+	if d < 0 {
+		return 0
+	}
+	// ways[j] = number of partitions of j using parts considered so far.
+	ways := make([]int, d+1)
+	ways[0] = 1
+	for part := 1; part <= d; part++ {
+		for j := part; j <= d; j++ {
+			ways[j] += ways[j-part]
+		}
+	}
+	return ways[d]
+}
+
+// CountEuler returns p(d) via Euler's pentagonal-number recurrence, the
+// formula quoted in paper §6:
+//
+//	p(d) = Σ_{j≥1} (-1)^{j+1} [ p(d − j(3j−1)/2) + p(d − j(3j+1)/2) ].
+//
+// It exists alongside Count as an independent cross-check.
+func CountEuler(d int) int {
+	if d < 0 {
+		return 0
+	}
+	p := make([]int, d+1)
+	p[0] = 1
+	for n := 1; n <= d; n++ {
+		for j := 1; ; j++ {
+			g1 := j * (3*j - 1) / 2
+			g2 := j * (3*j + 1) / 2
+			if g1 > n && g2 > n {
+				break
+			}
+			sign := 1
+			if j%2 == 0 {
+				sign = -1
+			}
+			if g1 <= n {
+				p[n] += sign * p[n-g1]
+			}
+			if g2 <= n {
+				p[n] += sign * p[n-g2]
+			}
+		}
+	}
+	return p[d]
+}
+
+// All returns every partition of d in lexicographically decreasing order of
+// the canonical (non-increasing) representation, beginning with {d} and
+// ending with {1,1,...,1}. All(0) returns nil.
+func All(d int) []Partition {
+	if d <= 0 {
+		return nil
+	}
+	var out []Partition
+	cur := make([]int, 0, d)
+	var rec func(remaining, maxPart int)
+	rec = func(remaining, maxPart int) {
+		if remaining == 0 {
+			out = append(out, append(Partition(nil), cur...))
+			return
+		}
+		hi := maxPart
+		if remaining < hi {
+			hi = remaining
+		}
+		for part := hi; part >= 1; part-- {
+			cur = append(cur, part)
+			rec(remaining-part, part)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(d, d)
+	return out
+}
+
+// Iterator yields partitions of d one at a time without materializing the
+// whole list, in the same order as All. Next returns nil when exhausted.
+type Iterator struct {
+	d     int
+	stack []frame
+	cur   []int
+	done  bool
+}
+
+type frame struct {
+	remaining int
+	nextPart  int // next part value to try (counts down to 1)
+}
+
+// NewIterator returns an iterator over the partitions of d.
+func NewIterator(d int) *Iterator {
+	it := &Iterator{d: d}
+	if d <= 0 {
+		it.done = true
+		return it
+	}
+	it.stack = []frame{{remaining: d, nextPart: d}}
+	return it
+}
+
+// Next returns the next partition, or nil when the iteration is complete.
+// The returned slice is freshly allocated and safe to retain.
+func (it *Iterator) Next() Partition {
+	for !it.done {
+		top := &it.stack[len(it.stack)-1]
+		if top.remaining == 0 {
+			// Emit current partition, then backtrack.
+			out := append(Partition(nil), it.cur...)
+			it.pop()
+			return out
+		}
+		if top.nextPart < 1 {
+			it.pop()
+			continue
+		}
+		part := top.nextPart
+		top.nextPart--
+		if part > top.remaining {
+			continue
+		}
+		it.cur = append(it.cur, part)
+		it.stack = append(it.stack, frame{remaining: top.remaining - part, nextPart: part})
+	}
+	return nil
+}
+
+func (it *Iterator) pop() {
+	it.stack = it.stack[:len(it.stack)-1]
+	if len(it.cur) > 0 {
+		it.cur = it.cur[:len(it.cur)-1]
+	}
+	if len(it.stack) == 0 {
+		it.done = true
+	}
+}
+
+// Conjugate returns the conjugate (transpose of the Ferrers diagram) of a
+// canonical partition.
+func Conjugate(p Partition) Partition {
+	c := p.Canonical()
+	if len(c) == 0 {
+		return nil
+	}
+	out := make(Partition, c[0])
+	for j := range out {
+		cnt := 0
+		for _, x := range c {
+			if x > j {
+				cnt++
+			}
+		}
+		out[j] = cnt
+	}
+	return out
+}
+
+// CountAsymptotic returns the Hardy–Ramanujan asymptotic estimate the
+// paper quotes in §6:
+//
+//	p(d) ~ exp(π·√(2d/3)) / (4·d·√3).
+//
+// It exists as a cross-check on the exact counts: the ratio to Count(d)
+// tends to 1 as d grows.
+func CountAsymptotic(d int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	df := float64(d)
+	return math.Exp(math.Pi*math.Sqrt(2*df/3)) / (4 * df * math.Sqrt(3))
+}

@@ -1,0 +1,226 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Paper §6 table: p(5)=7, p(10)=42, p(15)=176, p(20)=627. The abstract also
+// quotes p(7)=15. ("176" appears garbled as "1/6" in the OCR; 176 is the
+// true value of p(15).)
+func TestCountPaperTable(t *testing.T) {
+	cases := []struct{ d, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 3}, {4, 5},
+		{5, 7}, {6, 11}, {7, 15}, {10, 42}, {15, 176}, {20, 627},
+	}
+	for _, c := range cases {
+		if got := Count(c.d); got != c.want {
+			t.Errorf("Count(%d) = %d, want %d", c.d, got, c.want)
+		}
+		if got := CountEuler(c.d); got != c.want {
+			t.Errorf("CountEuler(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestCountMillionNodeClaim(t *testing.T) {
+	// Paper §6: "for a million node hypercube, the enumeration of 627
+	// partitions is quite viable" — a million nodes is d=20.
+	if got := Count(20); got != 627 {
+		t.Errorf("p(20) = %d, want 627", got)
+	}
+}
+
+func TestCountNegative(t *testing.T) {
+	if Count(-1) != 0 || CountEuler(-5) != 0 {
+		t.Error("negative d must count 0")
+	}
+}
+
+func TestCountAgreesWithEuler(t *testing.T) {
+	for d := 0; d <= 60; d++ {
+		if Count(d) != CountEuler(d) {
+			t.Fatalf("d=%d: Count=%d CountEuler=%d", d, Count(d), CountEuler(d))
+		}
+	}
+}
+
+func TestAllMatchesCount(t *testing.T) {
+	for d := 1; d <= 12; d++ {
+		ps := All(d)
+		if len(ps) != Count(d) {
+			t.Errorf("len(All(%d)) = %d, want %d", d, len(ps), Count(d))
+		}
+		seen := map[string]bool{}
+		for _, p := range ps {
+			if !p.IsValid(d) {
+				t.Errorf("All(%d) produced invalid partition %v", d, p)
+			}
+			if seen[p.String()] {
+				t.Errorf("All(%d) produced duplicate %v", d, p)
+			}
+			seen[p.String()] = true
+		}
+	}
+}
+
+func TestAllOrderEndpoints(t *testing.T) {
+	ps := All(5)
+	if !ps[0].Equal(Partition{5}) {
+		t.Errorf("first partition = %v, want {5}", ps[0])
+	}
+	last := ps[len(ps)-1]
+	if !last.Equal(Partition{1, 1, 1, 1, 1}) {
+		t.Errorf("last partition = %v, want {1,1,1,1,1}", last)
+	}
+}
+
+func TestAllZeroAndNegative(t *testing.T) {
+	if All(0) != nil || All(-3) != nil {
+		t.Error("All of nonpositive must be nil")
+	}
+}
+
+func TestIteratorMatchesAll(t *testing.T) {
+	for d := 1; d <= 10; d++ {
+		it := NewIterator(d)
+		for i, want := range All(d) {
+			got := it.Next()
+			if got == nil || !got.Equal(want) {
+				t.Fatalf("d=%d item %d: iterator %v, want %v", d, i, got, want)
+			}
+		}
+		if extra := it.Next(); extra != nil {
+			t.Fatalf("d=%d: iterator overran with %v", d, extra)
+		}
+		if extra := it.Next(); extra != nil {
+			t.Fatalf("d=%d: exhausted iterator returned %v", d, extra)
+		}
+	}
+}
+
+func TestIteratorEmpty(t *testing.T) {
+	if NewIterator(0).Next() != nil {
+		t.Error("iterator over 0 must be empty")
+	}
+}
+
+func TestSumKClone(t *testing.T) {
+	p := Partition{3, 2, 2}
+	if p.Sum() != 7 || p.K() != 3 {
+		t.Errorf("Sum/K wrong: %d %d", p.Sum(), p.K())
+	}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 3 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	p := Partition{2, 4, 1}
+	c := p.Canonical()
+	if !c.Equal(Partition{4, 2, 1}) {
+		t.Errorf("Canonical = %v", c)
+	}
+	if !p.Equal(Partition{2, 4, 1}) {
+		t.Error("Canonical must not mutate receiver")
+	}
+}
+
+func TestIsValid(t *testing.T) {
+	cases := []struct {
+		p    Partition
+		d    int
+		want bool
+	}{
+		{Partition{3, 2}, 5, true},
+		{Partition{2, 3}, 5, false}, // increasing
+		{Partition{5}, 5, true},
+		{Partition{1, 1, 1, 1, 1}, 5, true},
+		{Partition{3, 2}, 6, false},    // wrong sum
+		{Partition{3, 0, 2}, 5, false}, // zero part
+		{Partition{-1, 6}, 5, false},   // negative part
+		{Partition{}, 0, false},        // empty
+	}
+	for _, c := range cases {
+		if got := c.p.IsValid(c.d); got != c.want {
+			t.Errorf("IsValid(%v, %d) = %v, want %v", c.p, c.d, got, c.want)
+		}
+	}
+}
+
+func TestStringAndParse(t *testing.T) {
+	for _, s := range []string{"{2,3}", "{5}", "{1,1,1,1,1}", "{2,2,3}", "{3,4}"} {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if p.String() != s {
+			t.Errorf("round trip %q -> %q", s, p.String())
+		}
+	}
+	if _, err := Parse("3, 4"); err != nil {
+		t.Errorf("Parse without braces should work: %v", err)
+	}
+	for _, bad := range []string{"", "{}", "{a}", "{0}", "{-2,3}", "{1,}"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestConjugate(t *testing.T) {
+	// Conjugate of {4,2,1} is {3,2,1,1}.
+	c := Conjugate(Partition{4, 2, 1})
+	if !c.Equal(Partition{3, 2, 1, 1}) {
+		t.Errorf("Conjugate = %v", c)
+	}
+	if Conjugate(nil) != nil {
+		t.Error("Conjugate(nil) must be nil")
+	}
+}
+
+func TestConjugateInvolution(t *testing.T) {
+	f := func(seed uint8) bool {
+		d := int(seed)%12 + 1
+		for _, p := range All(d) {
+			if !Conjugate(Conjugate(p)).Equal(p.Canonical()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConjugatePreservesSum(t *testing.T) {
+	for _, p := range All(9) {
+		if Conjugate(p).Sum() != 9 {
+			t.Fatalf("conjugate of %v has wrong sum", p)
+		}
+	}
+}
+
+// §6 quotes the Hardy–Ramanujan asymptotic; the estimate must close in on
+// the exact count as d grows (and stay within ~12% by d=200).
+func TestCountAsymptoticConverges(t *testing.T) {
+	if CountAsymptotic(0) != 0 || CountAsymptotic(-3) != 0 {
+		t.Error("nonpositive d must estimate 0")
+	}
+	prev := 10.0
+	for _, d := range []int{10, 50, 100, 200} {
+		ratio := CountAsymptotic(d) / float64(Count(d))
+		if err := math.Abs(ratio - 1); err > math.Abs(prev-1)+1e-9 {
+			t.Errorf("d=%d: ratio %v did not improve on %v", d, ratio, prev)
+		} else {
+			prev = ratio
+		}
+	}
+	if math.Abs(prev-1) > 0.12 {
+		t.Errorf("asymptotic ratio at d=200 = %v, want within 12%%", prev)
+	}
+}

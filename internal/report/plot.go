@@ -1,0 +1,91 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders a Figure as an ASCII chart — the textual counterpart of
+// the paper's Figures 4–6 (time vs block size, one glyph per curve).
+// Curves are drawn over a width×height grid with linear axes; each curve
+// uses the glyph at its index ('a'+i unless a label glyph is provided via
+// the first rune of its name's content inside braces, e.g. "{2,3}" → '2').
+func (f *Figure) Plot(width, height int) string {
+	if width < 16 {
+		width = 64
+	}
+	if height < 4 {
+		height = 20
+	}
+	if len(f.Curves) == 0 || len(f.Curves[0].X) == 0 {
+		return "(no curves)\n"
+	}
+	// Axis ranges over all curves.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1)
+	for _, c := range f.Curves {
+		for i := range c.X {
+			x := float64(c.X[i])
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if i < len(c.Y) && c.Y[i] > ymax {
+				ymax = c.Y[i]
+			}
+		}
+	}
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	glyphs := []byte("123456789abcdef")
+	for ci, c := range f.Curves {
+		g := glyphs[ci%len(glyphs)]
+		for i := range c.X {
+			if i >= len(c.Y) {
+				break
+			}
+			col := int((float64(c.X[i]) - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((c.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	for i, c := range f.Curves {
+		fmt.Fprintf(&b, "  [%c] %s", glyphs[i%len(glyphs)], c.Name)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%10.0f +%s\n", ymax, strings.Repeat("-", width))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "%10s |%s\n", "", row)
+	}
+	fmt.Fprintf(&b, "%10.0f +%s\n", ymin, strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-10.0f%s%10.0f\n", f.YLabel, xmin,
+		strings.Repeat(" ", max(0, width-20)), xmax)
+	fmt.Fprintf(&b, "%10s  (%s)\n", "", f.XLabel)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

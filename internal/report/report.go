@@ -1,0 +1,179 @@
+// Package report renders experiment results as aligned text tables and CSV
+// — the formats used by the cmd/ tools and the benchmark harness to
+// regenerate the paper's tables and figure series.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatMicros(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowStrings appends a preformatted row.
+func (t *Table) AddRowStrings(cells ...string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// FormatMicros renders a µs quantity with sensible precision.
+func FormatMicros(us float64) string {
+	switch {
+	case us >= 100000:
+		return fmt.Sprintf("%.0f", us)
+	case us >= 100:
+		return fmt.Sprintf("%.1f", us)
+	default:
+		return fmt.Sprintf("%.3f", us)
+	}
+}
+
+// Write renders the table to w with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Write(&b)
+	return b.String()
+}
+
+// WriteCSV renders the table as CSV (no quoting needed for our content,
+// but commas in cells are escaped by quoting).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.headers); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a named sequence of (x, y) points — one curve of a figure.
+type Series struct {
+	Name string
+	X    []int
+	Y    []float64
+}
+
+// Figure is a set of curves over a common x-axis, mirroring one plot of
+// the paper (time vs block size, one curve per partition).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Curves []Series
+}
+
+// Write renders the figure as a column table: x, then one y column per
+// curve. Curves must share the x grid.
+func (f *Figure) Write(w io.Writer) error {
+	headers := []string{f.XLabel}
+	for _, c := range f.Curves {
+		headers = append(headers, c.Name)
+	}
+	t := NewTable(f.Title, headers...)
+	if len(f.Curves) > 0 {
+		for i, x := range f.Curves[0].X {
+			row := []string{fmt.Sprintf("%d", x)}
+			for _, c := range f.Curves {
+				if i < len(c.Y) {
+					row = append(row, FormatMicros(c.Y[i]))
+				} else {
+					row = append(row, "")
+				}
+			}
+			t.AddRowStrings(row...)
+		}
+	}
+	return t.Write(w)
+}
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var b strings.Builder
+	_ = f.Write(&b)
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("title", "a", "longheader")
+	tbl.AddRow(1, "x")
+	tbl.AddRow(22222, "y")
+	s := tbl.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), s)
+	}
+	if lines[0] != "title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a    ") {
+		t.Errorf("header misaligned: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-----") {
+		t.Errorf("missing rule: %q", lines[2])
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := NewTable("", "h")
+	tbl.AddRow("v")
+	if strings.HasPrefix(tbl.String(), "\n") {
+		t.Error("empty title must not emit a blank line")
+	}
+}
+
+func TestFormatMicrosRanges(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{12.3456, "12.346"},
+		{123.456, "123.5"},
+		{123456.7, "123457"},
+	}
+	for _, c := range cases {
+		if got := FormatMicros(c.in); got != c.want {
+			t.Errorf("FormatMicros(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFloatCellsUseMicrosFormat(t *testing.T) {
+	tbl := NewTable("", "t")
+	tbl.AddRow(1234.5678)
+	if !strings.Contains(tbl.String(), "1234.6") {
+		t.Errorf("float formatting: %q", tbl.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRowStrings("plain", `with,comma "and quotes"`)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"with,comma ""and quotes"""`) {
+		t.Errorf("CSV escaping wrong: %q", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := Figure{
+		Title:  "Figure 4",
+		XLabel: "block",
+		YLabel: "µs",
+		Curves: []Series{
+			{Name: "{2,3}", X: []int{10, 20}, Y: []float64{100, 200}},
+			{Name: "{5}", X: []int{10, 20}, Y: []float64{150, 180}},
+		},
+	}
+	s := f.String()
+	for _, want := range []string{"Figure 4", "block", "{2,3}", "{5}", "10", "20", "100.0", "180.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigureRaggedCurves(t *testing.T) {
+	f := Figure{
+		XLabel: "x",
+		Curves: []Series{
+			{Name: "a", X: []int{1, 2, 3}, Y: []float64{1, 2, 3}},
+			{Name: "b", X: []int{1, 2, 3}, Y: []float64{9}},
+		},
+	}
+	s := f.String()
+	if !strings.Contains(s, "9.000") {
+		t.Errorf("short curve not rendered: %q", s)
+	}
+}
+
+func TestEmptyFigure(t *testing.T) {
+	f := Figure{Title: "empty", XLabel: "x"}
+	if !strings.Contains(f.String(), "empty") {
+		t.Error("empty figure must still render title")
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	f := Figure{
+		Title:  "Figure 4",
+		XLabel: "block",
+		YLabel: "µs",
+		Curves: []Series{
+			{Name: "{2,3}", X: []int{0, 100, 200}, Y: []float64{100, 200, 300}},
+			{Name: "{5}", X: []int{0, 100, 200}, Y: []float64{400, 410, 420}},
+		},
+	}
+	s := f.Plot(60, 12)
+	if !strings.Contains(s, "Figure 4") || !strings.Contains(s, "[1] {2,3}") ||
+		!strings.Contains(s, "[2] {5}") {
+		t.Errorf("plot header wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "1") || !strings.Contains(s, "2") {
+		t.Errorf("plot missing curve glyphs:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title + legend + top axis + 12 rows + bottom axis + 2 x labels
+	if len(lines) != 18 {
+		t.Errorf("plot has %d lines:\n%s", len(lines), s)
+	}
+	// Curve 2 is higher than curve 1 everywhere: glyph '2' must appear
+	// on an earlier (higher) line than the first '1'.
+	first1, first2 := -1, -1
+	for i, l := range lines[3:15] {
+		if strings.Contains(l, "1") && first1 < 0 {
+			first1 = i
+		}
+		if strings.Contains(l, "2") && first2 < 0 {
+			first2 = i
+		}
+	}
+	if first2 == -1 || first1 == -1 || first2 > first1 {
+		t.Errorf("curve ordering wrong: first1=%d first2=%d\n%s", first1, first2, s)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	if !strings.Contains((&Figure{}).Plot(40, 10), "no curves") {
+		t.Error("empty figure must render placeholder")
+	}
+	f := Figure{Curves: []Series{{Name: "flat", X: []int{5}, Y: []float64{0}}}}
+	if f.Plot(0, 0) == "" {
+		t.Error("degenerate sizes must still render")
+	}
+}

@@ -1,0 +1,172 @@
+// Package runtime is a goroutine-based message-passing runtime standing in
+// for the iPSC-860's NX processes: one goroutine per hypercube node,
+// point-to-point byte-slice messages over channels, pairwise exchange, and
+// a reusable global barrier.
+//
+// Where package simnet models *time* (circuits, contention, latencies),
+// this package executes algorithms for real and moves *data*, so tests can
+// assert that every block of a complete exchange lands in the right slot
+// of the right node. The paper's algorithms are run on both backends.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Cluster is a set of n communicating nodes.
+type Cluster struct {
+	n       int
+	queues  []chan []byte // queues[src*n+dst]
+	barrier *barrier
+}
+
+// NewCluster returns a cluster of n nodes (n ≥ 1). Per-pair queues are
+// buffered so that the send side of a pairwise exchange never blocks.
+func NewCluster(n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("runtime: cluster size %d < 1", n)
+	}
+	c := &Cluster{
+		n:       n,
+		queues:  make([]chan []byte, n*n),
+		barrier: newBarrier(n),
+	}
+	for i := range c.queues {
+		// Capacity n: enough for every phase pattern the exchange
+		// algorithms generate (at most one outstanding message per
+		// ordered pair per step, with slack for pipelined steps).
+		c.queues[i] = make(chan []byte, n)
+	}
+	return c, nil
+}
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return c.n }
+
+// Node is the per-goroutine handle passed to node programs.
+type Node struct {
+	id int
+	c  *Cluster
+}
+
+// ID returns this node's label.
+func (nd *Node) ID() int { return nd.id }
+
+// N returns the cluster size.
+func (nd *Node) N() int { return nd.c.n }
+
+// Send delivers a copy of data to dst's queue from this node. It panics on
+// an out-of-range destination (programming error, as on the real machine).
+func (nd *Node) Send(dst int, data []byte) {
+	if dst < 0 || dst >= nd.c.n {
+		panic(fmt.Sprintf("runtime: node %d sending to invalid node %d", nd.id, dst))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	nd.c.queues[nd.id*nd.c.n+dst] <- buf
+}
+
+// Recv blocks until a message from src arrives and returns it. Messages
+// from one sender are received in send order.
+func (nd *Node) Recv(src int) []byte {
+	if src < 0 || src >= nd.c.n {
+		panic(fmt.Sprintf("runtime: node %d receiving from invalid node %d", nd.id, src))
+	}
+	return <-nd.c.queues[src*nd.c.n+nd.id]
+}
+
+// Exchange performs a pairwise exchange with peer: sends data and returns
+// the peer's message. Exchange with self returns a copy of data.
+func (nd *Node) Exchange(peer int, data []byte) []byte {
+	if peer == nd.id {
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		return buf
+	}
+	nd.Send(peer, data)
+	return nd.Recv(peer)
+}
+
+// Barrier blocks until every node in the cluster has called Barrier. It is
+// reusable: successive barriers are distinct synchronization points.
+func (nd *Node) Barrier() { nd.c.barrier.await() }
+
+// Program is the code run by each node.
+type Program func(nd *Node) error
+
+// ErrTimeout is returned by Run when the program does not finish in time
+// (almost always a communication deadlock in the algorithm under test).
+var ErrTimeout = fmt.Errorf("runtime: timeout waiting for node programs (deadlock?)")
+
+// Run executes fn on every node concurrently and waits for completion. If
+// any node returns an error, the first (lowest node id) is returned. A
+// non-positive timeout means wait forever.
+func (c *Cluster) Run(fn Program, timeout time.Duration) error {
+	errs := make([]error, c.n)
+	var wg sync.WaitGroup
+	wg.Add(c.n)
+	for i := 0; i < c.n; i++ {
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[id] = fmt.Errorf("runtime: node %d panicked: %v", id, r)
+				}
+			}()
+			errs[id] = fn(&Node{id: id, c: c})
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	if timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			return ErrTimeout
+		}
+	} else {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// barrier is a reusable n-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,269 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0); err == nil {
+		t.Error("size 0 must fail")
+	}
+	if _, err := NewCluster(-2); err == nil {
+		t.Error("negative size must fail")
+	}
+	c, err := NewCluster(4)
+	if err != nil || c.N() != 4 {
+		t.Fatalf("NewCluster: %v %v", c, err)
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	c, _ := NewCluster(2)
+	err := c.Run(func(nd *Node) error {
+		if nd.ID() == 0 {
+			nd.Send(1, []byte("hello"))
+			return nil
+		}
+		got := nd.Recv(0)
+		if string(got) != "hello" {
+			return fmt.Errorf("got %q", got)
+		}
+		return nil
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	c, _ := NewCluster(2)
+	err := c.Run(func(nd *Node) error {
+		if nd.ID() == 0 {
+			buf := []byte{1, 2, 3}
+			nd.Send(1, buf)
+			buf[0] = 99 // must not affect the delivered message
+			nd.Send(1, []byte{0})
+			return nil
+		}
+		first := nd.Recv(0)
+		nd.Recv(0)
+		if first[0] != 1 {
+			return fmt.Errorf("message aliased sender buffer: %v", first)
+		}
+		return nil
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerSender(t *testing.T) {
+	c, _ := NewCluster(2)
+	const k = 50
+	err := c.Run(func(nd *Node) error {
+		if nd.ID() == 0 {
+			for i := 0; i < k; i++ {
+				nd.Send(1, []byte{byte(i)})
+			}
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			if got := nd.Recv(0); got[0] != byte(i) {
+				return fmt.Errorf("out of order: got %d want %d", got[0], i)
+			}
+		}
+		return nil
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchange(t *testing.T) {
+	c, _ := NewCluster(8)
+	err := c.Run(func(nd *Node) error {
+		// Everyone exchanges with XOR-partner under mask 5.
+		peer := nd.ID() ^ 5
+		got := nd.Exchange(peer, []byte{byte(nd.ID())})
+		if got[0] != byte(peer) {
+			return fmt.Errorf("node %d: got %d from %d", nd.ID(), got[0], peer)
+		}
+		return nil
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeSelf(t *testing.T) {
+	c, _ := NewCluster(1)
+	err := c.Run(func(nd *Node) error {
+		data := []byte{7, 8}
+		got := nd.Exchange(0, data)
+		if !bytes.Equal(got, data) {
+			return fmt.Errorf("self exchange got %v", got)
+		}
+		got[0] = 99
+		if data[0] != 7 {
+			return fmt.Errorf("self exchange aliased input")
+		}
+		return nil
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSeparatesPhases(t *testing.T) {
+	c, _ := NewCluster(16)
+	var phase1 int32
+	err := c.Run(func(nd *Node) error {
+		atomic.AddInt32(&phase1, 1)
+		nd.Barrier()
+		if n := atomic.LoadInt32(&phase1); n != 16 {
+			return fmt.Errorf("node %d passed barrier with %d arrivals", nd.ID(), n)
+		}
+		return nil
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	c, _ := NewCluster(8)
+	var counter int32
+	err := c.Run(func(nd *Node) error {
+		for round := 1; round <= 10; round++ {
+			atomic.AddInt32(&counter, 1)
+			nd.Barrier()
+			if n := atomic.LoadInt32(&counter); n != int32(8*round) {
+				return fmt.Errorf("round %d: counter %d", round, n)
+			}
+			nd.Barrier()
+		}
+		return nil
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReturnsFirstError(t *testing.T) {
+	c, _ := NewCluster(4)
+	err := c.Run(func(nd *Node) error {
+		if nd.ID() == 2 {
+			return fmt.Errorf("boom-%d", nd.ID())
+		}
+		return nil
+	}, 5*time.Second)
+	if err == nil || err.Error() != "boom-2" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	c, _ := NewCluster(2)
+	err := c.Run(func(nd *Node) error {
+		if nd.ID() == 1 {
+			panic("kaboom")
+		}
+		return nil
+	}, 5*time.Second)
+	if err == nil {
+		t.Error("panic must surface as error")
+	}
+}
+
+func TestRunTimeoutOnDeadlock(t *testing.T) {
+	c, _ := NewCluster(2)
+	err := c.Run(func(nd *Node) error {
+		if nd.ID() == 0 {
+			nd.Recv(1) // never sent
+		}
+		return nil
+	}, 100*time.Millisecond)
+	if err != ErrTimeout {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestSendInvalidDestPanics(t *testing.T) {
+	c, _ := NewCluster(2)
+	err := c.Run(func(nd *Node) error {
+		if nd.ID() == 0 {
+			nd.Send(7, nil)
+		}
+		return nil
+	}, 5*time.Second)
+	if err == nil {
+		t.Error("invalid destination must error via panic recovery")
+	}
+}
+
+func TestRecvInvalidSrcPanics(t *testing.T) {
+	c, _ := NewCluster(2)
+	err := c.Run(func(nd *Node) error {
+		if nd.ID() == 0 {
+			nd.Recv(-1)
+		}
+		return nil
+	}, 5*time.Second)
+	if err == nil {
+		t.Error("invalid source must error via panic recovery")
+	}
+}
+
+// All-pairs stress: every node sends a tagged message to every other node;
+// everything must arrive exactly once with correct content.
+func TestAllToAllStress(t *testing.T) {
+	const n = 32
+	c, _ := NewCluster(n)
+	err := c.Run(func(nd *Node) error {
+		for dst := 0; dst < n; dst++ {
+			if dst != nd.ID() {
+				nd.Send(dst, []byte{byte(nd.ID()), byte(dst)})
+			}
+		}
+		for src := 0; src < n; src++ {
+			if src == nd.ID() {
+				continue
+			}
+			got := nd.Recv(src)
+			if got[0] != byte(src) || got[1] != byte(nd.ID()) {
+				return fmt.Errorf("node %d: bad message %v from %d", nd.ID(), got, src)
+			}
+		}
+		return nil
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	c, _ := NewCluster(4)
+	err := c.Run(func(nd *Node) error {
+		if nd.N() != 4 {
+			return fmt.Errorf("N() = %d", nd.N())
+		}
+		if nd.ID() < 0 || nd.ID() >= 4 {
+			return fmt.Errorf("ID() = %d", nd.ID())
+		}
+		return nil
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoTimeoutCompletes(t *testing.T) {
+	c, _ := NewCluster(2)
+	if err := c.Run(func(nd *Node) error { return nil }, 0); err != nil {
+		t.Fatal(err)
+	}
+}

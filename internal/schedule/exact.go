@@ -1,0 +1,176 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// BuildExact finds a minimum-step schedule for the transfers by iterative
+// deepening over step counts with backtracking. It is exponential and
+// intended for small instances only (≤ maxTransfers transfers), where it
+// serves as the optimality yardstick for the greedy Build — quantifying
+// the §9 open problem's difficulty.
+func BuildExact(h *topology.Hypercube, transfers []topology.Transfer, maxTransfers int) (*Schedule, error) {
+	work := make([]topology.Transfer, 0, len(transfers))
+	for _, tr := range transfers {
+		if !h.Contains(tr.Src) || !h.Contains(tr.Dst) {
+			return nil, fmt.Errorf("schedule: transfer %d→%d outside %d-cube",
+				tr.Src, tr.Dst, h.Dim())
+		}
+		if tr.Src != tr.Dst {
+			work = append(work, tr)
+		}
+	}
+	if len(work) > maxTransfers {
+		return nil, fmt.Errorf("schedule: exact solver limited to %d transfers, got %d",
+			maxTransfers, len(work))
+	}
+	if len(work) == 0 {
+		return &Schedule{Cube: h}, nil
+	}
+
+	// Precompute each transfer's directed edge set.
+	edgeSets := make([][]topology.Edge, len(work))
+	for i, tr := range work {
+		es, err := h.RouteEdges(tr.Src, tr.Dst)
+		if err != nil {
+			return nil, err
+		}
+		edgeSets[i] = es
+	}
+
+	// The greedy bound caps the search.
+	greedy, err := Build(h, work)
+	if err != nil {
+		return nil, err
+	}
+	upper := greedy.NumSteps()
+
+	for k := lowerBound(h, work); k <= upper; k++ {
+		assign := make([]int, len(work))
+		for i := range assign {
+			assign[i] = -1
+		}
+		steps := make([]*stepRes, k)
+		for i := range steps {
+			steps[i] = newStepRes()
+		}
+		if solve(work, edgeSets, assign, steps, 0) {
+			s := &Schedule{Cube: h, Steps: make([][]topology.Transfer, k)}
+			for i, st := range assign {
+				s.Steps[st] = append(s.Steps[st], work[i])
+			}
+			return s, nil
+		}
+	}
+	return greedy, nil // unreachable in practice: greedy itself fits in `upper`
+}
+
+// lowerBound: a node sending (or receiving) c transfers needs ≥ c steps;
+// an edge used by c transfers needs ≥ c steps.
+func lowerBound(h *topology.Hypercube, work []topology.Transfer) int {
+	srcCount := map[int]int{}
+	dstCount := map[int]int{}
+	edgeCount := map[topology.Edge]int{}
+	lb := 1
+	for _, tr := range work {
+		srcCount[tr.Src]++
+		dstCount[tr.Dst]++
+		if es, err := h.RouteEdges(tr.Src, tr.Dst); err == nil {
+			for _, e := range es {
+				edgeCount[e]++
+			}
+		}
+	}
+	for _, c := range srcCount {
+		if c > lb {
+			lb = c
+		}
+	}
+	for _, c := range dstCount {
+		if c > lb {
+			lb = c
+		}
+	}
+	for _, c := range edgeCount {
+		if c > lb {
+			lb = c
+		}
+	}
+	return lb
+}
+
+type stepRes struct {
+	sending   map[int]bool
+	receiving map[int]bool
+	edges     map[topology.Edge]bool
+}
+
+func newStepRes() *stepRes {
+	return &stepRes{
+		sending:   map[int]bool{},
+		receiving: map[int]bool{},
+		edges:     map[topology.Edge]bool{},
+	}
+}
+
+func (s *stepRes) fits(tr topology.Transfer, edges []topology.Edge) bool {
+	if s.sending[tr.Src] || s.receiving[tr.Dst] {
+		return false
+	}
+	for _, e := range edges {
+		if s.edges[e] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *stepRes) add(tr topology.Transfer, edges []topology.Edge) {
+	s.sending[tr.Src] = true
+	s.receiving[tr.Dst] = true
+	for _, e := range edges {
+		s.edges[e] = true
+	}
+}
+
+func (s *stepRes) remove(tr topology.Transfer, edges []topology.Edge) {
+	delete(s.sending, tr.Src)
+	delete(s.receiving, tr.Dst)
+	for _, e := range edges {
+		delete(s.edges, e)
+	}
+}
+
+// solve assigns transfer i to some step, backtracking on conflicts. To
+// break step-permutation symmetry, transfer i may only open step j if all
+// steps < j are in use by transfers < i.
+func solve(work []topology.Transfer, edgeSets [][]topology.Edge, assign []int, steps []*stepRes, i int) bool {
+	if i == len(work) {
+		return true
+	}
+	maxUsed := -1
+	for j := 0; j < i; j++ {
+		if assign[j] > maxUsed {
+			maxUsed = assign[j]
+		}
+	}
+	limit := maxUsed + 1
+	if limit >= len(steps) {
+		limit = len(steps) - 1
+	}
+	for st := 0; st <= limit; st++ {
+		if !steps[st].fits(work[i], edgeSets[i]) {
+			continue
+		}
+		steps[st].add(work[i], edgeSets[i])
+		assign[i] = st
+		if solve(work, edgeSets, assign, steps, i+1) {
+			return true
+		}
+		steps[st].remove(work[i], edgeSets[i])
+		assign[i] = -1
+	}
+	return false
+}

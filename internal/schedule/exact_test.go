@@ -1,0 +1,120 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestBuildExactValidation(t *testing.T) {
+	h := topology.MustNew(3)
+	if _, err := BuildExact(h, []topology.Transfer{{Src: 0, Dst: 99}}, 10); err == nil {
+		t.Error("out-of-cube must fail")
+	}
+	big := make([]topology.Transfer, 20)
+	for i := range big {
+		big[i] = topology.Transfer{Src: i % 8, Dst: (i + 1) % 8}
+	}
+	if _, err := BuildExact(h, big, 10); err == nil {
+		t.Error("transfer cap must be enforced")
+	}
+	s, err := BuildExact(h, nil, 10)
+	if err != nil || s.NumSteps() != 0 {
+		t.Errorf("empty exact schedule: %v %v", s, err)
+	}
+}
+
+func TestBuildExactOptimalOnKnownCases(t *testing.T) {
+	h := topology.MustNew(2)
+	// Two transfers sharing the directed link 1→3 need exactly 2 steps.
+	req := []topology.Transfer{{Src: 0, Dst: 3}, {Src: 1, Dst: 3}}
+	s, err := BuildExact(h, req, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(req); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps() != 2 {
+		t.Errorf("steps = %d, want 2", s.NumSteps())
+	}
+	// Two edge-disjoint transfers need exactly 1 step.
+	req = []topology.Transfer{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}
+	s, err = BuildExact(h, req, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps() != 1 {
+		t.Errorf("disjoint pair needs 1 step, got %d", s.NumSteps())
+	}
+}
+
+// On the complete graph of a 1-cube and 2-cube, the exact solver must
+// find the XOR schedule's optimum (n−1 steps).
+func TestBuildExactCompleteGraphSmall(t *testing.T) {
+	for d := 1; d <= 2; d++ {
+		h := topology.MustNew(d)
+		req := CompleteGraph(h)
+		s, err := BuildExact(h, req, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Verify(req); err != nil {
+			t.Fatal(err)
+		}
+		if s.NumSteps() != h.Nodes()-1 {
+			t.Errorf("d=%d: exact %d steps, optimum %d", d, s.NumSteps(), h.Nodes()-1)
+		}
+	}
+}
+
+// The exact solution never uses more steps than greedy, and greedy stays
+// within 2× of exact on random small instances — quantifying the greedy
+// gap on the §9 open problem.
+func TestGreedyWithinTwoOfExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 25; trial++ {
+		d := rng.Intn(2) + 2
+		h := topology.MustNew(d)
+		k := rng.Intn(8) + 2
+		req := make([]topology.Transfer, k)
+		for i := range req {
+			req[i] = topology.Transfer{Src: rng.Intn(h.Nodes()), Dst: rng.Intn(h.Nodes())}
+		}
+		exact, err := BuildExact(h, req, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := exact.Verify(req); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		greedy, err := Build(h, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.NumSteps() > greedy.NumSteps() {
+			t.Errorf("trial %d: exact %d > greedy %d", trial, exact.NumSteps(), greedy.NumSteps())
+		}
+		if greedy.NumSteps() > 2*exact.NumSteps() {
+			t.Errorf("trial %d: greedy %d > 2×exact %d", trial,
+				greedy.NumSteps(), exact.NumSteps())
+		}
+	}
+}
+
+func TestLowerBoundSanity(t *testing.T) {
+	h := topology.MustNew(3)
+	// Node 0 sends 3 messages: lower bound 3.
+	req := []topology.Transfer{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 4}}
+	if lb := lowerBound(h, req); lb != 3 {
+		t.Errorf("lower bound = %d, want 3", lb)
+	}
+	s, err := BuildExact(h, req, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps() != 3 {
+		t.Errorf("one-port source needs 3 steps, got %d", s.NumSteps())
+	}
+}

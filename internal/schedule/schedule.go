@@ -1,0 +1,241 @@
+// Package schedule attacks the open problem the paper poses in §9:
+// "whether we can develop an efficient multiphase algorithm for a given
+// arbitrary communication requirement (i.e. an arbitrary directed graph)".
+//
+// Given any multiset of point-to-point transfers on a d-cube, Build packs
+// them greedily into a sequence of steps that are safe to run
+// simultaneously on a circuit-switched machine with e-cube routing:
+//
+//   - one-port constraint: within one step, each node sends at most one
+//     message and receives at most one message (the iPSC-860's pairwise
+//     behaviour, §7.2);
+//   - circuit constraint: no two transfers of a step may share a directed
+//     link on their e-cube paths (edge contention is "disastrous", §2).
+//
+// The result is a correct — though not necessarily optimal — generalized
+// schedule: for the complete-exchange requirement the XOR schedule of
+// §4.2 remains strictly better, which the tests quantify.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Schedule is an ordered list of steps; the transfers of one step run
+// simultaneously.
+type Schedule struct {
+	Cube  *topology.Hypercube
+	Steps [][]topology.Transfer
+}
+
+// NumSteps returns the number of steps.
+func (s *Schedule) NumSteps() int { return len(s.Steps) }
+
+// NumTransfers returns the total number of scheduled transfers.
+func (s *Schedule) NumTransfers() int {
+	total := 0
+	for _, st := range s.Steps {
+		total += len(st)
+	}
+	return total
+}
+
+// Build packs the transfers into contention-free steps by first-fit
+// decreasing path length: longer circuits are placed first (they are the
+// hardest to fit), each into the earliest step where both the one-port
+// and circuit constraints hold. Self-transfers are dropped. The input
+// order does not affect the result (transfers are canonically sorted
+// before packing), so schedules are deterministic.
+func Build(h *topology.Hypercube, transfers []topology.Transfer) (*Schedule, error) {
+	work := make([]topology.Transfer, 0, len(transfers))
+	for _, tr := range transfers {
+		if !h.Contains(tr.Src) || !h.Contains(tr.Dst) {
+			return nil, fmt.Errorf("schedule: transfer %d→%d outside %d-cube",
+				tr.Src, tr.Dst, h.Dim())
+		}
+		if tr.Src != tr.Dst {
+			work = append(work, tr)
+		}
+	}
+	sort.Slice(work, func(i, j int) bool {
+		di := h.Distance(work[i].Src, work[i].Dst)
+		dj := h.Distance(work[j].Src, work[j].Dst)
+		if di != dj {
+			return di > dj
+		}
+		if work[i].Src != work[j].Src {
+			return work[i].Src < work[j].Src
+		}
+		return work[i].Dst < work[j].Dst
+	})
+
+	s := &Schedule{Cube: h}
+	type stepState struct {
+		sending   map[int]bool
+		receiving map[int]bool
+		edges     map[topology.Edge]bool
+	}
+	var states []*stepState
+
+	place := func(tr topology.Transfer) error {
+		edges, err := h.RouteEdges(tr.Src, tr.Dst)
+		if err != nil {
+			return err
+		}
+		for i, st := range states {
+			if st.sending[tr.Src] || st.receiving[tr.Dst] {
+				continue
+			}
+			clash := false
+			for _, e := range edges {
+				if st.edges[e] {
+					clash = true
+					break
+				}
+			}
+			if clash {
+				continue
+			}
+			st.sending[tr.Src] = true
+			st.receiving[tr.Dst] = true
+			for _, e := range edges {
+				st.edges[e] = true
+			}
+			s.Steps[i] = append(s.Steps[i], tr)
+			return nil
+		}
+		st := &stepState{
+			sending:   map[int]bool{tr.Src: true},
+			receiving: map[int]bool{tr.Dst: true},
+			edges:     make(map[topology.Edge]bool, len(edges)),
+		}
+		for _, e := range edges {
+			st.edges[e] = true
+		}
+		states = append(states, st)
+		s.Steps = append(s.Steps, []topology.Transfer{tr})
+		return nil
+	}
+	for _, tr := range work {
+		if err := place(tr); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Verify checks the one-port and circuit constraints of every step and
+// that the schedule serves exactly the requested transfers (as a
+// multiset, self-transfers excluded).
+func (s *Schedule) Verify(requested []topology.Transfer) error {
+	want := map[topology.Transfer]int{}
+	for _, tr := range requested {
+		if tr.Src != tr.Dst {
+			want[tr]++
+		}
+	}
+	for k, step := range s.Steps {
+		sending := map[int]bool{}
+		receiving := map[int]bool{}
+		for _, tr := range step {
+			if sending[tr.Src] {
+				return fmt.Errorf("schedule: step %d: node %d sends twice", k, tr.Src)
+			}
+			if receiving[tr.Dst] {
+				return fmt.Errorf("schedule: step %d: node %d receives twice", k, tr.Dst)
+			}
+			sending[tr.Src] = true
+			receiving[tr.Dst] = true
+			want[tr]--
+			if want[tr] < 0 {
+				return fmt.Errorf("schedule: transfer %d→%d scheduled too often", tr.Src, tr.Dst)
+			}
+		}
+		r, err := s.Cube.AnalyzeStep(step)
+		if err != nil {
+			return err
+		}
+		if !r.EdgeContentionFree() {
+			return fmt.Errorf("schedule: step %d has edge contention on %v",
+				k, r.ContendedEdges())
+		}
+	}
+	for tr, c := range want {
+		if c > 0 {
+			return fmt.Errorf("schedule: transfer %d→%d not scheduled", tr.Src, tr.Dst)
+		}
+	}
+	return nil
+}
+
+// Model returns the analytic execution time of the schedule with uniform
+// message size m: each step costs λ + τm + δ·(longest path in the step),
+// steps are separated by the completion of the slowest circuit.
+func (s *Schedule) Model(prm model.Params, m int) float64 {
+	total := 0.0
+	for _, step := range s.Steps {
+		maxDist := 0
+		for _, tr := range step {
+			if d := s.Cube.Distance(tr.Src, tr.Dst); d > maxDist {
+				maxDist = d
+			}
+		}
+		total += prm.Lambda + prm.Tau*float64(m) + prm.Delta*float64(maxDist)
+	}
+	return total
+}
+
+// Programs lowers the schedule to simnet programs with uniform message
+// size m: all receives pre-posted (FORCED), a global barrier, then each
+// node performs its sends in step order and waits for its receives in
+// step order. Step boundaries are enforced with barriers so the
+// simulation mirrors the analytic model's lockstep assumption.
+func (s *Schedule) Programs(m int) []simnet.Program {
+	n := s.Cube.Nodes()
+	progs := make([]simnet.Program, n)
+	// Pre-post every receive.
+	for _, step := range s.Steps {
+		for _, tr := range step {
+			progs[tr.Dst] = append(progs[tr.Dst], simnet.PostRecv(tr.Src))
+		}
+	}
+	for p := 0; p < n; p++ {
+		progs[p] = append(progs[p], simnet.Barrier())
+	}
+	for _, step := range s.Steps {
+		for _, tr := range step {
+			progs[tr.Src] = append(progs[tr.Src], simnet.Send(tr.Dst, m, simnet.Forced))
+			progs[tr.Dst] = append(progs[tr.Dst], simnet.WaitRecv(tr.Src))
+		}
+		for p := 0; p < n; p++ {
+			progs[p] = append(progs[p], simnet.Barrier())
+		}
+	}
+	return progs
+}
+
+// Simulate runs the schedule's programs on a simulated network.
+func (s *Schedule) Simulate(prm model.Params, m int) (simnet.Result, error) {
+	net := simnet.New(s.Cube, prm)
+	return net.Run(s.Programs(m))
+}
+
+// CompleteGraph returns the complete-exchange requirement: every ordered
+// pair (src ≠ dst) once.
+func CompleteGraph(h *topology.Hypercube) []topology.Transfer {
+	n := h.Nodes()
+	out := make([]topology.Transfer, 0, n*(n-1))
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				out = append(out, topology.Transfer{Src: s, Dst: d})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+func TestBuildValidation(t *testing.T) {
+	h := topology.MustNew(3)
+	if _, err := Build(h, []topology.Transfer{{Src: 0, Dst: 9}}); err == nil {
+		t.Error("out-of-cube transfer must fail")
+	}
+}
+
+func TestBuildDropsSelfTransfers(t *testing.T) {
+	h := topology.MustNew(2)
+	s, err := Build(h, []topology.Transfer{{Src: 1, Dst: 1}, {Src: 0, Dst: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTransfers() != 1 {
+		t.Errorf("transfers = %d, want 1", s.NumTransfers())
+	}
+	if err := s.Verify([]topology.Transfer{{Src: 1, Dst: 1}, {Src: 0, Dst: 3}}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptySchedule(t *testing.T) {
+	h := topology.MustNew(3)
+	s, err := Build(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps() != 0 || s.Model(model.IPSC860(), 10) != 0 {
+		t.Error("empty schedule must be free")
+	}
+	if err := s.Verify(nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompleteGraphScheduled(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		h := topology.MustNew(d)
+		req := CompleteGraph(h)
+		s, err := Build(h, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Verify(req); err != nil {
+			t.Errorf("d=%d: %v", d, err)
+		}
+		n := h.Nodes()
+		// Lower bound: n−1 steps (each node must receive n−1 messages,
+		// one per step). Greedy should stay within a reasonable factor.
+		if s.NumSteps() < n-1 {
+			t.Errorf("d=%d: %d steps below lower bound %d", d, s.NumSteps(), n-1)
+		}
+		if s.NumSteps() > 3*(n-1) {
+			t.Errorf("d=%d: greedy used %d steps (> 3(n−1) = %d)", d, s.NumSteps(), 3*(n-1))
+		}
+		if s.NumTransfers() != n*(n-1) {
+			t.Errorf("d=%d: scheduled %d transfers", d, s.NumTransfers())
+		}
+	}
+}
+
+// The XOR schedule is the specialist: the generalized greedy scheduler
+// must not beat it on the complete graph (it is a correctness baseline,
+// not an optimality claim), and both must verify.
+func TestXORBeatsGreedyOnCompleteGraph(t *testing.T) {
+	d := 4
+	h := topology.MustNew(d)
+	req := CompleteGraph(h)
+	greedy, err := Build(h, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := greedy.Verify(req); err != nil {
+		t.Fatal(err)
+	}
+	xorSteps := h.Nodes() - 1
+	if greedy.NumSteps() < xorSteps {
+		t.Errorf("greedy %d steps beats XOR %d — optimality theory says impossible",
+			greedy.NumSteps(), xorSteps)
+	}
+	t.Logf("d=%d complete graph: greedy %d steps vs XOR %d", d, greedy.NumSteps(), xorSteps)
+}
+
+func TestPermutationRequirement(t *testing.T) {
+	// A random permutation: one-port allows it to finish in few steps.
+	h := topology.MustNew(5)
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(32)
+	var req []topology.Transfer
+	for s, d := range perm {
+		req = append(req, topology.Transfer{Src: s, Dst: d})
+	}
+	sch, err := Build(h, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.Verify(req); err != nil {
+		t.Fatal(err)
+	}
+	if sch.NumSteps() > 10 {
+		t.Errorf("permutation took %d steps", sch.NumSteps())
+	}
+}
+
+func TestRandomRequirementsQuick(t *testing.T) {
+	f := func(seed int64, dRaw, kRaw uint8) bool {
+		d := int(dRaw)%4 + 1
+		h := topology.MustNew(d)
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw)%50 + 1
+		req := make([]topology.Transfer, k)
+		for i := range req {
+			req[i] = topology.Transfer{
+				Src: rng.Intn(h.Nodes()),
+				Dst: rng.Intn(h.Nodes()),
+			}
+		}
+		s, err := Build(h, req)
+		if err != nil {
+			return false
+		}
+		return s.Verify(req) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateTransfersKept(t *testing.T) {
+	// The requirement is a multiset: the same pair twice must be served
+	// twice (necessarily in different steps).
+	h := topology.MustNew(2)
+	req := []topology.Transfer{{Src: 0, Dst: 3}, {Src: 0, Dst: 3}}
+	s, err := Build(h, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTransfers() != 2 || s.NumSteps() != 2 {
+		t.Errorf("steps=%d transfers=%d, want 2/2", s.NumSteps(), s.NumTransfers())
+	}
+	if err := s.Verify(req); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	h := topology.MustNew(4)
+	req := CompleteGraph(h)
+	// Shuffle the input; the canonical sort inside Build must produce
+	// the same schedule.
+	shuffled := append([]topology.Transfer(nil), req...)
+	rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	a, err := Build(h, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(h, shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSteps() != b.NumSteps() {
+		t.Fatalf("nondeterministic: %d vs %d steps", a.NumSteps(), b.NumSteps())
+	}
+	for k := range a.Steps {
+		if len(a.Steps[k]) != len(b.Steps[k]) {
+			t.Fatalf("step %d sizes differ", k)
+		}
+		for i := range a.Steps[k] {
+			if a.Steps[k][i] != b.Steps[k][i] {
+				t.Fatalf("step %d transfer %d differs", k, i)
+			}
+		}
+	}
+}
+
+func TestSimulateAgainstModel(t *testing.T) {
+	// With pre-posted FORCED receives and per-step barriers, the
+	// simulated time must be at least the model (barrier costs are
+	// extra) and must not drop messages nor stall on contention.
+	h := topology.MustNew(3)
+	rng := rand.New(rand.NewSource(17))
+	var req []topology.Transfer
+	for i := 0; i < 20; i++ {
+		req = append(req, topology.Transfer{Src: rng.Intn(8), Dst: rng.Intn(8)})
+	}
+	s, err := Build(h, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := model.IPSC860Raw()
+	res, err := s.Simulate(prm, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedForced != 0 {
+		t.Errorf("dropped %d FORCED messages", res.DroppedForced)
+	}
+	if res.ContentionStall != 0 {
+		t.Errorf("contention stall %v in a verified schedule", res.ContentionStall)
+	}
+	if res.Makespan < s.Model(prm, 64)-1e-6 {
+		t.Errorf("simulated %v below model %v", res.Makespan, s.Model(prm, 64))
+	}
+}
+
+func TestModelMonotoneInMessageSize(t *testing.T) {
+	h := topology.MustNew(3)
+	s, err := Build(h, CompleteGraph(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := model.IPSC860()
+	if s.Model(prm, 10) >= s.Model(prm, 100) {
+		t.Error("model must grow with message size")
+	}
+}

@@ -1,0 +1,304 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/event"
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+// Network is a simulated circuit-switched hypercube.
+type Network struct {
+	cube       *topology.Hypercube
+	params     model.Params
+	trace      bool
+	budget     uint64
+	jitterFrac float64
+	jitterSeed int64
+}
+
+// SetJitter enables deterministic pseudo-random perturbation of every
+// transmission duration by up to ±frac (e.g. 0.05 = ±5%). The paper's
+// Figures 4–6 distinguish measured (solid) from predicted (dashed)
+// curves; jitter turns the simulator into the "measured" machine whose
+// imperfect agreement with the model can be quantified. frac = 0 restores
+// exact model behaviour. The seed makes runs reproducible.
+func (n *Network) SetJitter(frac float64, seed int64) {
+	if frac < 0 {
+		frac = 0
+	}
+	n.jitterFrac = frac
+	n.jitterSeed = seed
+}
+
+// DefaultEventBudget is the watchdog limit on simulation events per Run;
+// real workloads stay far below it, so hitting it indicates a livelock in
+// the simulated programs.
+const DefaultEventBudget = 50_000_000
+
+// SetEventBudget overrides the per-Run event watchdog (0 restores the
+// default). Exists mainly so tests can exercise the livelock path.
+func (n *Network) SetEventBudget(limit uint64) { n.budget = limit }
+
+// SetTrace enables or disables timeline recording: when on, every node
+// op's occupancy interval is appended to Result.Timeline.
+func (n *Network) SetTrace(on bool) { n.trace = on }
+
+// Interval is one node-op occupancy span in the timeline: the node was
+// inside the op from Start to End (µs). For communication ops the span
+// includes rendezvous and circuit waiting.
+type Interval struct {
+	Node  int
+	Kind  OpKind
+	Peer  int
+	Bytes int
+	Start float64
+	End   float64
+}
+
+// New returns a network over the given hypercube with the given machine
+// parameters.
+func New(h *topology.Hypercube, p model.Params) *Network {
+	return &Network{cube: h, params: p}
+}
+
+// Cube returns the underlying hypercube.
+func (n *Network) Cube() *topology.Hypercube { return n.cube }
+
+// Params returns the machine parameters.
+func (n *Network) Params() model.Params { return n.params }
+
+// Result reports the outcome of one simulated run.
+type Result struct {
+	// Makespan is the virtual time at which the last node finished, µs.
+	Makespan float64
+	// NodeFinish holds each node's completion time, µs.
+	NodeFinish []float64
+	// ContentionStall is the total time circuits spent waiting for busy
+	// links, summed over all transmissions, µs.
+	ContentionStall float64
+	// Messages is the number of point-to-point transmissions (an
+	// exchange counts as two).
+	Messages int
+	// BytesMoved is the total payload volume transmitted.
+	BytesMoved int
+	// DroppedForced counts FORCED messages that arrived before their
+	// receive was posted (§7.3 calls this outcome "fatal"; we record it
+	// and deliver anyway so the simulation can finish and report).
+	DroppedForced int
+	// Barriers is the number of global synchronizations executed.
+	Barriers int
+	// MaxEdgeQueue is the largest number of circuits that were ever
+	// simultaneously holding-or-waiting on one directed link.
+	MaxEdgeQueue int
+	// Timeline holds per-op occupancy intervals when tracing is enabled
+	// (Network.SetTrace), in completion order.
+	Timeline []Interval
+}
+
+// runState is the mutable execution state of one Run.
+type runState struct {
+	net     *Network
+	eng     *event.Engine
+	progs   []Program
+	pc      []int     // program counter per node
+	opStart []float64 // time the current op began occupying the node
+	ready   []float64 // node-available time, µs
+	done    []bool
+	edges   map[topology.Edge]*edgeState
+	pend    map[pairKey]*pendingExchange
+	inbox   map[msgKey]*inboxEntry
+	bar     *barrierState
+	res     Result
+	failed  error
+	rng     *rand.Rand
+
+	// FIFO sequence counters for rendezvous and message matching.
+	pairSeq map[pairID]int
+	arrSeq  map[pairID]int
+	postSeq map[pairID]int
+	waitSeq map[pairID]int
+}
+
+type edgeState struct {
+	busyUntil float64
+	queue     int // circuits currently holding or waiting
+	maxQueue  int
+}
+
+// pairID names an ordered or unordered node pair, depending on use.
+type pairID struct{ a, b int }
+
+// pairKey identifies an exchange rendezvous between two nodes; seq
+// disambiguates repeated exchanges between the same pair.
+type pairKey struct {
+	lo, hi int
+	seq    int
+}
+
+type pendingExchange struct {
+	firstNode  int
+	firstReady float64
+	bytes      int
+}
+
+// msgKey identifies the k-th message from src to dst.
+type msgKey struct {
+	src, dst int
+	seq      int
+}
+
+type inboxEntry struct {
+	arrived   bool
+	arriveAt  float64
+	posted    bool
+	waiting   bool
+	waiterCPU float64 // time at which the waiter parked
+}
+
+type barrierState struct {
+	arrived int
+	maxTime float64
+	waiters []int
+}
+
+// Run executes one program per node (len(programs) must equal the node
+// count) and returns the result. Programs must be mutually consistent:
+// every exchange must have a matching exchange on the peer, and every
+// send must eventually be received or the run reports a deadlock error.
+func (n *Network) Run(programs []Program) (Result, error) {
+	if len(programs) != n.cube.Nodes() {
+		return Result{}, fmt.Errorf("simnet: %d programs for %d nodes",
+			len(programs), n.cube.Nodes())
+	}
+	st := &runState{
+		net:   n,
+		eng:   event.New(),
+		progs: programs,
+		pc:    make([]int, len(programs)),
+
+		opStart: make([]float64, len(programs)),
+		ready:   make([]float64, len(programs)),
+		done:    make([]bool, len(programs)),
+		edges:   make(map[topology.Edge]*edgeState),
+		pend:    make(map[pairKey]*pendingExchange),
+		inbox:   make(map[msgKey]*inboxEntry),
+		res:     Result{NodeFinish: make([]float64, len(programs))},
+
+		rng: rand.New(rand.NewSource(n.jitterSeed)),
+
+		pairSeq: make(map[pairID]int),
+		arrSeq:  make(map[pairID]int),
+		postSeq: make(map[pairID]int),
+		waitSeq: make(map[pairID]int),
+	}
+	// Seed: every node begins interpreting its program at time 0.
+	for p := range programs {
+		p := p
+		st.eng.At(0, func(event.Time) { st.step(p) })
+	}
+	budget := n.budget
+	if budget == 0 {
+		budget = DefaultEventBudget
+	}
+	if !st.eng.RunLimit(budget) {
+		return st.res, fmt.Errorf("simnet: event budget exhausted (livelock?)")
+	}
+	if st.failed != nil {
+		return st.res, st.failed
+	}
+	for p, d := range st.done {
+		if !d {
+			return st.res, fmt.Errorf("simnet: node %d blocked at op %d (%s): deadlock",
+				p, st.pc[p], st.opName(p))
+		}
+	}
+	for _, e := range st.edges {
+		if e.maxQueue > st.res.MaxEdgeQueue {
+			st.res.MaxEdgeQueue = e.maxQueue
+		}
+	}
+	return st.res, nil
+}
+
+func (st *runState) opName(p int) string {
+	if st.pc[p] < len(st.progs[p]) {
+		return st.progs[p][st.pc[p]].Kind.String()
+	}
+	return "end"
+}
+
+func (st *runState) fail(err error) {
+	if st.failed == nil {
+		st.failed = err
+	}
+}
+
+// step interprets the current op of node p. Called whenever node p becomes
+// runnable (at its ready time).
+func (st *runState) step(p int) {
+	if st.failed != nil || st.done[p] {
+		return
+	}
+	prog := st.progs[p]
+	if st.pc[p] >= len(prog) {
+		st.done[p] = true
+		st.res.NodeFinish[p] = st.ready[p]
+		if st.ready[p] > st.res.Makespan {
+			st.res.Makespan = st.ready[p]
+		}
+		return
+	}
+	op := prog[st.pc[p]]
+	st.opStart[p] = st.ready[p]
+	switch op.Kind {
+	case OpCompute:
+		if op.Micros < 0 {
+			st.fail(fmt.Errorf("simnet: node %d: negative compute time", p))
+			return
+		}
+		st.advance(p, st.ready[p]+op.Micros)
+	case OpShuffle:
+		st.advance(p, st.ready[p]+st.net.params.Rho*float64(op.Bytes))
+	case OpBarrier:
+		st.enterBarrier(p)
+	case OpExchange:
+		st.enterExchange(p, op)
+	case OpSend:
+		st.doSend(p, op)
+	case OpPostRecv:
+		st.doPostRecv(p, op.Peer)
+		st.advance(p, st.ready[p])
+	case OpRecv:
+		st.doPostRecv(p, op.Peer)
+		st.doWaitRecv(p, op.Peer)
+	case OpWaitRecv:
+		st.doWaitRecv(p, op.Peer)
+	default:
+		st.fail(fmt.Errorf("simnet: node %d: unknown op kind %v", p, op.Kind))
+	}
+}
+
+// advance completes node p's current op at time t and schedules the next.
+func (st *runState) advance(p int, t float64) {
+	if st.net.trace && st.pc[p] < len(st.progs[p]) {
+		op := st.progs[p][st.pc[p]]
+		st.res.Timeline = append(st.res.Timeline, Interval{
+			Node:  p,
+			Kind:  op.Kind,
+			Peer:  op.Peer,
+			Bytes: op.Bytes,
+			Start: st.opStart[p],
+			End:   t,
+		})
+	}
+	st.ready[p] = t
+	st.pc[p]++
+	st.eng.At(event.Time(t), func(event.Time) { st.step(p) })
+}
+
+// park leaves node p blocked inside its current op; a later event will
+// resume it via advance.
+func (st *runState) park() {}

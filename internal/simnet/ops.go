@@ -1,0 +1,133 @@
+// Package simnet is a deterministic discrete-event simulator of a
+// circuit-switched hypercube in the style of the Intel iPSC-860 (paper §2,
+// §7). It models:
+//
+//   - e-cube (dimension-ordered) circuit routing: a message holds every
+//     directed link on its path for its entire duration;
+//   - edge contention: circuits wanting a busy link wait (the paper's
+//     measurements show edge contention is "disastrous"; node pass-through
+//     contention is free and is only recorded);
+//   - the timing model λ + τ·m + δ·h per message and ρ per byte shuffled;
+//   - pairwise-synchronized exchanges (§7.2): with synchronization the two
+//     transfers proceed concurrently after a zero-byte sync round;
+//     without it they serialize;
+//   - FORCED vs UNFORCED message types (§7.1): a FORCED message arriving
+//     before its receive is posted is dropped (recorded as an error);
+//     UNFORCED messages above the size threshold pay a reserve-
+//     acknowledge round trip;
+//   - global synchronization (§7.3) at 150·d µs per barrier.
+//
+// Node behaviour is specified as a Program — a sequence of Ops — and the
+// network executes one program per node, returning per-node completion
+// times and aggregate statistics.
+package simnet
+
+import "fmt"
+
+// MsgType selects iPSC-860 message semantics (§7.1).
+type MsgType int
+
+const (
+	// Forced messages are discarded on arrival if no receive is posted.
+	Forced MsgType = iota
+	// Unforced messages are buffered by the OS; above the network's
+	// threshold they pay a reserve-acknowledge round trip.
+	Unforced
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case Forced:
+		return "FORCED"
+	case Unforced:
+		return "UNFORCED"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+}
+
+// OpKind enumerates node operations.
+type OpKind int
+
+const (
+	// OpExchange performs a pairwise exchange of Bytes with Peer: both
+	// nodes send and receive. This is the building block of both the
+	// Standard Exchange steps and the circuit-switched schedule (§4).
+	OpExchange OpKind = iota
+	// OpSend transmits Bytes to Peer with the given message Type.
+	OpSend
+	// OpPostRecv posts a receive buffer for a message from Peer without
+	// waiting (the paper's implementation posts all receives up front).
+	OpPostRecv
+	// OpWaitRecv blocks until a message from Peer has been delivered.
+	OpWaitRecv
+	// OpRecv is OpPostRecv immediately followed by OpWaitRecv.
+	OpRecv
+	// OpShuffle charges the local data-permutation cost ρ·Bytes.
+	OpShuffle
+	// OpCompute charges Micros of local computation.
+	OpCompute
+	// OpBarrier joins a global synchronization across all nodes.
+	OpBarrier
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpExchange:
+		return "exchange"
+	case OpSend:
+		return "send"
+	case OpPostRecv:
+		return "postrecv"
+	case OpWaitRecv:
+		return "waitrecv"
+	case OpRecv:
+		return "recv"
+	case OpShuffle:
+		return "shuffle"
+	case OpCompute:
+		return "compute"
+	case OpBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one step of a node program.
+type Op struct {
+	Kind   OpKind
+	Peer   int     // partner node for communication ops
+	Bytes  int     // payload size for communication/shuffle ops
+	Micros float64 // compute duration for OpCompute
+	Type   MsgType // message type for OpSend
+}
+
+// Program is the operation sequence executed by one node.
+type Program []Op
+
+// Exchange returns a pairwise-exchange op.
+func Exchange(peer, bytes int) Op { return Op{Kind: OpExchange, Peer: peer, Bytes: bytes} }
+
+// Send returns a one-sided send op.
+func Send(peer, bytes int, t MsgType) Op {
+	return Op{Kind: OpSend, Peer: peer, Bytes: bytes, Type: t}
+}
+
+// PostRecv returns a receive-posting op.
+func PostRecv(peer int) Op { return Op{Kind: OpPostRecv, Peer: peer} }
+
+// WaitRecv returns a receive-wait op.
+func WaitRecv(peer int) Op { return Op{Kind: OpWaitRecv, Peer: peer} }
+
+// Recv returns a post-and-wait receive op.
+func Recv(peer int) Op { return Op{Kind: OpRecv, Peer: peer} }
+
+// Shuffle returns a local-permutation op over the given byte count.
+func Shuffle(bytes int) Op { return Op{Kind: OpShuffle, Bytes: bytes} }
+
+// Compute returns a local-computation op of the given duration in µs.
+func Compute(micros float64) Op { return Op{Kind: OpCompute, Micros: micros} }
+
+// Barrier returns a global-synchronization op.
+func Barrier() Op { return Op{Kind: OpBarrier} }

@@ -1,0 +1,288 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+// jitter perturbs a transmission duration by the network's configured
+// measurement noise (a no-op at the default frac = 0).
+func (st *runState) jitter(dur float64) float64 {
+	f := st.net.jitterFrac
+	if f == 0 {
+		return dur
+	}
+	return dur * (1 + f*(2*st.rng.Float64()-1))
+}
+
+// pathEdges returns the directed links of the e-cube route src→dst.
+func (st *runState) pathEdges(src, dst int) ([]topology.Edge, error) {
+	return st.net.cube.RouteEdges(src, dst)
+}
+
+// edgesFreeAt returns the earliest time ≥ t at which all given links are
+// free.
+func (st *runState) edgesFreeAt(edges []topology.Edge, t float64) float64 {
+	start := t
+	for _, e := range edges {
+		if es := st.edge(e); es.busyUntil > start {
+			start = es.busyUntil
+		}
+	}
+	return start
+}
+
+// holdEdges reserves the given links for [start, finish).
+func (st *runState) holdEdges(edges []topology.Edge, start, finish float64) {
+	for _, e := range edges {
+		es := st.edge(e)
+		es.busyUntil = finish
+		es.queue++
+		if es.queue > es.maxQueue {
+			es.maxQueue = es.queue
+		}
+		st.eng.At(event.Time(finish), func(event.Time) { es.queue-- })
+	}
+}
+
+// reservePath acquires the e-cube circuit src→dst for a transmission
+// wanting to start no earlier than t and lasting dur µs. It returns the
+// actual start time (delayed if any link is busy — edge contention).
+func (st *runState) reservePath(src, dst int, t, dur float64) (float64, error) {
+	if src == dst {
+		return t, nil
+	}
+	edges, err := st.pathEdges(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	start := st.edgesFreeAt(edges, t)
+	st.holdEdges(edges, start, start+dur)
+	st.res.ContentionStall += start - t
+	return start, nil
+}
+
+// reservePair acquires both directed circuits of a pairwise exchange at a
+// common start time.
+func (st *runState) reservePair(p, q int, t, dur float64) (float64, error) {
+	fw, err := st.pathEdges(p, q)
+	if err != nil {
+		return 0, err
+	}
+	bw, err := st.pathEdges(q, p)
+	if err != nil {
+		return 0, err
+	}
+	start := st.edgesFreeAt(fw, t)
+	start = st.edgesFreeAt(bw, start)
+	st.holdEdges(fw, start, start+dur)
+	st.holdEdges(bw, start, start+dur)
+	st.res.ContentionStall += start - t
+	return start, nil
+}
+
+func (st *runState) edge(e topology.Edge) *edgeState {
+	es, ok := st.edges[e]
+	if !ok {
+		es = &edgeState{}
+		st.edges[e] = es
+	}
+	return es
+}
+
+// enterBarrier implements OpBarrier: all nodes wait for the last arrival,
+// then pay the global synchronization cost 150·d µs (§7.3) together.
+func (st *runState) enterBarrier(p int) {
+	if st.bar == nil {
+		st.bar = &barrierState{}
+	}
+	b := st.bar
+	b.arrived++
+	if st.ready[p] > b.maxTime {
+		b.maxTime = st.ready[p]
+	}
+	b.waiters = append(b.waiters, p)
+	if b.arrived < st.net.cube.Nodes() {
+		st.park()
+		return
+	}
+	release := b.maxTime + st.net.params.GlobalSync(st.net.cube.Dim())
+	st.res.Barriers++
+	st.bar = nil
+	for _, q := range b.waiters {
+		st.advance(q, release)
+	}
+}
+
+// enterExchange implements OpExchange via a rendezvous: the first node to
+// arrive parks; the second computes the circuit timing for both.
+//
+// Timing (§7.2, §7.4): from the instant both parties are ready,
+//
+//	with pairwise sync:    a zero-byte sync round (λ0 + δh), then both
+//	                       transfers run concurrently: λ + τm + δh;
+//	without pairwise sync: the two transfers serialize (the iPSC-860
+//	                       behaviour Seidel et al. measured when the
+//	                       transmissions do not start simultaneously):
+//	                       2·(λ + τm + δh).
+//
+// The circuits in both directions hold their links for the whole exchange.
+func (st *runState) enterExchange(p int, op Op) {
+	q := op.Peer
+	if q == p {
+		st.advance(p, st.ready[p]) // self-exchange is a no-op
+		return
+	}
+	if !st.net.cube.Contains(q) {
+		st.fail(fmt.Errorf("simnet: node %d: exchange with nonexistent node %d", p, q))
+		return
+	}
+	lo, hi := p, q
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	id := pairID{lo, hi}
+	key := pairKey{lo, hi, st.pairSeq[id]}
+	pe, ok := st.pend[key]
+	if !ok {
+		st.pend[key] = &pendingExchange{firstNode: p, firstReady: st.ready[p], bytes: op.Bytes}
+		st.park()
+		return
+	}
+	if pe.firstNode == p {
+		st.fail(fmt.Errorf("simnet: node %d exchanged with %d twice concurrently", p, q))
+		return
+	}
+	if pe.bytes != op.Bytes {
+		st.fail(fmt.Errorf("simnet: exchange size mismatch between %d (%dB) and %d (%dB)",
+			pe.firstNode, pe.bytes, p, op.Bytes))
+		return
+	}
+	delete(st.pend, key)
+	st.pairSeq[id]++
+
+	prm := st.net.params
+	h := st.net.cube.Distance(p, q)
+	both := st.ready[p]
+	if pe.firstReady > both {
+		both = pe.firstReady
+	}
+	var dur float64
+	data := prm.Lambda + prm.Tau*float64(op.Bytes) + prm.Delta*float64(h)
+	switch prm.Exchange {
+	case model.ExchangeSynced:
+		dur = prm.LambdaZero + prm.Delta*float64(h) + data
+	case model.ExchangeSerialized:
+		dur = 2 * data
+	default: // model.ExchangeIdeal
+		dur = data
+	}
+	dur = st.jitter(dur)
+	start, err := st.reservePair(p, q, both, dur)
+	if err != nil {
+		st.fail(err)
+		return
+	}
+	finish := start + dur
+	st.res.Messages += 2
+	st.res.BytesMoved += 2 * op.Bytes
+	st.advance(p, finish)
+	st.advance(pe.firstNode, finish)
+}
+
+// doSend implements OpSend: the sender owns the circuit for the message
+// duration; delivery is recorded in the receiver's inbox.
+func (st *runState) doSend(p int, op Op) {
+	q := op.Peer
+	if !st.net.cube.Contains(q) {
+		st.fail(fmt.Errorf("simnet: node %d: send to nonexistent node %d", p, q))
+		return
+	}
+	if q == p {
+		st.deliver(p, p, st.ready[p], op.Type) // local delivery is free
+		st.advance(p, st.ready[p])
+		return
+	}
+	prm := st.net.params
+	h := st.net.cube.Distance(p, q)
+	var dur float64
+	if op.Type == Unforced {
+		dur = prm.UnforcedMessageTime(op.Bytes, h)
+	} else {
+		dur = prm.RawMessageTime(op.Bytes, h)
+	}
+	dur = st.jitter(dur)
+	start, err := st.reservePath(p, q, st.ready[p], dur)
+	if err != nil {
+		st.fail(err)
+		return
+	}
+	finish := start + dur
+	st.res.Messages++
+	st.res.BytesMoved += op.Bytes
+	st.eng.At(event.Time(finish), func(event.Time) { st.deliver(p, q, finish, op.Type) })
+	st.advance(p, finish)
+}
+
+// deliver records arrival of the next message from src at dst and wakes a
+// parked waiter.
+func (st *runState) deliver(src, dst int, t float64, mt MsgType) {
+	id := pairID{src, dst}
+	key := msgKey{src, dst, st.arrSeq[id]}
+	st.arrSeq[id]++
+	e := st.inboxEntry(key)
+	e.arrived = true
+	e.arriveAt = t
+	if mt == Forced && !e.posted {
+		st.res.DroppedForced++
+	}
+	if e.waiting {
+		e.waiting = false
+		wake := t
+		if e.waiterCPU > wake {
+			wake = e.waiterCPU
+		}
+		st.advance(dst, wake)
+	}
+}
+
+// doPostRecv implements OpPostRecv for the next unposted message slot from
+// peer.
+func (st *runState) doPostRecv(p, peer int) {
+	id := pairID{peer, p}
+	key := msgKey{peer, p, st.postSeq[id]}
+	st.postSeq[id]++
+	st.inboxEntry(key).posted = true
+}
+
+// doWaitRecv implements OpWaitRecv: blocks until the next unconsumed
+// message from peer has arrived.
+func (st *runState) doWaitRecv(p, peer int) {
+	id := pairID{peer, p}
+	key := msgKey{peer, p, st.waitSeq[id]}
+	st.waitSeq[id]++
+	e := st.inboxEntry(key)
+	if e.arrived {
+		wake := e.arriveAt
+		if st.ready[p] > wake {
+			wake = st.ready[p]
+		}
+		st.advance(p, wake)
+		return
+	}
+	e.waiting = true
+	e.waiterCPU = st.ready[p]
+	st.park()
+}
+
+func (st *runState) inboxEntry(k msgKey) *inboxEntry {
+	e, ok := st.inbox[k]
+	if !ok {
+		e = &inboxEntry{}
+		st.inbox[k] = e
+	}
+	return e
+}

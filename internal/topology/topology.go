@@ -1,0 +1,194 @@
+// Package topology models the hypercube interconnection network of §2:
+// node labels, links, e-cube routes, subcube decompositions, and the edge/
+// node contention analysis that motivates the circuit-switched schedules.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+)
+
+// Hypercube describes a d-dimensional binary hypercube with 2^d nodes.
+type Hypercube struct {
+	dim int
+	n   int
+}
+
+// New returns a hypercube of dimension d (0 ≤ d ≤ 30).
+func New(d int) (*Hypercube, error) {
+	if d < 0 || d > 30 {
+		return nil, fmt.Errorf("topology: dimension %d out of range [0,30]", d)
+	}
+	return &Hypercube{dim: d, n: 1 << uint(d)}, nil
+}
+
+// MustNew is New, panicking on error; for tests and fixed-size tools.
+func MustNew(d int) *Hypercube {
+	h, err := New(d)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Dim returns the dimension d.
+func (h *Hypercube) Dim() int { return h.dim }
+
+// Nodes returns the node count n = 2^d.
+func (h *Hypercube) Nodes() int { return h.n }
+
+// Contains reports whether label p names a node of the cube.
+func (h *Hypercube) Contains(p int) bool { return p >= 0 && p < h.n }
+
+// Neighbor returns the neighbour of p across dimension i.
+func (h *Hypercube) Neighbor(p, i int) (int, error) {
+	if !h.Contains(p) {
+		return 0, fmt.Errorf("topology: node %d not in %d-cube", p, h.dim)
+	}
+	if i < 0 || i >= h.dim {
+		return 0, fmt.Errorf("topology: dimension %d not in [0,%d)", i, h.dim)
+	}
+	return bitutil.FlipBit(p, i), nil
+}
+
+// Neighbors returns all d neighbours of p in dimension order.
+func (h *Hypercube) Neighbors(p int) []int {
+	out := make([]int, h.dim)
+	for i := 0; i < h.dim; i++ {
+		out[i] = bitutil.FlipBit(p, i)
+	}
+	return out
+}
+
+// Distance returns the Hamming distance between two node labels.
+func (h *Hypercube) Distance(a, b int) int { return bitutil.Distance(a, b) }
+
+// Edge is a directed communication link between adjacent nodes. The
+// iPSC-class machines have full-duplex links, so the two directions of a
+// physical wire are distinct resources; two circuits contend only when
+// they use the same direction of the same wire (paper §2, [2]).
+type Edge struct {
+	From, To int
+}
+
+// Dim returns the dimension the edge crosses.
+func (e Edge) Dim() int { return bitutil.LowestSetBit(e.From ^ e.To) }
+
+func (e Edge) String() string { return fmt.Sprintf("%d-%d", e.From, e.To) }
+
+// Route returns the e-cube route from src to dst as the sequence of nodes
+// visited, beginning with src and ending with dst.
+func (h *Hypercube) Route(src, dst int) ([]int, error) {
+	if !h.Contains(src) || !h.Contains(dst) {
+		return nil, fmt.Errorf("topology: route %d→%d outside %d-cube", src, dst, h.dim)
+	}
+	return bitutil.ECubePath(src, dst), nil
+}
+
+// RouteEdges returns the directed edges of the e-cube route from src to dst.
+func (h *Hypercube) RouteEdges(src, dst int) ([]Edge, error) {
+	p, err := h.Route(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	edges := make([]Edge, 0, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		edges = append(edges, Edge{From: p[i], To: p[i+1]})
+	}
+	return edges, nil
+}
+
+// TotalLinks returns the number of directed links: d·2^d.
+func (h *Hypercube) TotalLinks() int { return h.dim * h.n }
+
+// AveragePathLength returns the mean e-cube path length over all ordered
+// pairs with src ≠ dst: d·2^(d-1)/(2^d−1), the distance term of eq. (2).
+func (h *Hypercube) AveragePathLength() float64 {
+	if h.dim == 0 {
+		return 0
+	}
+	return float64(h.dim) * float64(h.n/2) / float64(h.n-1)
+}
+
+// Subcube identifies one subcube of dimension w within the cube: the set
+// of nodes whose labels agree outside bit positions lo..lo+w-1. The paper
+// (§5.2) decomposes phases over the subcubes determined by consecutive
+// bit ranges of the node label.
+type Subcube struct {
+	Lo    int // lowest bit position of the subcube's label field
+	Width int // subcube dimension
+	Fixed int // the fixed bits outside the field (field bits zeroed)
+}
+
+// Nodes lists the subcube's 2^Width member labels in increasing order of
+// the field value.
+func (s Subcube) Nodes() []int {
+	out := make([]int, 1<<uint(s.Width))
+	for v := range out {
+		out[v] = bitutil.WithField(s.Fixed, s.Lo, s.Width, v)
+	}
+	return out
+}
+
+// Contains reports whether node p belongs to the subcube.
+func (s Subcube) Contains(p int) bool {
+	return bitutil.WithField(p, s.Lo, s.Width, 0) == s.Fixed
+}
+
+// Rank returns p's index within the subcube (its field value).
+func (s Subcube) Rank(p int) int { return bitutil.Field(p, s.Lo, s.Width) }
+
+// Member returns the node with the given rank within the subcube.
+func (s Subcube) Member(rank int) int {
+	return bitutil.WithField(s.Fixed, s.Lo, s.Width, rank)
+}
+
+func (s Subcube) String() string {
+	return fmt.Sprintf("subcube[bits %d..%d of %0b]", s.Lo, s.Lo+s.Width-1, s.Fixed)
+}
+
+// Subcubes returns all 2^(d−w) subcubes of width w anchored at bit lo,
+// partitioning the node set. Phase j of the multiphase algorithm operates
+// simultaneously on all subcubes returned here for its bit range.
+func (h *Hypercube) Subcubes(lo, w int) ([]Subcube, error) {
+	if w < 0 || lo < 0 || lo+w > h.dim {
+		return nil, fmt.Errorf("topology: bit field [%d,%d) not in %d-cube", lo, lo+w, h.dim)
+	}
+	count := 1 << uint(h.dim-w)
+	out := make([]Subcube, 0, count)
+	seen := make(map[int]bool, count)
+	for p := 0; p < h.n; p++ {
+		fixed := bitutil.WithField(p, lo, w, 0)
+		if !seen[fixed] {
+			seen[fixed] = true
+			out = append(out, Subcube{Lo: lo, Width: w, Fixed: fixed})
+		}
+	}
+	return out, nil
+}
+
+// PhaseFields returns the bit ranges (lo, width) used by each phase of a
+// multiphase exchange with the given subcube dimensions, in phase order.
+// Per §5.2 the j-th partial exchange uses bits Σ_{i≤j}d_i − d_j .. Σ_{i≤j}d_i − 1
+// counting down from the top of the label.
+func (h *Hypercube) PhaseFields(dims []int) ([][2]int, error) {
+	sum := 0
+	for _, di := range dims {
+		if di <= 0 {
+			return nil, fmt.Errorf("topology: nonpositive phase dimension %d", di)
+		}
+		sum += di
+	}
+	if sum != h.dim {
+		return nil, fmt.Errorf("topology: phase dimensions sum to %d, want %d", sum, h.dim)
+	}
+	out := make([][2]int, len(dims))
+	start := h.dim - 1
+	for j, dj := range dims {
+		stop := start - dj + 1
+		out[j] = [2]int{stop, dj}
+		start = stop - 1
+	}
+	return out, nil
+}

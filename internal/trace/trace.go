@@ -1,0 +1,155 @@
+// Package trace analyzes and renders the per-node timelines recorded by
+// the network simulator (simnet.Network.SetTrace). It computes occupancy
+// breakdowns — how much of the run each node spent exchanging, shuffling,
+// or waiting at barriers — and renders a text Gantt chart, the visual
+// counterpart of the phase structure in the paper's Figure 3.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simnet"
+)
+
+// Stats is the per-node occupancy breakdown of one simulated run.
+type Stats struct {
+	Nodes    int
+	Makespan float64
+	// ByKind[node][kind] is the total µs node spent inside ops of kind.
+	ByKind []map[simnet.OpKind]float64
+	// Busy[node] is the total op occupancy of the node in µs.
+	Busy []float64
+}
+
+// Analyze computes occupancy statistics from a traced result.
+func Analyze(res simnet.Result) Stats {
+	n := len(res.NodeFinish)
+	st := Stats{
+		Nodes:    n,
+		Makespan: res.Makespan,
+		ByKind:   make([]map[simnet.OpKind]float64, n),
+		Busy:     make([]float64, n),
+	}
+	for i := range st.ByKind {
+		st.ByKind[i] = make(map[simnet.OpKind]float64)
+	}
+	for _, iv := range res.Timeline {
+		if iv.Node < 0 || iv.Node >= n {
+			continue
+		}
+		dur := iv.End - iv.Start
+		st.ByKind[iv.Node][iv.Kind] += dur
+		st.Busy[iv.Node] += dur
+	}
+	return st
+}
+
+// KindShare returns the fraction of total occupancy across all nodes
+// spent in the given op kind (0 when the run is empty).
+func (s Stats) KindShare(k simnet.OpKind) float64 {
+	var kind, total float64
+	for i := range s.ByKind {
+		kind += s.ByKind[i][k]
+		total += s.Busy[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return kind / total
+}
+
+// Utilization returns node's busy fraction of the makespan (0 when the
+// makespan is zero).
+func (s Stats) Utilization(node int) float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return s.Busy[node] / s.Makespan
+}
+
+// kindGlyph maps op kinds to Gantt glyphs.
+func kindGlyph(k simnet.OpKind) byte {
+	switch k {
+	case simnet.OpExchange:
+		return 'X'
+	case simnet.OpSend:
+		return 's'
+	case simnet.OpRecv, simnet.OpWaitRecv:
+		return 'r'
+	case simnet.OpPostRecv:
+		return 'p'
+	case simnet.OpShuffle:
+		return '#'
+	case simnet.OpCompute:
+		return 'c'
+	case simnet.OpBarrier:
+		return '|'
+	default:
+		return '?'
+	}
+}
+
+// Gantt renders the timeline as a text chart: one row per node, width
+// columns across the makespan. Later-starting ops overwrite earlier ones
+// within a cell; idle time is '.'.
+//
+//	node  0 |####XXXX||XXXX....|
+func Gantt(res simnet.Result, width int) string {
+	if width < 1 {
+		width = 60
+	}
+	n := len(res.NodeFinish)
+	if n == 0 || res.Makespan <= 0 {
+		return "(empty timeline)\n"
+	}
+	rows := make([][]byte, n)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	intervals := append([]simnet.Interval(nil), res.Timeline...)
+	sort.Slice(intervals, func(i, j int) bool { return intervals[i].Start < intervals[j].Start })
+	scale := float64(width) / res.Makespan
+	for _, iv := range intervals {
+		if iv.Node < 0 || iv.Node >= n {
+			continue
+		}
+		lo := int(iv.Start * scale)
+		hi := int(iv.End * scale)
+		if hi == lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		g := kindGlyph(iv.Kind)
+		for x := lo; x < hi; x++ {
+			rows[iv.Node][x] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %.1f µs  (X exchange, s send, r recv, # shuffle, | barrier, c compute, . idle)\n",
+		res.Makespan)
+	for i, row := range rows {
+		fmt.Fprintf(&b, "node %3d |%s|\n", i, row)
+	}
+	return b.String()
+}
+
+// Summary renders the aggregate occupancy shares as one line per kind.
+func Summary(res simnet.Result) string {
+	s := Analyze(res)
+	kinds := []simnet.OpKind{
+		simnet.OpExchange, simnet.OpSend, simnet.OpRecv, simnet.OpWaitRecv,
+		simnet.OpShuffle, simnet.OpBarrier, simnet.OpCompute,
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.1f µs over %d nodes\n", s.Makespan, s.Nodes)
+	for _, k := range kinds {
+		if share := s.KindShare(k); share > 0 {
+			fmt.Fprintf(&b, "  %-9s %5.1f%%\n", k, share*100)
+		}
+	}
+	return b.String()
+}
