@@ -1,5 +1,5 @@
 // Package repro's benchmark harness regenerates every table and figure of
-// the paper (one benchmark per artifact, E1–E8 as indexed in DESIGN.md)
+// the paper (one benchmark per artifact, E1–E8 as indexed in internal/experiments)
 // and adds ablation benches for the design choices the paper discusses
 // (pairwise sync, FORCED vs UNFORCED, shuffle cost ρ, schedule choice).
 //
@@ -19,6 +19,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/exchange"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/optimize"
 	"repro/internal/partition"
@@ -319,6 +320,46 @@ func BenchmarkRuntimeExchange_D5(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAllToAllFabric exercises the unified multiphase executor —
+// one implementation, two backends — on the hot gather/exchange/scatter
+// path: the auto-tuned d=6, 40-byte exchange on the runtime fabric (real
+// goroutine data movement) and on the simnet fabric (data movement plus
+// trace recording and discrete-event replay). The pair is the perf
+// baseline for future backend work.
+func BenchmarkAllToAllFabric(b *testing.B) {
+	prm := model.IPSC860()
+	plan, err := optimize.New(prm).Plan(6, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("runtime", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fab, err := fabric.NewRuntime(plan.Nodes())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := plan.RunOn(fab, time.Minute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("simnet", func(b *testing.B) {
+		var sim float64
+		for i := 0; i < b.N; i++ {
+			fab := fabric.NewSim(simnet.New(topology.MustNew(plan.Dim()), prm))
+			if err := plan.RunOn(fab, time.Minute); err != nil {
+				b.Fatal(err)
+			}
+			res, err := fab.Result()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim = res.Makespan
+		}
+		b.ReportMetric(sim, "sim_µs")
+	})
 }
 
 // BenchmarkPartitionIteration times the partition iterator over d=20

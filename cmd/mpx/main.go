@@ -1,12 +1,15 @@
 // Command mpx runs a single multiphase complete exchange on the simulated
 // circuit-switched hypercube and reports predicted vs simulated time.
+// Every run executes on the unified fabric, which moves real payloads
+// (the complete-exchange postcondition is machine-checked) while the
+// discrete-event simulator prices the schedule in virtual time.
 //
 // Usage:
 //
 //	mpx -d 7 -m 40                 # auto-tuned partition
 //	mpx -d 7 -m 40 -D "{3,4}"      # explicit partition
 //	mpx -d 6 -m 24 -machine hypo   # the paper's hypothetical machine
-//	mpx -d 5 -m 16 -verify         # also run real data through goroutines
+//	mpx -d 5 -m 16 -runtime        # additionally time the goroutine backend
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/partition"
 	"repro/internal/report"
@@ -29,7 +33,7 @@ func main() {
 	m := flag.Int("m", 40, "block size in bytes per destination")
 	part := flag.String("D", "", "explicit partition, e.g. \"{3,4}\" (default: auto-tune)")
 	machine := flag.String("machine", "ipsc", "machine model: ipsc | ipsc-nosync | ncube2 | hypo")
-	verify := flag.Bool("verify", false, "also execute with real data on the goroutine runtime")
+	onRuntime := flag.Bool("runtime", false, "additionally execute the plan on the goroutine runtime fabric and report wall time")
 	gantt := flag.Bool("gantt", false, "render a per-node timeline of the simulated run")
 	ganttWidth := flag.Int("gantt-width", 100, "timeline width in characters")
 	flag.Parse()
@@ -53,26 +57,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-	} else if *verify {
-		res, err = sys.VerifiedExchange(*m, 2*time.Minute)
-		if err != nil {
-			fatal(err)
-		}
 	} else {
 		res, err = sys.CompleteExchange(*m)
 		if err != nil {
 			fatal(err)
 		}
-	}
-	if *verify && *part != "" {
-		plan, err := sys.Plan(*m, res.Partition)
-		if err != nil {
-			fatal(err)
-		}
-		if err := plan.RunData(2 * time.Minute); err != nil {
-			fatal(fmt.Errorf("data verification failed: %w", err))
-		}
-		res.DataVerified = true
 	}
 
 	t := report.NewTable(
@@ -84,6 +73,21 @@ func main() {
 	t.AddRow("simulated (µs)", res.SimulatedMicros)
 	t.AddRow("contention stall (µs)", res.ContentionStall)
 	t.AddRowStrings("data verified", fmt.Sprintf("%v", res.DataVerified))
+	if *onRuntime {
+		plan, err := sys.Plan(*m, res.Partition)
+		if err != nil {
+			fatal(err)
+		}
+		fab, err := fabric.NewRuntime(plan.Nodes())
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		if err := plan.RunOn(fab, 2*time.Minute); err != nil {
+			fatal(fmt.Errorf("runtime execution failed: %w", err))
+		}
+		t.AddRow("goroutine wall time (µs)", float64(time.Since(start))/float64(time.Microsecond))
+	}
 	if err := t.Write(os.Stdout); err != nil {
 		fatal(err)
 	}

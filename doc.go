@@ -6,6 +6,11 @@
 // and a goroutine runtime that executes the same algorithms with real
 // payloads.
 //
+// Every algorithm is written once against the node-level fabric
+// interface (internal/fabric) and runs unchanged on both backends: the
+// goroutine runtime moves real bytes, the simulated fabric moves the
+// same bytes while costing the schedule in virtual time.
+//
 // Layout:
 //
 //	internal/...   the library (see README.md for the package map)
@@ -14,6 +19,6 @@
 //
 // The benchmark harness in this package (bench_test.go) regenerates every
 // table and figure of the paper; integration_test.go pins the headline
-// end-to-end results. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the paper-vs-reproduction record.
+// end-to-end results. README.md carries the system inventory and the
+// paper-vs-reproduction record.
 package repro

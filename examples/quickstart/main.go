@@ -1,6 +1,7 @@
 // Quickstart: run an auto-tuned multiphase complete exchange on a
-// simulated 64-node iPSC-860 and verify the data movement with real
-// payloads on the goroutine runtime.
+// simulated 64-node iPSC-860. Every run executes on the unified fabric:
+// real payloads move (and the complete-exchange postcondition is
+// verified) while the discrete-event simulator prices the schedule.
 //
 //	go run ./examples/quickstart
 package main

@@ -7,9 +7,9 @@ import (
 	"time"
 
 	"repro/internal/exchange"
+	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/optimize"
-	"repro/internal/runtime"
 )
 
 // FFT computes the in-place radix-2 decimation-in-time FFT of x (length a
@@ -125,13 +125,13 @@ func (g *Grid2D) rowsPerProc() int { return g.N / g.Procs }
 // complete exchange: processor p cuts its slab into Procs column panels
 // and sends panel q to processor q; received panels are locally
 // rearranged. The panel is the exchange block (N/Procs)²·16 bytes.
-func transposeGrid(g *Grid2D, plan *exchange.Plan, c *runtime.Cluster, timeout time.Duration) error {
+func transposeGrid(g *Grid2D, plan *exchange.Plan, fab fabric.Fabric, timeout time.Duration) error {
 	rows := g.rowsPerProc()
 	panelBytes := rows * rows * 16
 	if plan.BlockSize() != panelBytes {
 		return fmt.Errorf("apps: plan block %d, want %d", plan.BlockSize(), panelBytes)
 	}
-	return c.Run(func(nd *runtime.Node) error {
+	return fab.Run(func(nd fabric.Node) error {
 		p := nd.ID()
 		buf, err := exchange.NewBuffer(plan.Dim(), panelBytes)
 		if err != nil {
@@ -202,12 +202,12 @@ func FFT2D(g *Grid2D, prm model.Params, inverse bool, timeout time.Duration) err
 	if err != nil {
 		return err
 	}
-	c, err := runtime.NewCluster(g.Procs)
+	fab, err := fabric.NewRuntime(g.Procs)
 	if err != nil {
 		return err
 	}
 	fftRows := func() error {
-		return c.Run(func(nd *runtime.Node) error {
+		return fab.Run(func(nd fabric.Node) error {
 			slab := g.Slabs[nd.ID()]
 			for r := 0; r < rows; r++ {
 				if err := FFT(slab[r*g.N:(r+1)*g.N], inverse); err != nil {
@@ -220,11 +220,11 @@ func FFT2D(g *Grid2D, prm model.Params, inverse bool, timeout time.Duration) err
 	if err := fftRows(); err != nil {
 		return err
 	}
-	if err := transposeGrid(g, plan, c, timeout); err != nil {
+	if err := transposeGrid(g, plan, fab, timeout); err != nil {
 		return err
 	}
 	if err := fftRows(); err != nil {
 		return err
 	}
-	return transposeGrid(g, plan, c, timeout)
+	return transposeGrid(g, plan, fab, timeout)
 }

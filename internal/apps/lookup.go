@@ -6,9 +6,9 @@ import (
 	"time"
 
 	"repro/internal/exchange"
+	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/optimize"
-	"repro/internal/runtime"
 )
 
 // LookupTable is a table of uint64→uint64 entries partitioned over n
@@ -86,14 +86,14 @@ func (t *LookupTable) BatchLookup(queries [][]uint64, prm model.Params, timeout 
 	if err != nil {
 		return nil, nil, err
 	}
-	c, err := runtime.NewCluster(t.Procs)
+	fab, err := fabric.NewRuntime(t.Procs)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	answers := make([][]uint64, t.Procs)
 	ok := make([][]bool, t.Procs)
-	err = c.Run(func(nd *runtime.Node) error {
+	err = fab.Run(func(nd fabric.Node) error {
 		p := nd.ID()
 		// Phase 1: route queries to owners. Slot j carries my queries
 		// for owner j, length-prefixed... count is encoded by padding

@@ -6,16 +6,17 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/collectives"
+	"repro/internal/fabric"
 	"repro/internal/model"
-	"repro/internal/runtime"
 )
 
 // MatVec computes y = A·x for a block-row-mapped matrix (the §3 mapping:
 // node p owns block row p of A and the slice x_p of the input vector).
-// The input vector is assembled everywhere with a recursive-doubling
-// allgather — the all-to-all broadcast pattern of §9 — then each node
-// computes its slice of y locally. Returns the distributed result,
-// ys[p] being node p's slice.
+// The input vector is assembled everywhere with the recursive-doubling
+// allgather of package collectives — the all-to-all broadcast pattern of
+// §9 — then each node computes its slice of y locally. Returns the
+// distributed result, ys[p] being node p's slice.
 func MatVec(m *BlockMatrix, x [][]float64, prm model.Params, timeout time.Duration) ([][]float64, error) {
 	d := log2(m.N)
 	if d < 0 {
@@ -31,41 +32,23 @@ func MatVec(m *BlockMatrix, x [][]float64, prm model.Params, timeout time.Durati
 	}
 	_ = prm // the machine model prices the exchange; data movement below is real
 
-	c, err := runtime.NewCluster(m.N)
+	fab, err := fabric.NewRuntime(m.N)
 	if err != nil {
 		return nil, err
 	}
 	ys := make([][]float64, m.N)
-	err = c.Run(func(nd *runtime.Node) error {
+	err = fab.Run(func(nd fabric.Node) error {
 		p := nd.ID()
 		n := m.N
-		// Allgather the vector slices by recursive doubling, exactly the
-		// collectives.AllGather schedule, inlined over float64 payloads.
-		slices := make([][]float64, n)
-		slices[p] = append([]float64(nil), x[p]...)
-		for i := 0; i < d; i++ {
-			bit := 1 << uint(i)
-			peer := p ^ bit
-			var msg []byte
-			for q := 0; q < n; q++ {
-				if q&^(bit-1) == p&^(bit-1) {
-					msg = appendFloats(msg, slices[q])
-				}
-			}
-			in := nd.Exchange(peer, msg)
-			idx := 0
-			for q := 0; q < n; q++ {
-				if q&^(bit-1) == peer&^(bit-1) {
-					slices[q] = floatsAt(in, idx, m.BS)
-					idx++
-				}
-			}
+		all, err := collectives.AllGatherOn(nd, appendFloats(nil, x[p]))
+		if err != nil {
+			return err
 		}
 		// Local block-row × vector.
 		y := make([]float64, m.BS)
 		for j := 0; j < n; j++ {
 			blk := m.Rows[p][j]
-			xs := slices[j]
+			xs := floatsAt(all[j], 0, m.BS)
 			for r := 0; r < m.BS; r++ {
 				sum := 0.0
 				for cc := 0; cc < m.BS; cc++ {

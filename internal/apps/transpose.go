@@ -2,8 +2,9 @@
 // the complete exchange matters (§3): matrix transpose under the ADI
 // block-row mapping, the transpose-method 2-D FFT, and distributed table
 // lookup. Each is built on the multiphase exchange plans of package
-// exchange running on the goroutine runtime, with the partition chosen by
-// the optimizer for the machine parameters.
+// exchange running against the fabric interface (here instantiated with
+// the real goroutine backend), with the partition chosen by the optimizer
+// for the machine parameters.
 package apps
 
 import (
@@ -12,10 +13,11 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/bitutil"
 	"repro/internal/exchange"
+	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/optimize"
-	"repro/internal/runtime"
 )
 
 // BlockMatrix is an n·bs × n·bs matrix of float64 partitioned into n×n
@@ -96,11 +98,11 @@ func Transpose(m *BlockMatrix, prm model.Params, timeout time.Duration) error {
 	if err != nil {
 		return err
 	}
-	c, err := runtime.NewCluster(m.N)
+	fab, err := fabric.NewRuntime(m.N)
 	if err != nil {
 		return err
 	}
-	err = c.Run(func(nd *runtime.Node) error {
+	err = fab.Run(func(nd fabric.Node) error {
 		p := nd.ID()
 		buf, err := exchange.NewBuffer(d, m.BlockBytes())
 		if err != nil {
@@ -151,14 +153,4 @@ func ADISweeps(m *BlockMatrix, prm model.Params, opFn func(row []float64), timeo
 	return Transpose(m, prm, timeout)
 }
 
-func log2(n int) int {
-	if n <= 0 || n&(n-1) != 0 {
-		return -1
-	}
-	d := 0
-	for n > 1 {
-		n >>= 1
-		d++
-	}
-	return d
-}
+func log2(n int) int { return bitutil.Log2Exact(n) }

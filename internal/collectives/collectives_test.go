@@ -39,14 +39,15 @@ func TestJoinBit(t *testing.T) {
 	}
 }
 
-func TestProgramsValidation(t *testing.T) {
-	if _, err := Programs(Broadcast, 3, 8, 9); err == nil {
+func TestSimulateValidation(t *testing.T) {
+	net := simnet.New(topology.MustNew(3), model.IPSC860Raw())
+	if _, err := Simulate(Broadcast, net, 8, 9); err == nil {
 		t.Error("root out of cube must fail")
 	}
-	if _, err := Programs(Broadcast, 3, -1, 0); err == nil {
+	if _, err := Simulate(Broadcast, net, -1, 0); err == nil {
 		t.Error("negative size must fail")
 	}
-	if _, err := Programs(Kind(99), 3, 8, 0); err == nil {
+	if _, err := Simulate(Kind(99), net, 8, 0); err == nil {
 		t.Error("unknown kind must fail")
 	}
 }

@@ -1,10 +1,10 @@
 // Package comm is the high-level message-passing interface of the
 // library — the API a downstream application would program against, in
 // the style of the MPI collectives this paper's algorithm fed into
-// (MPI_Alltoall et al.). A Communicator wraps the goroutine runtime, the
+// (MPI_Alltoall et al.). A Communicator wraps a fabric backend, the
 // partition optimizer, and the collective algorithms:
 //
-//	c, _ := comm.New(5, model.IPSC860())      // 32 ranks
+//	c, _ := comm.New(5, model.IPSC860())      // 32 ranks, real execution
 //	c.Run(func(r *comm.Rank) error {
 //	    out := r.AllToAll(myBlocks)           // multiphase, auto-tuned
 //	    all := r.AllGather(myBlock)
@@ -15,6 +15,13 @@
 // AllToAll picks the best multiphase partition for the block size via the
 // §6 enumeration and executes the paper's algorithm; the tree collectives
 // use the binomial/recursive-doubling schedules of package collectives.
+//
+// The backend is pluggable: New targets the goroutine runtime (real data
+// movement), while NewOn accepts any fabric — in particular a fabric.Sim,
+// on which the same ranks program runs with virtual-time costing. The
+// auto-tuner is equally pluggable via SetOptimizer: installing
+// optimize.NewSimulated costs candidate plans on the network simulator
+// before the chosen plan executes on the real fabric.
 package comm
 
 import (
@@ -22,42 +29,67 @@ import (
 	"time"
 
 	"repro/internal/bitutil"
+	"repro/internal/collectives"
 	"repro/internal/exchange"
+	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/optimize"
-	"repro/internal/runtime"
 )
 
-// Communicator is a group of 2^d ranks over the goroutine runtime with an
+// Communicator is a group of 2^d ranks over a fabric backend with an
 // auto-tuning all-to-all.
 type Communicator struct {
 	dim     int
-	cluster *runtime.Cluster
+	fab     fabric.Fabric
 	opt     *optimize.Optimizer
 	timeout time.Duration
 }
 
-// New returns a communicator over a d-cube with the given machine model
-// (used by the optimizer to choose multiphase partitions).
+// New returns a communicator over a d-cube on the goroutine runtime with
+// the given machine model (used by the optimizer to choose multiphase
+// partitions).
 func New(d int, prm model.Params) (*Communicator, error) {
 	if d < 0 || d > 10 {
 		return nil, fmt.Errorf("comm: dimension %d out of range [0,10]", d)
 	}
-	cl, err := runtime.NewCluster(1 << uint(d))
+	fab, err := fabric.NewRuntime(1 << uint(d))
 	if err != nil {
 		return nil, err
 	}
+	return newOn(d, fab, prm), nil
+}
+
+// NewOn returns a communicator over an existing fabric, which must have a
+// power-of-two node count. Passing a fabric.Sim runs every rank program
+// in the discrete-event machine's virtual time.
+func NewOn(fab fabric.Fabric, prm model.Params) (*Communicator, error) {
+	d := bitutil.Log2Exact(fab.N())
+	if d < 0 {
+		return nil, fmt.Errorf("comm: fabric size %d is not a power of two", fab.N())
+	}
+	return newOn(d, fab, prm), nil
+}
+
+func newOn(d int, fab fabric.Fabric, prm model.Params) *Communicator {
 	return &Communicator{
 		dim:     d,
-		cluster: cl,
+		fab:     fab,
 		opt:     optimize.New(prm),
 		timeout: 2 * time.Minute,
-	}, nil
+	}
 }
 
 // SetTimeout overrides the watchdog for Run (default two minutes;
 // non-positive means wait forever).
 func (c *Communicator) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetOptimizer replaces the plan auto-tuner; install
+// optimize.NewSimulated(prm) to cost candidate partitions on the network
+// simulator instead of the closed-form model.
+func (c *Communicator) SetOptimizer(o *optimize.Optimizer) { c.opt = o }
+
+// Fabric returns the backend the ranks execute on.
+func (c *Communicator) Fabric() fabric.Fabric { return c.fab }
 
 // Size returns the number of ranks.
 func (c *Communicator) Size() int { return 1 << uint(c.dim) }
@@ -65,15 +97,15 @@ func (c *Communicator) Size() int { return 1 << uint(c.dim) }
 // Dim returns the cube dimension.
 func (c *Communicator) Dim() int { return c.dim }
 
-// Rank is the per-goroutine handle inside Run.
+// Rank is the per-node handle inside Run.
 type Rank struct {
-	nd *runtime.Node
+	nd fabric.Node
 	c  *Communicator
 }
 
 // Run executes fn on every rank concurrently.
 func (c *Communicator) Run(fn func(r *Rank) error) error {
-	return c.cluster.Run(func(nd *runtime.Node) error {
+	return c.fab.Run(func(nd fabric.Node) error {
 		return fn(&Rank{nd: nd, c: c})
 	}, c.timeout)
 }
@@ -82,13 +114,22 @@ func (c *Communicator) Run(fn func(r *Rank) error) error {
 func (r *Rank) ID() int { return r.nd.ID() }
 
 // Size returns the communicator size.
-func (r *Rank) Size() int { return r.c.Size() }
+func (r *Rank) Size() int { return r.nd.N() }
+
+// Clock returns the rank's current time in µs — wall clock on the
+// runtime backend, virtual time on the simulated one.
+func (r *Rank) Clock() float64 { return r.nd.Clock() }
 
 // Barrier blocks until every rank reaches it.
 func (r *Rank) Barrier() { r.nd.Barrier() }
 
 // Send and Recv expose raw point-to-point messaging.
 func (r *Rank) Send(dst int, data []byte) { r.nd.Send(dst, data) }
+
+// PostRecv declares an upcoming receive from src ahead of the traffic
+// (the §7.1 FORCED protocol; a costing backend prices it, the runtime
+// ignores it).
+func (r *Rank) PostRecv(src int) { r.nd.PostRecv(src) }
 
 // Recv blocks for the next message from src.
 func (r *Rank) Recv(src int) []byte { return r.nd.Recv(src) }
@@ -144,186 +185,30 @@ func (c *Communicator) plan(m int) (*exchange.Plan, error) {
 // Bcast broadcasts root's data to every rank along the binomial tree;
 // every rank returns the payload.
 func (r *Rank) Bcast(root int, data []byte) ([]byte, error) {
-	n := r.Size()
-	if root < 0 || root >= n {
-		return nil, fmt.Errorf("comm: Bcast root %d out of range", root)
-	}
-	p := r.ID()
-	rel := p ^ root
-	var have []byte
-	if rel == 0 {
-		have = append([]byte(nil), data...)
-	}
-	for i := 0; i < r.c.dim; i++ {
-		bit := 1 << uint(i)
-		switch {
-		case rel < bit:
-			r.nd.Send(p^bit, have)
-		case rel < bit*2:
-			have = r.nd.Recv(p ^ bit)
-		}
-	}
-	return have, nil
+	return collectives.BroadcastOn(r.nd, root, data)
 }
 
 // Scatter delivers blocks[i] (given at the root) to rank i. Blocks must
 // be uniform length; non-root ranks pass nil.
 func (r *Rank) Scatter(root int, blocks [][]byte) ([]byte, error) {
-	n := r.Size()
-	if root < 0 || root >= n {
-		return nil, fmt.Errorf("comm: Scatter root %d out of range", root)
-	}
-	p := r.ID()
-	rel := p ^ root
-	join := 1 << uint(r.c.dim)
-	if rel != 0 {
-		join = 1 << uint(bitutil.LowestSetBit(rel))
-	}
-	var held [][]byte
-	if rel == 0 {
-		if len(blocks) != n {
-			return nil, fmt.Errorf("comm: Scatter with %d blocks on %d ranks", len(blocks), n)
-		}
-		m := len(blocks[0])
-		held = make([][]byte, n)
-		for j := 0; j < n; j++ {
-			if len(blocks[j^root]) != m {
-				return nil, fmt.Errorf("comm: Scatter blocks must be uniform")
-			}
-			held[j] = blocks[j^root] // held is indexed by relative address
-		}
-	}
-	for i := r.c.dim - 1; i >= 0; i-- {
-		bit := 1 << uint(i)
-		switch {
-		case bit < join:
-			var msg []byte
-			for j := bit; j < 2*bit && j < len(held); j++ {
-				msg = append(msg, held[j]...)
-			}
-			r.nd.Send(p^bit, msg)
-			if len(held) > bit {
-				held = held[:bit]
-			}
-		case bit == join:
-			msg := r.nd.Recv(p ^ bit)
-			m := len(msg) / bit
-			held = make([][]byte, bit)
-			for j := 0; j < bit; j++ {
-				held[j] = append([]byte(nil), msg[j*m:(j+1)*m]...)
-			}
-		}
-	}
-	if len(held) == 0 {
-		return nil, fmt.Errorf("comm: Scatter rank %d received nothing", p)
-	}
-	return held[0], nil
+	return collectives.ScatterOn(r.nd, root, blocks)
 }
 
 // Gather collects every rank's block at the root; the root's result slot
 // i holds rank i's block, other ranks return nil.
 func (r *Rank) Gather(root int, block []byte) ([][]byte, error) {
-	n := r.Size()
-	if root < 0 || root >= n {
-		return nil, fmt.Errorf("comm: Gather root %d out of range", root)
-	}
-	p := r.ID()
-	rel := p ^ root
-	join := 1 << uint(r.c.dim)
-	if rel != 0 {
-		join = 1 << uint(bitutil.LowestSetBit(rel))
-	}
-	held := [][]byte{append([]byte(nil), block...)}
-	for i := 0; i < r.c.dim; i++ {
-		bit := 1 << uint(i)
-		switch {
-		case bit < join:
-			msg := r.nd.Recv(p ^ bit)
-			m := len(msg) / bit
-			for j := 0; j < bit; j++ {
-				held = append(held, append([]byte(nil), msg[j*m:(j+1)*m]...))
-			}
-		case bit == join:
-			var msg []byte
-			for _, b := range held {
-				msg = append(msg, b...)
-			}
-			r.nd.Send(p^bit, msg)
-		}
-	}
-	if rel != 0 {
-		return nil, nil
-	}
-	// held[j] is the block of relative address j; reindex to absolute.
-	out := make([][]byte, n)
-	for j := 0; j < n; j++ {
-		out[j^root] = held[j]
-	}
-	return out, nil
+	return collectives.GatherOn(r.nd, root, block)
 }
 
 // AllGather gives every rank every rank's block (slot i = rank i's
 // block), via recursive doubling.
 func (r *Rank) AllGather(block []byte) ([][]byte, error) {
-	n := r.Size()
-	p := r.ID()
-	blocks := make([][]byte, n)
-	blocks[p] = append([]byte(nil), block...)
-	m := len(block)
-	for i := 0; i < r.c.dim; i++ {
-		bit := 1 << uint(i)
-		peer := p ^ bit
-		var msg []byte
-		for q := 0; q < n; q++ {
-			if q&^(bit-1) == p&^(bit-1) {
-				if blocks[q] == nil {
-					return nil, fmt.Errorf("comm: AllGather missing block %d at step %d", q, i)
-				}
-				msg = append(msg, blocks[q]...)
-			}
-		}
-		in := r.nd.Exchange(peer, msg)
-		if len(in) != bit*m {
-			return nil, fmt.Errorf("comm: AllGather rank %d got %dB, want %d (mismatched block sizes?)",
-				p, len(in), bit*m)
-		}
-		idx := 0
-		for q := 0; q < n; q++ {
-			if q&^(bit-1) == peer&^(bit-1) {
-				blocks[q] = append([]byte(nil), in[idx*m:(idx+1)*m]...)
-				idx++
-			}
-		}
-	}
-	return blocks, nil
+	return collectives.AllGatherOn(r.nd, block)
 }
 
 // Reduce applies fn pairwise up the gather tree and returns the reduction
 // of all ranks' values at the root (nil elsewhere). fn must be
 // associative and commutative over the byte-slice encoding.
 func (r *Rank) Reduce(root int, value []byte, fn func(a, b []byte) []byte) ([]byte, error) {
-	n := r.Size()
-	if root < 0 || root >= n {
-		return nil, fmt.Errorf("comm: Reduce root %d out of range", root)
-	}
-	p := r.ID()
-	rel := p ^ root
-	join := 1 << uint(r.c.dim)
-	if rel != 0 {
-		join = 1 << uint(bitutil.LowestSetBit(rel))
-	}
-	acc := append([]byte(nil), value...)
-	for i := 0; i < r.c.dim; i++ {
-		bit := 1 << uint(i)
-		switch {
-		case bit < join:
-			acc = fn(acc, r.nd.Recv(p^bit))
-		case bit == join:
-			r.nd.Send(p^bit, acc)
-		}
-	}
-	if rel != 0 {
-		return nil, nil
-	}
-	return acc, nil
+	return collectives.ReduceOn(r.nd, root, value, fn)
 }

@@ -7,7 +7,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/simnet"
+	"repro/internal/topology"
 )
 
 func newComm(t *testing.T, d int) *Communicator {
@@ -258,6 +262,96 @@ func TestAllToAllZeroBytes(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The same ranks program must run unchanged on the simulated fabric, with
+// the virtual-time verdict available afterwards — the payoff of the
+// backend-parameterized communicator.
+func TestCommunicatorOnSimFabric(t *testing.T) {
+	const d = 3
+	prm := model.IPSC860()
+	sim := fabric.NewSim(simnet.New(topology.MustNew(d), prm))
+	c, err := NewOn(sim, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTimeout(time.Minute)
+	n := c.Size()
+	err = c.Run(func(r *Rank) error {
+		send := make([][]byte, n)
+		for i := range send {
+			send[i] = []byte{byte(r.ID()), byte(i), 0xCD}
+		}
+		got, err := r.AllToAll(send)
+		if err != nil {
+			return err
+		}
+		for i := range got {
+			want := []byte{byte(i), byte(r.ID()), 0xCD}
+			if !bytes.Equal(got[i], want) {
+				return fmt.Errorf("rank %d slot %d: %v, want %v", r.ID(), i, got[i], want)
+			}
+		}
+		if r.Clock() <= 0 {
+			return fmt.Errorf("rank %d: virtual clock not advanced", r.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || res.Messages == 0 {
+		t.Errorf("sim result empty: %+v", res)
+	}
+}
+
+// NewOn must reject fabrics whose size is not a power of two.
+func TestNewOnValidation(t *testing.T) {
+	fab, err := fabric.NewRuntime(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOn(fab, model.IPSC860()); err == nil {
+		t.Error("non-power-of-two fabric must fail")
+	}
+}
+
+// The §6 auto-tuner is pluggable: costing candidate plans on the network
+// simulator must agree with the analytic model on the machines where the
+// model is exact, while the chosen plan still executes on the real
+// fabric.
+func TestSimulatedTunerAgrees(t *testing.T) {
+	const d, m = 4, 40
+	prm := model.IPSC860()
+	c := newComm(t, d)
+	c.SetOptimizer(optimize.NewSimulated(prm))
+	n := c.Size()
+	err := c.Run(func(r *Rank) error {
+		send := make([][]byte, n)
+		for i := range send {
+			send[i] = bytes.Repeat([]byte{byte(r.ID())}, m)
+		}
+		_, err := r.AllToAll(send)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simChoice, err := optimize.NewSimulated(prm).Best(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anaChoice, err := optimize.New(prm).Best(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simChoice.Part.Canonical().Equal(anaChoice.Part.Canonical()) {
+		t.Errorf("simulated tuner picked %v, analytic %v", simChoice.Part, anaChoice.Part)
 	}
 }
 

@@ -9,10 +9,10 @@
 //	fmt.Println(res.Partition, res.SimulatedMicros)
 //
 // The System chooses the optimal multiphase partition for each block size
-// by enumerating the p(d) partitions of the cube dimension (§6), runs the
-// exchange on the discrete-event network simulator for its virtual-time
-// cost, and can additionally execute it on the goroutine runtime with real
-// payloads to machine-check the data movement.
+// by enumerating the p(d) partitions of the cube dimension (§6), then
+// runs the exchange once on the simulated fabric, which both moves real
+// payloads (machine-checking the data movement) and measures the
+// virtual-time cost on the discrete-event network simulator.
 package core
 
 import (
@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/exchange"
+	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/optimize"
 	"repro/internal/partition"
@@ -77,14 +78,17 @@ type Result struct {
 	// ContentionStall is the simulator's total circuit wait time; zero
 	// for the paper's schedules.
 	ContentionStall float64
-	// DataVerified reports whether the exchange was also executed on the
-	// goroutine runtime with payload verification.
+	// DataVerified reports whether the run also moved real payloads with
+	// the complete-exchange postcondition checked on every node. Since
+	// the simulated fabric carries both data and time, every successful
+	// exchange is verified.
 	DataVerified bool
 }
 
 // CompleteExchange runs an auto-tuned multiphase complete exchange of the
-// given block size: the optimizer picks the best partition, the simulator
-// measures it. Data execution is skipped (see VerifiedExchange).
+// given block size: the optimizer picks the best partition, and one run
+// on the simulated fabric both verifies the data movement and measures
+// the virtual-time cost.
 func (s *System) CompleteExchange(block int) (Result, error) {
 	choice, err := s.opt.Best(s.dim, block)
 	if err != nil {
@@ -95,6 +99,25 @@ func (s *System) CompleteExchange(block int) (Result, error) {
 
 // ExchangeWith runs a complete exchange with an explicit partition.
 func (s *System) ExchangeWith(block int, D partition.Partition) (Result, error) {
+	return s.exchange(block, D, fabric.DefaultSimTimeout)
+}
+
+// VerifiedExchange is CompleteExchange with an explicit watchdog timeout
+// on the data-movement half of the run. (Historically this was a second,
+// separate execution on the goroutine runtime; the unified fabric now
+// verifies payloads and measures time in the same run.)
+func (s *System) VerifiedExchange(block int, timeout time.Duration) (Result, error) {
+	choice, err := s.opt.Best(s.dim, block)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.exchange(block, choice.Part, timeout)
+}
+
+// exchange runs one plan on a fresh simulated fabric: real payloads move
+// and are verified while the discrete-event simulator prices the
+// schedule.
+func (s *System) exchange(block int, D partition.Partition, timeout time.Duration) (Result, error) {
 	plan, err := s.newPlan(block, D)
 	if err != nil {
 		return Result{}, err
@@ -103,7 +126,11 @@ func (s *System) ExchangeWith(block int, D partition.Partition) (Result, error) 
 	if s.dim == 0 {
 		pred = 0
 	}
-	sim, err := plan.Simulate(simnet.New(s.cube, s.prm))
+	fab := fabric.NewSim(simnet.New(s.cube, s.prm))
+	if err := plan.RunOn(fab, timeout); err != nil {
+		return Result{}, fmt.Errorf("core: exchange failed: %w", err)
+	}
+	sim, err := fab.Result()
 	if err != nil {
 		return Result{}, err
 	}
@@ -113,30 +140,8 @@ func (s *System) ExchangeWith(block int, D partition.Partition) (Result, error) 
 		PredictedMicros: pred,
 		SimulatedMicros: sim.Makespan,
 		ContentionStall: sim.ContentionStall,
+		DataVerified:    true,
 	}, nil
-}
-
-// VerifiedExchange is CompleteExchange plus a real data execution on the
-// goroutine runtime with canonical payloads: the result has DataVerified
-// set only if every block arrived at the right node intact.
-func (s *System) VerifiedExchange(block int, timeout time.Duration) (Result, error) {
-	choice, err := s.opt.Best(s.dim, block)
-	if err != nil {
-		return Result{}, err
-	}
-	res, err := s.ExchangeWith(block, choice.Part)
-	if err != nil {
-		return Result{}, err
-	}
-	plan, err := s.newPlan(block, choice.Part)
-	if err != nil {
-		return Result{}, err
-	}
-	if err := plan.RunData(timeout); err != nil {
-		return Result{}, fmt.Errorf("core: data verification failed: %w", err)
-	}
-	res.DataVerified = true
-	return res, nil
 }
 
 // BestPartition returns the optimizer's choice for a block size.

@@ -4,14 +4,15 @@
 // multiphase algorithm (§5) that subsumes both as the extreme partitions
 // {1,1,...,1} and {d}.
 //
-// A Plan fixes (d, m, partition) and can be executed two ways:
-//
-//   - on the goroutine runtime (package runtime), moving real bytes, so
-//     correctness — every block landing in the right slot of the right
-//     node — is machine-checked; and
-//   - as simnet Programs (package simnet), so the virtual-time cost under
-//     circuit-switched contention, pairwise sync, and global sync is
-//     measured and compared against the analytic model (package model).
+// A Plan fixes (d, m, partition) and has exactly one executable
+// implementation, Execute, written against the fabric interface (package
+// fabric). Run on the runtime fabric it moves real bytes, so correctness
+// — every block landing in the right slot of the right node — is
+// machine-checked; run on the simulated fabric it additionally records
+// and replays the op schedule through the discrete-event simulator
+// (package simnet), so the virtual-time cost under circuit-switched
+// contention, pairwise sync, and global sync is measured and compared
+// against the analytic model (package model).
 package exchange
 
 import (

@@ -4,32 +4,33 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/runtime"
+	"repro/internal/fabric"
 	"repro/internal/simnet"
 )
 
-// Execute runs the plan's phases on one node of the goroutine runtime,
-// moving the real bytes in buf. On entry buf must hold the node's outgoing
-// blocks (block t = data for node t); on return block s holds the data
-// received from node s.
+// Execute runs the plan's phases on one node of any fabric. On entry buf
+// must hold the node's outgoing blocks (block t = data for node t); on
+// return block s holds the data received from node s.
 //
-// This is the paper's Multiphase procedure (§5.2). Each step j of a phase
-// exchanges one effective block (the gathered superblock) with partner
-// p ⊕ (j·2^lo); incoming superblocks are scattered back into the same
-// positions, which performs the data permutation the paper charges as the
-// per-phase shuffle.
-func (p *Plan) Execute(nd *runtime.Node, buf *Buffer) error {
+// This is the paper's Multiphase procedure (§5.2), written once against
+// the fabric interface: each step j of a phase exchanges one effective
+// block (the gathered superblock) with partner p ⊕ (j·2^lo); incoming
+// superblocks are scattered back into the same positions. Every phase is
+// preceded by a global synchronization (the posting of FORCED receives,
+// §7.3) and — except when the phase spans the whole cube — followed by
+// the shuffle charge ρ·m·2^d for the data permutation the gather/scatter
+// performs.
+func (p *Plan) Execute(nd fabric.Node, buf *Buffer) error {
 	if nd.N() != p.Nodes() {
-		return fmt.Errorf("exchange: plan for %d nodes on cluster of %d", p.Nodes(), nd.N())
+		return fmt.Errorf("exchange: plan for %d nodes on fabric of %d", p.Nodes(), nd.N())
 	}
 	if buf.Dim() != p.d || buf.BlockSize() != p.m {
 		return fmt.Errorf("exchange: buffer (d=%d,m=%d) does not match plan (d=%d,m=%d)",
 			buf.Dim(), buf.BlockSize(), p.d, p.m)
 	}
 	me := nd.ID()
+	shuffleBytes := p.m << uint(p.d)
 	for _, ph := range p.phases {
-		// The implementation posts all receives and globally
-		// synchronizes before each phase's FORCED-mode traffic (§7.3).
 		nd.Barrier()
 		for j := 1; j <= ph.steps(); j++ {
 			q := ph.partner(me, j)
@@ -41,19 +42,21 @@ func (p *Plan) Execute(nd *runtime.Node, buf *Buffer) error {
 					me, ph.Lo, j, err)
 			}
 		}
+		if ph.SubcubeDim != p.d {
+			nd.Shuffle(shuffleBytes)
+		}
 	}
 	return nil
 }
 
-// RunData executes the plan on a fresh goroutine cluster with canonical
-// payloads and verifies the complete-exchange postcondition on every node.
-// It is the end-to-end correctness check used by tests and examples.
-func (p *Plan) RunData(timeout time.Duration) error {
-	c, err := runtime.NewCluster(p.Nodes())
-	if err != nil {
-		return err
+// RunOn executes the plan on every node of the given fabric with
+// canonical payloads and verifies the complete-exchange postcondition on
+// every node: block s of node q ends up holding exactly what s sent to q.
+func (p *Plan) RunOn(fab fabric.Fabric, timeout time.Duration) error {
+	if fab.N() != p.Nodes() {
+		return fmt.Errorf("exchange: plan for %d nodes on fabric of %d", p.Nodes(), fab.N())
 	}
-	return c.Run(func(nd *runtime.Node) error {
+	return fab.Run(func(nd fabric.Node) error {
 		buf, err := NewBuffer(p.d, p.m)
 		if err != nil {
 			return err
@@ -66,37 +69,28 @@ func (p *Plan) RunData(timeout time.Duration) error {
 	}, timeout)
 }
 
-// Programs generates the per-node simnet programs of the plan: for each
-// phase, a global synchronization (modeling the posting of FORCED receives,
-// §7.3), the subcube-restricted XOR schedule of pairwise exchanges with
-// effective blocks, and — except when the phase spans the whole cube — the
-// shuffle of the full local buffer (ρ·m·2^d).
-func (p *Plan) Programs() []simnet.Program {
-	n := p.Nodes()
-	progs := make([]simnet.Program, n)
-	shuffleBytes := p.m << uint(p.d)
-	for node := 0; node < n; node++ {
-		var prog simnet.Program
-		for _, ph := range p.phases {
-			prog = append(prog, simnet.Barrier())
-			for j := 1; j <= ph.steps(); j++ {
-				prog = append(prog, simnet.Exchange(ph.partner(node, j), ph.EffBytes))
-			}
-			if ph.SubcubeDim != p.d {
-				prog = append(prog, simnet.Shuffle(shuffleBytes))
-			}
-		}
-		progs[node] = prog
+// RunData executes the plan on a fresh goroutine-runtime fabric — the
+// end-to-end real-data correctness check used by tests and examples.
+func (p *Plan) RunData(timeout time.Duration) error {
+	fab, err := fabric.NewRuntime(p.Nodes())
+	if err != nil {
+		return err
 	}
-	return progs
+	return p.RunOn(fab, timeout)
 }
 
-// Simulate runs the plan's programs on a simulated network and returns the
-// result. The network's cube dimension must match the plan.
+// Simulate runs the plan on a simulated fabric over the given network and
+// returns the discrete-event result. The run both moves real data (the
+// postcondition is verified) and costs the schedule in virtual time; the
+// network's cube dimension must match the plan.
 func (p *Plan) Simulate(net *simnet.Network) (simnet.Result, error) {
 	if net.Cube().Dim() != p.d {
 		return simnet.Result{}, fmt.Errorf("exchange: plan d=%d on %d-cube network",
 			p.d, net.Cube().Dim())
 	}
-	return net.Run(p.Programs())
+	fab := fabric.NewSim(net)
+	if err := p.RunOn(fab, fabric.DefaultSimTimeout); err != nil {
+		return simnet.Result{}, err
+	}
+	return fab.Result()
 }

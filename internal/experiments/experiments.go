@@ -1,7 +1,7 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation, one function per artifact (the experiment index E1–E8 of
-// DESIGN.md). Each returns a report.Table or report.Figure with the same
-// rows/series the paper plots; EXPERIMENTS.md records the comparison.
+// README.md). Each returns a report.Table or report.Figure with the same
+// rows/series the paper plots, with the comparison pinned by tests here.
 package experiments
 
 import (

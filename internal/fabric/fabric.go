@@ -1,0 +1,75 @@
+// Package fabric defines the node-level communication interface the
+// paper's algorithms are written against, decoupling *what* a hypercube
+// algorithm does (pairwise exchanges, tree sends, barriers, shuffles) from
+// *where* it runs. Two backends implement the interface:
+//
+//   - Runtime wraps package runtime: one goroutine per node moving real
+//     bytes over channels, so data movement is machine-checked;
+//   - Sim wraps package simnet: node programs still run as goroutines and
+//     still move real bytes (through lightweight mailboxes), but every
+//     operation also advances a per-node virtual clock and is recorded as
+//     a simnet op; after the run the recorded per-node programs are
+//     replayed through the discrete-event simulator for the exact,
+//     contention-aware virtual-time cost.
+//
+// The multiphase complete exchange (package exchange), the tree
+// collectives (package collectives), and the user-facing communicator
+// (package comm) are each implemented exactly once against Node and run
+// unchanged on either backend. This is the enabling layer for any future
+// backend — mesh/torus topologies, TCP transport, sharded clusters —
+// which only has to implement Node and Fabric.
+package fabric
+
+import (
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Node is the per-node handle passed to node programs. The communication
+// ops mirror the iPSC-860 NX primitives the paper's implementation uses
+// (§7): one-sided sends with receives posted up front (FORCED messages),
+// pairwise exchanges (§7.2), and global synchronization (§7.3), plus the
+// local-cost hooks (shuffle, compute) the timing model prices.
+type Node interface {
+	// ID returns this node's label in [0, N).
+	ID() int
+	// N returns the number of nodes on the fabric.
+	N() int
+	// Send delivers a copy of data to dst (FORCED-style: the receiver is
+	// expected to have posted, or to post, a matching Recv).
+	Send(dst int, data []byte)
+	// PostRecv declares, ahead of the traffic, that a receive from src
+	// will follow. Posting receives before a known communication pattern
+	// is the paper's §7.1 protocol; backends that model message cost use
+	// the declaration, data-only backends ignore it.
+	PostRecv(src int)
+	// Recv blocks until the next message from src arrives and returns it.
+	Recv(src int) []byte
+	// Exchange performs a pairwise exchange with peer: sends data and
+	// returns the peer's message. Exchange with self returns a copy.
+	Exchange(peer int, data []byte) []byte
+	// Barrier blocks until every node on the fabric has reached it.
+	Barrier()
+	// Shuffle accounts for a local data permutation of the given size
+	// (priced at ρ·bytes by the cost model).
+	Shuffle(bytes int)
+	// Compute accounts for local computation of the given duration (µs).
+	Compute(micros float64)
+	// Clock returns this node's current time in µs: wall-clock time on
+	// the real backend, modeled virtual time on the simulated one.
+	Clock() float64
+}
+
+// Fabric runs one node program per node.
+type Fabric interface {
+	// N returns the number of nodes.
+	N() int
+	// Run executes fn on every node concurrently and waits for
+	// completion; the first error (lowest node id) is returned. A
+	// non-positive timeout means wait forever.
+	Run(fn func(Node) error, timeout time.Duration) error
+}
+
+// The goroutine runtime's node handle satisfies Node directly.
+var _ Node = (*runtime.Node)(nil)

@@ -1,0 +1,279 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+func newSim(t testing.TB, d int, prm model.Params) *Sim {
+	t.Helper()
+	return NewSim(simnet.New(topology.MustNew(d), prm))
+}
+
+// Both backends must run the same ring program and deliver the same data.
+func TestBackendsAgreeOnData(t *testing.T) {
+	ring := func(nd Node) error {
+		n := nd.N()
+		next := (nd.ID() + 1) % n
+		prev := (nd.ID() + n - 1) % n
+		nd.PostRecv(prev)
+		nd.Send(next, []byte{byte(nd.ID()), 0x5A})
+		got := nd.Recv(prev)
+		if !bytes.Equal(got, []byte{byte(prev), 0x5A}) {
+			return fmt.Errorf("node %d got %v from %d", nd.ID(), got, prev)
+		}
+		nd.Barrier()
+		return nil
+	}
+	rt, err := NewRuntime(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(ring, 10*time.Second); err != nil {
+		t.Errorf("runtime fabric: %v", err)
+	}
+	sim := newSim(t, 3, model.IPSC860())
+	if err := sim.Run(ring, 10*time.Second); err != nil {
+		t.Errorf("sim fabric: %v", err)
+	}
+	res, err := sim.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 8 || res.Barriers != 1 {
+		t.Errorf("sim counted %d messages, %d barriers", res.Messages, res.Barriers)
+	}
+	if res.DroppedForced != 0 {
+		t.Errorf("receives were posted, yet %d FORCED drops", res.DroppedForced)
+	}
+}
+
+// The sim fabric's exchange with self must be a free copy, as on the
+// runtime.
+func TestSelfExchange(t *testing.T) {
+	for _, fab := range []Fabric{mustRuntime(t, 4), newSim(t, 2, model.IPSC860())} {
+		err := fab.Run(func(nd Node) error {
+			out := nd.Exchange(nd.ID(), []byte{7, 8, 9})
+			if !bytes.Equal(out, []byte{7, 8, 9}) {
+				return fmt.Errorf("self-exchange returned %v", out)
+			}
+			return nil
+		}, 10*time.Second)
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func mustRuntime(t testing.TB, n int) *Runtime {
+	t.Helper()
+	f, err := NewRuntime(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// On a contention-free lockstep schedule the sim fabric's online node
+// clocks must agree exactly with the replayed discrete-event simulation:
+// the same rendezvous and barrier arithmetic, just computed live.
+func TestSimClockMatchesReplay(t *testing.T) {
+	for _, prm := range []model.Params{model.IPSC860(), model.Hypothetical(), model.IPSC860Raw()} {
+		d := 3
+		sim := newSim(t, d, prm)
+		clocks := make([]float64, sim.N())
+		err := sim.Run(func(nd Node) error {
+			p := nd.ID()
+			// One barrier, then a full XOR schedule of exchanges (the
+			// OCS pattern), a shuffle, and a compute.
+			nd.Barrier()
+			for j := 1; j < nd.N(); j++ {
+				nd.Exchange(p^j, make([]byte, 24))
+			}
+			nd.Shuffle(100)
+			nd.Compute(5)
+			clocks[p] = nd.Clock()
+			return nil
+		}, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, c := range clocks {
+			if diff := c - res.NodeFinish[p]; diff < -1e-9 || diff > 1e-9 {
+				t.Errorf("node %d: online clock %v, replay finish %v", p, c, res.NodeFinish[p])
+			}
+		}
+	}
+}
+
+// The runtime fabric's clock must be positive and monotone.
+func TestRuntimeClock(t *testing.T) {
+	fab := mustRuntime(t, 2)
+	err := fab.Run(func(nd Node) error {
+		t0 := nd.Clock()
+		nd.Barrier()
+		t1 := nd.Clock()
+		if t1 < t0 {
+			return fmt.Errorf("clock went backwards: %v -> %v", t0, t1)
+		}
+		return nil
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A deadlocked program must trip the sim fabric's watchdog, not hang.
+func TestSimTimeout(t *testing.T) {
+	sim := newSim(t, 1, model.IPSC860())
+	err := sim.Run(func(nd Node) error {
+		if nd.ID() == 0 {
+			nd.Recv(1) // node 1 never sends
+		}
+		return nil
+	}, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("deadlock must time out")
+	}
+	if _, rerr := sim.Result(); rerr == nil {
+		t.Error("Result after a failed run must error")
+	}
+	// The timed-out run stranded a goroutine that still references the
+	// Sim's state; reuse must be refused, not raced.
+	if err := sim.Run(func(nd Node) error { return nil }, time.Second); err == nil {
+		t.Error("Run after a timed-out run must be refused")
+	}
+}
+
+// A node program error must surface and suppress the simulation result.
+func TestSimNodeError(t *testing.T) {
+	sim := newSim(t, 1, model.IPSC860())
+	boom := fmt.Errorf("boom")
+	err := sim.Run(func(nd Node) error {
+		if nd.ID() == 0 {
+			return boom
+		}
+		return nil
+	}, 10*time.Second)
+	if err == nil {
+		t.Fatal("node error must surface")
+	}
+	if _, rerr := sim.Result(); rerr == nil {
+		t.Error("Result after a failed run must error")
+	}
+}
+
+// Result before any Run must error rather than return zeros.
+func TestResultBeforeRun(t *testing.T) {
+	sim := newSim(t, 2, model.IPSC860())
+	if _, err := sim.Result(); err == nil {
+		t.Error("Result before Run must error")
+	}
+}
+
+// A Sim is reusable: a second Run must produce a fresh, identical result.
+func TestSimRunReusable(t *testing.T) {
+	sim := newSim(t, 2, model.IPSC860())
+	prog := func(nd Node) error {
+		nd.Exchange(nd.ID()^1, make([]byte, 16))
+		return nil
+	}
+	if err := sim.Run(prog, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	first, err := sim.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(prog, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	second, err := sim.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Makespan != second.Makespan || first.Messages != second.Messages {
+		t.Errorf("runs differ: %+v vs %+v", first, second)
+	}
+}
+
+// Recording must capture every node's call sequence in program order on
+// both backends.
+func TestRecording(t *testing.T) {
+	prog := func(nd Node) error {
+		peer := nd.ID() ^ 1
+		nd.Barrier()
+		nd.Exchange(peer, make([]byte, 4))
+		nd.Shuffle(8)
+		return nil
+	}
+	want := func(id int) []Event {
+		return []Event{
+			{Node: id, Op: "barrier", Peer: -1},
+			{Node: id, Op: "exchange", Peer: id ^ 1, Bytes: 4},
+			{Node: id, Op: "shuffle", Peer: -1, Bytes: 8},
+		}
+	}
+	for name, fab := range map[string]Fabric{
+		"runtime": mustRuntime(t, 2),
+		"simnet":  newSim(t, 1, model.IPSC860()),
+	} {
+		rec := Record(fab)
+		if rec.N() != 2 {
+			t.Fatalf("%s: N = %d", name, rec.N())
+		}
+		if err := rec.Run(prog, 10*time.Second); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for id := 0; id < 2; id++ {
+			w := want(id)
+			if len(rec.Events[id]) != len(w) {
+				t.Fatalf("%s node %d: %d events, want %d", name, id, len(rec.Events[id]), len(w))
+			}
+			for i := range w {
+				if rec.Events[id][i] != w[i] {
+					t.Errorf("%s node %d event %d = %+v, want %+v",
+						name, id, i, rec.Events[id][i], w[i])
+				}
+			}
+		}
+	}
+}
+
+// The recorded trace of a sim run must replay to the same result as the
+// run itself reported (the trace is the program).
+func TestSimTraceIsReplayable(t *testing.T) {
+	net := simnet.New(topology.MustNew(2), model.IPSC860())
+	sim := NewSim(net)
+	err := sim.Run(func(nd Node) error {
+		nd.Barrier()
+		for j := 1; j < nd.N(); j++ {
+			nd.Exchange(nd.ID()^j, make([]byte, 32))
+		}
+		return nil
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := net.Run(sim.Traces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != again.Makespan || res.BytesMoved != again.BytesMoved {
+		t.Errorf("replay differs: %+v vs %+v", res, again)
+	}
+}

@@ -1,0 +1,86 @@
+package fabric
+
+import "time"
+
+// Event is one fabric call observed at a node, in program order.
+type Event struct {
+	Node   int
+	Op     string  // "send", "postrecv", "recv", "exchange", "barrier", "shuffle", "compute"
+	Peer   int     // partner node for communication ops, -1 otherwise
+	Bytes  int     // payload size for communication/shuffle ops
+	Micros float64 // duration for compute ops
+}
+
+// Recording decorates a Fabric so that every node's sequence of fabric
+// calls is captured. It is how tests assert that the same algorithm run
+// on two different backends performs the identical sequence of transfers.
+type Recording struct {
+	inner Fabric
+	// Events[id] is node id's call sequence from the last Run, valid
+	// after Run returns without timing out.
+	Events [][]Event
+}
+
+// Record wraps a fabric with call recording.
+func Record(f Fabric) *Recording { return &Recording{inner: f} }
+
+// N returns the node count of the wrapped fabric.
+func (r *Recording) N() int { return r.inner.N() }
+
+// Run executes fn with every node handle decorated to capture calls.
+func (r *Recording) Run(fn func(Node) error, timeout time.Duration) error {
+	r.Events = make([][]Event, r.inner.N())
+	return r.inner.Run(func(nd Node) error {
+		return fn(&recNode{Node: nd, rec: r})
+	}, timeout)
+}
+
+// recNode forwards every call and appends an Event. Each node goroutine
+// writes only its own slot of rec.Events, so no locking is needed.
+type recNode struct {
+	Node
+	rec *Recording
+}
+
+func (n *recNode) add(op string, peer, bytes int) {
+	id := n.Node.ID()
+	n.rec.Events[id] = append(n.rec.Events[id], Event{Node: id, Op: op, Peer: peer, Bytes: bytes})
+}
+
+func (n *recNode) Send(dst int, data []byte) {
+	n.add("send", dst, len(data))
+	n.Node.Send(dst, data)
+}
+
+func (n *recNode) PostRecv(src int) {
+	n.add("postrecv", src, 0)
+	n.Node.PostRecv(src)
+}
+
+func (n *recNode) Recv(src int) []byte {
+	data := n.Node.Recv(src)
+	n.add("recv", src, len(data))
+	return data
+}
+
+func (n *recNode) Exchange(peer int, data []byte) []byte {
+	n.add("exchange", peer, len(data))
+	return n.Node.Exchange(peer, data)
+}
+
+func (n *recNode) Barrier() {
+	n.add("barrier", -1, 0)
+	n.Node.Barrier()
+}
+
+func (n *recNode) Shuffle(bytes int) {
+	n.add("shuffle", -1, bytes)
+	n.Node.Shuffle(bytes)
+}
+
+func (n *recNode) Compute(micros float64) {
+	id := n.Node.ID()
+	n.rec.Events[id] = append(n.rec.Events[id],
+		Event{Node: id, Op: "compute", Peer: -1, Micros: micros})
+	n.Node.Compute(micros)
+}

@@ -1,0 +1,38 @@
+package fabric
+
+import (
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Runtime is the real-execution backend: it adapts a runtime.Cluster (one
+// goroutine per node, point-to-point byte messages over channels) to the
+// Fabric interface. Data movement is real; Shuffle/Compute are free and
+// Clock reads the wall clock.
+type Runtime struct {
+	c *runtime.Cluster
+}
+
+// NewRuntime returns a real-execution fabric of n nodes.
+func NewRuntime(n int) (*Runtime, error) {
+	c, err := runtime.NewCluster(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{c: c}, nil
+}
+
+// WrapCluster adapts an existing cluster to the Fabric interface.
+func WrapCluster(c *runtime.Cluster) *Runtime { return &Runtime{c: c} }
+
+// N returns the node count.
+func (f *Runtime) N() int { return f.c.N() }
+
+// Cluster returns the underlying goroutine cluster.
+func (f *Runtime) Cluster() *runtime.Cluster { return f.c }
+
+// Run executes fn on every node concurrently.
+func (f *Runtime) Run(fn func(Node) error, timeout time.Duration) error {
+	return f.c.Run(func(nd *runtime.Node) error { return fn(nd) }, timeout)
+}

@@ -1,0 +1,329 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/simnet"
+)
+
+// Sim is the simulated backend: node programs run as real goroutines and
+// move real bytes (through per-node mailboxes), so the same program that
+// runs on the Runtime fabric runs here unchanged and its data movement
+// can be verified. In addition, every operation
+//
+//   - advances the node's virtual clock by the machine model's cost
+//     (contention-free: rendezvous and global-sync waits are modeled by
+//     exchanging clocks, link contention is not), and
+//   - is recorded as a simnet op, so that after the run the per-node
+//     programs are replayed through the discrete-event simulator, whose
+//     Result carries the exact virtual-time makespan including e-cube
+//     circuit contention, message accounting, and (if configured) jitter.
+//
+// Node.Clock is therefore a live lower-bound estimate; Result is the
+// authoritative cost. A Sim must not be Run concurrently with itself.
+type Sim struct {
+	net *simnet.Network
+	n   int
+	d   int
+
+	boxes  []*mailbox
+	bar    *runtime.Barrier
+	clocks []float64 // barrier rendezvous slots, one per node
+
+	traces []simnet.Program
+	res    simnet.Result
+	resErr error
+	ran    bool
+	// dead is set when a Run times out: the stranded node goroutines may
+	// still hold references to the trace and mailbox state, so reusing
+	// this Sim would race with them. Callers must build a fresh Sim.
+	dead bool
+}
+
+// NewSim returns a simulated fabric over the given network's hypercube.
+func NewSim(net *simnet.Network) *Sim {
+	n := net.Cube().Nodes()
+	s := &Sim{
+		net:    net,
+		n:      n,
+		d:      net.Cube().Dim(),
+		boxes:  make([]*mailbox, n),
+		bar:    runtime.NewBarrier(n),
+		clocks: make([]float64, n),
+	}
+	for i := range s.boxes {
+		s.boxes[i] = newMailbox()
+	}
+	return s
+}
+
+// N returns the node count 2^d.
+func (s *Sim) N() int { return s.n }
+
+// Network returns the underlying simulated network.
+func (s *Sim) Network() *simnet.Network { return s.net }
+
+// Run executes fn on every node, moving real data, then replays the
+// recorded per-node programs through the discrete-event simulator. It
+// returns the first node error, or the replay error; on success the
+// simulation result is available from Result.
+func (s *Sim) Run(fn func(Node) error, timeout time.Duration) error {
+	if s.dead {
+		return fmt.Errorf("fabric: Sim unusable after a timed-out run (stranded node goroutines); build a fresh Sim")
+	}
+	s.traces = make([]simnet.Program, s.n)
+	s.res, s.resErr, s.ran = simnet.Result{}, nil, false
+	for i := range s.boxes {
+		s.boxes[i] = newMailbox() // drop any leftovers from a failed run
+	}
+	err := runAll(s.n, func(id int) error {
+		nd := &simNode{f: s, id: id}
+		defer func() { s.traces[id] = nd.prog }()
+		return fn(nd)
+	}, timeout)
+	if err != nil {
+		if err == errTimeout {
+			s.dead = true
+		}
+		s.resErr = fmt.Errorf("fabric: no simulation result: run failed: %w", err)
+		return err
+	}
+	s.res, s.resErr = s.net.Run(s.traces)
+	s.ran = s.resErr == nil
+	return s.resErr
+}
+
+// Result returns the simulator's verdict on the last Run.
+func (s *Sim) Result() (simnet.Result, error) {
+	if s.resErr != nil {
+		return simnet.Result{}, s.resErr
+	}
+	if !s.ran {
+		return simnet.Result{}, fmt.Errorf("fabric: Result before Run")
+	}
+	return s.res, nil
+}
+
+// DefaultSimTimeout is the watchdog used by callers that cost schedules
+// on the simulated fabric without an explicit timeout: it bounds the
+// data-movement half of the run (the replay is bounded by the
+// simulator's event budget).
+const DefaultSimTimeout = 10 * time.Minute
+
+// Traces returns the per-node op programs recorded by the last Run, or
+// nil after a timed-out Run (stranded goroutines may still be writing
+// them).
+func (s *Sim) Traces() []simnet.Program {
+	if s.dead {
+		return nil
+	}
+	return s.traces
+}
+
+// simNode is the per-goroutine handle on the simulated fabric.
+type simNode struct {
+	f     *Sim
+	id    int
+	clock float64
+	prog  simnet.Program
+	// posted/consumed track per-peer receive postings so a Recv after a
+	// PostRecv is recorded as the cheap wait (§7.1 FORCED protocol) and a
+	// bare Recv as post-and-wait.
+	posted   map[int]int
+	consumed map[int]int
+}
+
+func (nd *simNode) ID() int { return nd.id }
+func (nd *simNode) N() int  { return nd.f.n }
+
+func (nd *simNode) record(op simnet.Op) { nd.prog = append(nd.prog, op) }
+
+// Send transmits a copy of data to dst as a FORCED message: the sender's
+// circuit is held for the transmission, so the sender's clock advances by
+// the full message time and the payload arrives at that instant.
+func (nd *simNode) Send(dst int, data []byte) {
+	nd.record(simnet.Send(dst, len(data), simnet.Forced))
+	arrive := nd.clock
+	if dst != nd.id {
+		h := nd.f.net.Cube().Distance(nd.id, dst)
+		nd.clock += nd.f.net.Params().RawMessageTime(len(data), h)
+		arrive = nd.clock
+	}
+	nd.f.boxes[dst].put(nd.id, envelope{data: clone(data), t: arrive})
+}
+
+// PostRecv declares the next receive from src ahead of the traffic.
+func (nd *simNode) PostRecv(src int) {
+	nd.record(simnet.PostRecv(src))
+	if nd.posted == nil {
+		nd.posted = make(map[int]int)
+	}
+	nd.posted[src]++
+}
+
+// Recv blocks until the next message from src arrives and advances the
+// clock to the later of the local time and the message's arrival time.
+func (nd *simNode) Recv(src int) []byte {
+	if nd.posted[src] > nd.consumed[src] {
+		nd.record(simnet.WaitRecv(src))
+	} else {
+		nd.record(simnet.Recv(src))
+	}
+	if nd.consumed == nil {
+		nd.consumed = make(map[int]int)
+	}
+	nd.consumed[src]++
+	e := nd.f.boxes[nd.id].take(src)
+	if e.t > nd.clock {
+		nd.clock = e.t
+	}
+	return e.data
+}
+
+// Exchange performs a pairwise exchange with peer. Both sides compute the
+// same start time max(readyA, readyB) from the clocks carried with the
+// payloads, then advance by the exchange duration of the configured mode
+// (§7.2): synced, serialized, or ideal.
+func (nd *simNode) Exchange(peer int, data []byte) []byte {
+	nd.record(simnet.Exchange(peer, len(data)))
+	if peer == nd.id {
+		return clone(data)
+	}
+	nd.f.boxes[peer].put(nd.id, envelope{data: clone(data), t: nd.clock})
+	e := nd.f.boxes[nd.id].take(peer)
+	start := nd.clock
+	if e.t > start {
+		start = e.t
+	}
+	h := nd.f.net.Cube().Distance(nd.id, peer)
+	nd.clock = start + nd.f.net.Params().ExchangeTime(len(data), h)
+	return e.data
+}
+
+// Barrier synchronizes all nodes and advances every clock to the maximum
+// plus the global synchronization cost 150·d µs (§7.3).
+func (nd *simNode) Barrier() {
+	nd.record(simnet.Barrier())
+	s := nd.f
+	s.clocks[nd.id] = nd.clock
+	s.bar.Await()
+	max := s.clocks[0]
+	for _, c := range s.clocks[1:] {
+		if c > max {
+			max = c
+		}
+	}
+	// Second round keeps a fast node's next Barrier from overwriting its
+	// slot before every node has read this round's maximum.
+	s.bar.Await()
+	nd.clock = max + s.net.Params().GlobalSync(s.d)
+}
+
+// Shuffle charges the local data-permutation cost ρ·bytes.
+func (nd *simNode) Shuffle(bytes int) {
+	nd.record(simnet.Shuffle(bytes))
+	nd.clock += nd.f.net.Params().Rho * float64(bytes)
+}
+
+// Compute charges micros of local computation.
+func (nd *simNode) Compute(micros float64) {
+	nd.record(simnet.Compute(micros))
+	nd.clock += micros
+}
+
+// Clock returns the node's virtual time in µs: the contention-free model
+// estimate maintained online (the replayed Result is authoritative).
+func (nd *simNode) Clock() float64 { return nd.clock }
+
+// envelope is one in-flight message: payload plus the time information
+// piggybacked on it (arrival time for sends, sender-ready time for
+// exchanges).
+type envelope struct {
+	data []byte
+	t    float64
+}
+
+// mailbox is a node's inbox: per-sender FIFO queues. Unlike the runtime
+// cluster's n² pre-allocated channels, mailboxes grow with the number of
+// senders actually used, so a 1024-node simulated fabric stays cheap.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    map[int][]envelope
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{q: make(map[int][]envelope)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(src int, e envelope) {
+	mb.mu.Lock()
+	mb.q[src] = append(mb.q[src], e)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *mailbox) take(src int) envelope {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.q[src]) == 0 {
+		mb.cond.Wait()
+	}
+	e := mb.q[src][0]
+	mb.q[src] = mb.q[src][1:]
+	return e
+}
+
+func clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// errTimeout reports that the watchdog fired with node goroutines still
+// running (almost always a communication deadlock in the program).
+var errTimeout = fmt.Errorf("fabric: timeout waiting for node programs (deadlock?)")
+
+// runAll executes fn(id) for ids 0..n-1 concurrently and waits, mirroring
+// the runtime cluster's watchdog semantics.
+func runAll(n int, fn func(id int) error, timeout time.Duration) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[id] = fmt.Errorf("fabric: node %d panicked: %v", id, r)
+				}
+			}()
+			errs[id] = fn(id)
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	if timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			return errTimeout
+		}
+	} else {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

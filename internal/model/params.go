@@ -203,6 +203,31 @@ func (p Params) RawMessageTime(m, h int) float64 {
 	return p.Lambda + p.Tau*float64(m) + p.Delta*float64(h)
 }
 
+// ExchangeTime returns the duration of one pairwise exchange of m bytes
+// between nodes h dimensions apart, from the instant both parties are
+// ready, under the configured exchange mode (§7.2, §7.4):
+//
+//	synced:     a zero-byte sync round (λ0 + δh), then both transfers
+//	            run concurrently: λ + τm + δh;
+//	serialized: no synchronization — the two transfers serialize (the
+//	            iPSC-860 behaviour Seidel et al. measured when the
+//	            transmissions do not start simultaneously): 2(λ+τm+δh);
+//	ideal:      both transfers fully concurrent: λ + τm + δh.
+//
+// This is the single source of the exchange arithmetic, shared by the
+// discrete-event simulator and the simulated fabric's online node clocks.
+func (p Params) ExchangeTime(m, h int) float64 {
+	data := p.RawMessageTime(m, h)
+	switch p.Exchange {
+	case ExchangeSynced:
+		return p.LambdaZero + p.Delta*float64(h) + data
+	case ExchangeSerialized:
+		return 2 * data
+	default: // ExchangeIdeal
+		return data
+	}
+}
+
 // UnforcedMessageTime models an UNFORCED-type message (§7.1): identical to
 // a FORCED message below the threshold, and preceded by a reserve/
 // acknowledge zero-byte round trip above it.

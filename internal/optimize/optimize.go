@@ -68,6 +68,12 @@ func New(p model.Params) *Optimizer {
 }
 
 // NewSimulated returns an optimizer that costs candidates by simulation.
+// Each candidate is run on the simulated fabric, which moves (and
+// verifies) real payloads while costing the schedule, so enumeration is
+// substantially heavier than the analytic backend — O(2^d goroutines and
+// m·2^d bytes per node) per candidate. Prefer the analytic backend for
+// sweeps; use this one when contention effects the closed form cannot
+// see might matter.
 func NewSimulated(p model.Params) *Optimizer {
 	return &Optimizer{params: p, backend: Simulated, cache: make(map[[2]int]Choice)}
 }

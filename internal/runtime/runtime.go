@@ -19,7 +19,8 @@ import (
 type Cluster struct {
 	n       int
 	queues  []chan []byte // queues[src*n+dst]
-	barrier *barrier
+	barrier *Barrier
+	start   time.Time // set by Run; basis for Node.Clock
 }
 
 // NewCluster returns a cluster of n nodes (n ≥ 1). Per-pair queues are
@@ -31,7 +32,7 @@ func NewCluster(n int) (*Cluster, error) {
 	c := &Cluster{
 		n:       n,
 		queues:  make([]chan []byte, n*n),
-		barrier: newBarrier(n),
+		barrier: NewBarrier(n),
 	}
 	for i := range c.queues {
 		// Capacity n: enough for every phase pattern the exchange
@@ -91,7 +92,32 @@ func (nd *Node) Exchange(peer int, data []byte) []byte {
 
 // Barrier blocks until every node in the cluster has called Barrier. It is
 // reusable: successive barriers are distinct synchronization points.
-func (nd *Node) Barrier() { nd.c.barrier.await() }
+func (nd *Node) Barrier() { nd.c.barrier.Await() }
+
+// PostRecv declares that a receive from src will follow. The runtime's
+// queues are buffered, so posting is a no-op here; it exists so node
+// programs written against the fabric interface can declare their receives
+// up front, which the simulated backend prices as the iPSC-860's FORCED
+// message protocol (§7.1).
+func (nd *Node) PostRecv(src int) {}
+
+// Shuffle accounts for a local data permutation of the given byte count.
+// On this backend the permutation is performed for real by the caller
+// (gather/scatter of actual blocks), so no extra work is done; the
+// simulated backend charges ρ·bytes of virtual time instead.
+func (nd *Node) Shuffle(bytes int) {}
+
+// Compute accounts for local computation of the given duration. Real
+// computation happens in the node program itself, so this is a no-op; the
+// simulated backend advances virtual time instead.
+func (nd *Node) Compute(micros float64) {}
+
+// Clock returns the wall-clock microseconds elapsed since the cluster run
+// started — the real-time analogue of the simulated backend's virtual
+// node clock.
+func (nd *Node) Clock() float64 {
+	return float64(time.Since(nd.c.start)) / float64(time.Microsecond)
+}
 
 // Program is the code run by each node.
 type Program func(nd *Node) error
@@ -104,6 +130,7 @@ var ErrTimeout = fmt.Errorf("runtime: timeout waiting for node programs (deadloc
 // any node returns an error, the first (lowest node id) is returned. A
 // non-positive timeout means wait forever.
 func (c *Cluster) Run(fn Program, timeout time.Duration) error {
+	c.start = time.Now()
 	errs := make([]error, c.n)
 	var wg sync.WaitGroup
 	wg.Add(c.n)
@@ -140,8 +167,10 @@ func (c *Cluster) Run(fn Program, timeout time.Duration) error {
 	return nil
 }
 
-// barrier is a reusable n-party barrier.
-type barrier struct {
+// Barrier is a reusable n-party barrier, exported so other backends (the
+// simulated fabric) can synchronize their node goroutines the same way the
+// cluster does.
+type Barrier struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	n     int
@@ -149,13 +178,16 @@ type barrier struct {
 	gen   uint64
 }
 
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
+// NewBarrier returns a reusable barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-func (b *barrier) await() {
+// Await blocks until all n parties have called Await; successive rounds
+// are distinct synchronization points.
+func (b *Barrier) Await() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	gen := b.gen

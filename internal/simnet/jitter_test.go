@@ -1,0 +1,104 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+// jitterPrograms is a small exchange workload whose makespan depends on
+// every transmission duration, so any nondeterminism in the jitter source
+// shows up in the result.
+func jitterPrograms(d int) []Program {
+	n := 1 << uint(d)
+	progs := make([]Program, n)
+	for p := 0; p < n; p++ {
+		var prog Program
+		prog = append(prog, Barrier())
+		for j := 1; j < n; j++ {
+			prog = append(prog, Exchange(p^j, 64))
+		}
+		progs[p] = prog
+	}
+	return progs
+}
+
+func mustRun(t *testing.T, net *Network, progs []Program) Result {
+	t.Helper()
+	res, err := net.Run(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Jitter must come from an explicitly seeded per-Network source, never
+// the global math/rand state: repeated Runs of the same Network are
+// bit-identical (the property go test -count=2 relies on), equal seeds
+// agree across Networks, and different seeds actually differ.
+func TestJitterReproducible(t *testing.T) {
+	const d = 3
+	progs := jitterPrograms(d)
+	prm := model.IPSC860()
+
+	net := New(topology.MustNew(d), prm)
+	net.SetJitter(0.05, 42)
+	first := mustRun(t, net, progs)
+	second := mustRun(t, net, progs)
+	if first.Makespan != second.Makespan {
+		t.Errorf("same network, successive runs: %v != %v", first.Makespan, second.Makespan)
+	}
+
+	other := New(topology.MustNew(d), prm)
+	other.SetJitter(0.05, 42)
+	if got := mustRun(t, other, progs); got.Makespan != first.Makespan {
+		t.Errorf("same seed, different network: %v != %v", got.Makespan, first.Makespan)
+	}
+
+	reseeded := New(topology.MustNew(d), prm)
+	reseeded.SetJitter(0.05, 43)
+	if got := mustRun(t, reseeded, progs); got.Makespan == first.Makespan {
+		t.Errorf("different seed produced identical makespan %v", got.Makespan)
+	}
+
+	exact := New(topology.MustNew(d), prm)
+	if got := mustRun(t, exact, progs); got.Makespan == first.Makespan {
+		t.Error("jitter had no effect vs the exact model")
+	}
+}
+
+// Concurrent Runs on separate Networks must not perturb each other's
+// jitter streams — each Run owns its rand.Rand.
+func TestJitterParallelRunsIndependent(t *testing.T) {
+	const d = 3
+	prm := model.IPSC860()
+	base := New(topology.MustNew(d), prm)
+	base.SetJitter(0.05, 7)
+	want := mustRun(t, base, jitterPrograms(d)).Makespan
+
+	for i := 0; i < 4; i++ {
+		t.Run("parallel", func(t *testing.T) {
+			t.Parallel()
+			net := New(topology.MustNew(d), prm)
+			net.SetJitter(0.05, 7)
+			if got := mustRun(t, net, jitterPrograms(d)).Makespan; got != want {
+				t.Errorf("parallel run makespan %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// Negative jitter fractions are clamped to zero (exact model behaviour).
+func TestJitterNegativeFracClamped(t *testing.T) {
+	const d = 2
+	prm := model.IPSC860()
+	exact := New(topology.MustNew(d), prm)
+	want := mustRun(t, exact, jitterPrograms(d)).Makespan
+
+	clamped := New(topology.MustNew(d), prm)
+	clamped.SetJitter(-0.5, 99)
+	if got := mustRun(t, clamped, jitterPrograms(d)).Makespan; got != want {
+		t.Errorf("clamped jitter makespan %v, want exact %v", got, want)
+	}
+}

@@ -24,7 +24,13 @@ type Network struct {
 // Figures 4–6 distinguish measured (solid) from predicted (dashed)
 // curves; jitter turns the simulator into the "measured" machine whose
 // imperfect agreement with the model can be quantified. frac = 0 restores
-// exact model behaviour. The seed makes runs reproducible.
+// exact model behaviour.
+//
+// The noise source is never the global math/rand state: each Run
+// constructs its own rand.Rand from this Network's seed, so repeated Runs
+// of the same programs give bit-identical results (go test -count=2),
+// concurrent Runs on different Networks do not perturb each other, and
+// two Networks with the same seed agree exactly.
 func (n *Network) SetJitter(frac float64, seed int64) {
 	if frac < 0 {
 		frac = 0
@@ -187,6 +193,9 @@ func (n *Network) Run(programs []Program) (Result, error) {
 		inbox:   make(map[msgKey]*inboxEntry),
 		res:     Result{NodeFinish: make([]float64, len(programs))},
 
+		// A fresh per-Run source seeded from the Network keeps jitter
+		// reproducible across repeated and concurrent Runs (see
+		// SetJitter); never touch the global math/rand state here.
 		rng: rand.New(rand.NewSource(n.jitterSeed)),
 
 		pairSeq: make(map[pairID]int),

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/event"
-	"repro/internal/model"
 	"repro/internal/topology"
 )
 
@@ -164,23 +163,12 @@ func (st *runState) enterExchange(p int, op Op) {
 	delete(st.pend, key)
 	st.pairSeq[id]++
 
-	prm := st.net.params
 	h := st.net.cube.Distance(p, q)
 	both := st.ready[p]
 	if pe.firstReady > both {
 		both = pe.firstReady
 	}
-	var dur float64
-	data := prm.Lambda + prm.Tau*float64(op.Bytes) + prm.Delta*float64(h)
-	switch prm.Exchange {
-	case model.ExchangeSynced:
-		dur = prm.LambdaZero + prm.Delta*float64(h) + data
-	case model.ExchangeSerialized:
-		dur = 2 * data
-	default: // model.ExchangeIdeal
-		dur = data
-	}
-	dur = st.jitter(dur)
+	dur := st.jitter(st.net.params.ExchangeTime(op.Bytes, h))
 	start, err := st.reservePair(p, q, both, dur)
 	if err != nil {
 		st.fail(err)
