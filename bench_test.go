@@ -28,14 +28,17 @@ import (
 	"repro/internal/topology"
 )
 
-// simulate runs one exchange plan on a fresh simulated network.
+// simulate costs one exchange plan on a fresh simulated network via the
+// trace-compiled path (bit-identical to the goroutine-backed Simulate,
+// without moving payloads; BenchmarkCostingGoroutine keeps the old path
+// honest).
 func simulate(b *testing.B, d, m int, D partition.Partition, prm model.Params) simnet.Result {
 	b.Helper()
 	plan, err := exchange.NewPlan(d, m, D)
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := plan.Simulate(simnet.New(topology.MustNew(d), prm))
+	res, err := plan.Cost(simnet.New(topology.MustNew(d), prm))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -94,6 +97,7 @@ func benchFigure(b *testing.B, d int) {
 	curves := experiments.FigureCurves(d)
 	sweep := experiments.BlockSweep()
 	var at40 float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, D := range curves {
 			for _, m := range sweep {
@@ -290,6 +294,7 @@ func BenchmarkAblation_NaiveSchedule(b *testing.B) {
 // for d=10 (p(10)=42 candidates) at one block size.
 func BenchmarkOptimizerEnumeration(b *testing.B) {
 	prm := model.IPSC860()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opt := optimize.New(prm) // fresh cache each iteration
 		if _, err := opt.Best(10, 64); err != nil {
@@ -299,14 +304,70 @@ func BenchmarkOptimizerEnumeration(b *testing.B) {
 }
 
 // BenchmarkSimulateOCS_D7 times one full 128-node Optimal Circuit-Switched
-// simulation (127 steps × 128 nodes), the heaviest single simulation in
-// the figure sweeps.
+// compiled replay (127 steps × 128 nodes), the heaviest single simulation
+// in the figure sweeps.
 func BenchmarkSimulateOCS_D7(b *testing.B) {
 	prm := model.IPSC860()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = simulate(b, 7, 160, partition.Partition{7}, prm)
 	}
 }
+
+// costingCases is the benchmark pair's workload: the d=7 figure-sweep
+// case (every Figure-6 curve at the 40B headline block) and the fully
+// simulated optimizer enumeration at d=10, m=64 (p(10)=42 candidates).
+// BenchmarkCostingCompiled and BenchmarkCostingGoroutine run the same
+// work on the trace-compiled and the 2^d-goroutine costing paths; the
+// results are bit-identical, the costs are not.
+func benchCosting(b *testing.B, costing optimize.Costing) {
+	prm := model.IPSC860()
+	b.Run("figure6_d7_m40", func(b *testing.B) {
+		b.ReportAllocs()
+		var last float64
+		for i := 0; i < b.N; i++ {
+			for _, D := range experiments.FigureCurves(7) {
+				plan, err := exchange.NewPlan(7, 40, D)
+				if err != nil {
+					b.Fatal(err)
+				}
+				net := simnet.New(topology.MustNew(7), prm)
+				var res simnet.Result
+				if costing == optimize.CostingGoroutine {
+					res, err = plan.Simulate(net)
+				} else {
+					res, err = plan.Cost(net)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Makespan
+			}
+		}
+		b.ReportMetric(last, "sim_µs")
+	})
+	b.Run("best_d10_m64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opt := optimize.NewSimulated(prm) // fresh cache each iteration
+			opt.SetCosting(costing)
+			if _, err := opt.Best(10, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCostingCompiled times the trace-compiled costing path: plans
+// lowered straight to per-node simnet programs and replayed with no
+// goroutines, no mailboxes and no payload bytes.
+func BenchmarkCostingCompiled(b *testing.B) { benchCosting(b, optimize.CostingCompiled) }
+
+// BenchmarkCostingGoroutine times the same workload on the goroutine
+// path (2^d node goroutines moving and verifying real payloads, then
+// replaying the recorded traces) — the baseline the compiled path is
+// required to beat by ≥5× with ≥10× fewer allocations.
+func BenchmarkCostingGoroutine(b *testing.B) { benchCosting(b, optimize.CostingGoroutine) }
 
 // BenchmarkRuntimeExchange_D5 times the real-data goroutine execution of
 // the d=5 multiphase exchange (32 goroutines moving 16B blocks).
@@ -335,6 +396,7 @@ func BenchmarkAllToAllFabric(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("runtime", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			fab, err := fabric.NewRuntime(plan.Nodes())
 			if err != nil {
@@ -346,6 +408,7 @@ func BenchmarkAllToAllFabric(b *testing.B) {
 		}
 	})
 	b.Run("simnet", func(b *testing.B) {
+		b.ReportAllocs()
 		var sim float64
 		for i := 0; i < b.N; i++ {
 			fab := fabric.NewSim(simnet.New(topology.MustNew(plan.Dim()), prm))
@@ -385,6 +448,7 @@ func BenchmarkCollectives(b *testing.B) {
 	prm := model.IPSC860()
 	net := simnet.New(topology.MustNew(6), prm)
 	var ag float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, k := range []collectives.Kind{
 			collectives.Broadcast, collectives.Scatter,
@@ -452,6 +516,7 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	}
 	net := simnet.New(topology.MustNew(6), model.IPSC860())
 	net.SetTrace(true)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := plan.Simulate(net); err != nil {
 			b.Fatal(err)

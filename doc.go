@@ -9,7 +9,12 @@
 // Every algorithm is written once against the node-level fabric
 // interface (internal/fabric) and runs unchanged on both backends: the
 // goroutine runtime moves real bytes, the simulated fabric moves the
-// same bytes while costing the schedule in virtual time.
+// same bytes while costing the schedule in virtual time. Pure costing
+// takes a third, faster route: a trace compiler (internal/exchange,
+// internal/collectives) lowers plans directly to per-node simulator
+// programs — op-for-op the programs a live simulated-fabric run records —
+// and replays them with no goroutines or payload bytes, which is what the
+// optimizer enumeration and the figure sweeps use.
 //
 // Layout:
 //

@@ -7,7 +7,9 @@
 // Each collective has exactly one implementation, written against the
 // fabric interface (package fabric), so the same code moves real data on
 // the goroutine runtime and is costed in virtual time on the
-// circuit-switched simulator. The paper's observation that the complete
+// circuit-switched simulator; Compile additionally lowers each pattern
+// straight to the per-node simulator programs such a run would record, so
+// pure costing (Cost) needs no goroutines or payloads at all. The paper's observation that the complete
 // exchange upper-bounds every pattern ("the time taken by our multiphase
 // algorithm is an upper bound on the time required by any of these
 // patterns") is enforced by tests.
@@ -284,7 +286,9 @@ func AllGatherOn(nd fabric.Node, block []byte) ([][]byte, error) {
 	p := nd.ID()
 	m := len(block)
 	blocks := make([][]byte, n)
-	blocks[p] = append([]byte(nil), block...)
+	// Blocks are kept non-nil even when m = 0 so the missing-block check
+	// below stays meaningful for zero-byte collectives.
+	blocks[p] = append([]byte{}, block...)
 	for i := 0; i < d; i++ {
 		bit := 1 << uint(i)
 		peer := p ^ bit
@@ -307,7 +311,7 @@ func AllGatherOn(nd fabric.Node, block []byte) ([][]byte, error) {
 		idx := 0
 		for q := 0; q < n; q++ {
 			if q&^(bit-1) == peer&^(bit-1) {
-				blocks[q] = append([]byte(nil), in[idx*m:(idx+1)*m]...)
+				blocks[q] = append([]byte{}, in[idx*m:(idx+1)*m]...)
 				idx++
 			}
 		}

@@ -1,0 +1,138 @@
+package collectives
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+	"repro/internal/simnet"
+)
+
+// Compile lowers one collective on a d-cube with block size m and the
+// given root to per-node simnet programs — exactly the traces a live
+// fabric.Sim run of the collective records, derived without goroutines,
+// mailboxes or payload bytes. Receives are posted up front and consumed
+// as waits, and every transfer uses the FORCED message type, matching the
+// §7.1 protocol the implementations follow; fabric.Sim's recorded traces
+// are the oracle the compiler is tested against. AllGather ignores root
+// (the pattern is symmetric).
+func Compile(k Kind, d, m, root int) ([]simnet.Program, error) {
+	if d < 0 || d > 24 {
+		return nil, fmt.Errorf("collectives: dimension %d out of range [0,24]", d)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("collectives: negative block size %d", m)
+	}
+	n := 1 << uint(d)
+	if err := checkRoot(root, n); err != nil {
+		return nil, err
+	}
+	progs := make([]simnet.Program, n)
+	for p := 0; p < n; p++ {
+		switch k {
+		case Broadcast:
+			progs[p] = compileBroadcast(d, m, root, p)
+		case Scatter:
+			progs[p] = compileScatter(d, m, root, p)
+		case Gather:
+			progs[p] = compileGather(d, m, root, p)
+		case AllGather:
+			progs[p] = compileAllGather(d, m, p)
+		default:
+			return nil, fmt.Errorf("collectives: unknown kind %v", k)
+		}
+	}
+	return progs, nil
+}
+
+// compileBroadcast mirrors BroadcastOn: a non-root posts its receive from
+// the parent across the highest set bit of its relative address, then at
+// ascending levels receives once (at its join level) and forwards the
+// m-byte block to every subtree partner above it.
+func compileBroadcast(d, m, root, p int) simnet.Program {
+	r := p ^ root
+	var prog simnet.Program
+	if r != 0 {
+		prog = append(prog, simnet.PostRecv(p^(1<<uint(bitutil.HighestSetBit(r)))))
+	}
+	for i := 0; i < d; i++ {
+		bit := 1 << uint(i)
+		switch {
+		case r < bit:
+			prog = append(prog, simnet.Send(p^bit, m, simnet.Forced))
+		case r < bit*2:
+			prog = append(prog, simnet.WaitRecv(p^bit))
+		}
+	}
+	return prog
+}
+
+// compileScatter mirrors ScatterOn: a non-root posts the receive from its
+// parent at the join level, waits for its m·join-byte range there, and at
+// each lower level ships the upper half of its range (m·2^i bytes) down
+// the tree; the root only sends.
+func compileScatter(d, m, root, p int) simnet.Program {
+	r := p ^ root
+	join := joinBit(r, d)
+	var prog simnet.Program
+	if r != 0 {
+		prog = append(prog, simnet.PostRecv(p^join))
+	}
+	for i := d - 1; i >= 0; i-- {
+		bit := 1 << uint(i)
+		switch {
+		case bit < join:
+			prog = append(prog, simnet.Send(p^bit, m*bit, simnet.Forced))
+		case bit == join:
+			prog = append(prog, simnet.WaitRecv(p^bit))
+		}
+	}
+	return prog
+}
+
+// compileGather mirrors GatherOn: every node posts all child receives up
+// front, consumes them at ascending levels (m·2^i bytes from the child
+// across bit i), and a non-root finally ships its accumulated m·join
+// bytes to the parent.
+func compileGather(d, m, root, p int) simnet.Program {
+	r := p ^ root
+	join := joinBit(r, d)
+	var prog simnet.Program
+	for i := 0; i < d; i++ {
+		if bit := 1 << uint(i); bit < join {
+			prog = append(prog, simnet.PostRecv(p^bit))
+		}
+	}
+	for i := 0; i < d; i++ {
+		bit := 1 << uint(i)
+		switch {
+		case bit < join:
+			prog = append(prog, simnet.WaitRecv(p^bit))
+		case bit == join:
+			prog = append(prog, simnet.Send(p^bit, m*bit, simnet.Forced))
+		}
+	}
+	return prog
+}
+
+// compileAllGather mirrors AllGatherOn: recursive doubling, step i
+// exchanging the accumulated m·2^i bytes across dimension i.
+func compileAllGather(d, m, p int) simnet.Program {
+	var prog simnet.Program
+	for i := 0; i < d; i++ {
+		bit := 1 << uint(i)
+		prog = append(prog, simnet.Exchange(p^bit, m*bit))
+	}
+	return prog
+}
+
+// Cost replays the compiled collective through the discrete-event
+// simulator and returns the virtual-time result. Unlike Simulate it moves
+// no payload bytes and spawns no goroutines — the fast path for sweeps;
+// use Simulate when the data movement itself should be machine-checked.
+func Cost(k Kind, net *simnet.Network, m, root int) (simnet.Result, error) {
+	progs, err := Compile(k, net.Cube().Dim(), m, root)
+	if err != nil {
+		return simnet.Result{}, err
+	}
+	return net.Run(progs)
+}

@@ -1,0 +1,101 @@
+package collectives
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+var compileMachines = []struct {
+	name string
+	prm  model.Params
+}{
+	{"hypothetical", model.Hypothetical()},
+	{"ipsc860", model.IPSC860()},
+}
+
+// The compiled per-node programs of every collective must be op-for-op
+// identical to the programs a live fabric.Sim run records, across
+// machines, dimensions, roots and block sizes (including zero-byte
+// blocks) — the recorded traces are the compiler's oracle.
+func TestCompiledCollectivesMatchRecordedTraces(t *testing.T) {
+	kinds := []Kind{Broadcast, Scatter, Gather, AllGather}
+	for _, mc := range compileMachines {
+		for _, d := range []int{0, 1, 2, 3, 4} {
+			n := 1 << uint(d)
+			roots := []int{0}
+			if n > 1 {
+				roots = append(roots, n-1, n/2)
+			}
+			for _, root := range roots {
+				for _, m := range []int{0, 7, 64} {
+					for _, k := range kinds {
+						fab := fabric.NewSim(simnet.New(topology.MustNew(d), mc.prm))
+						if err := RunOn(k, fab, m, root, fabric.DefaultSimTimeout); err != nil {
+							t.Fatalf("%s %v d=%d m=%d root=%d: %v", mc.name, k, d, m, root, err)
+						}
+						compiled, err := Compile(k, d, m, root)
+						if err != nil {
+							t.Fatal(err)
+						}
+						recorded := fab.Traces()
+						for p := 0; p < n; p++ {
+							if len(compiled[p]) != len(recorded[p]) {
+								t.Fatalf("%s %v d=%d m=%d root=%d node %d: compiled %d ops, recorded %d\ncompiled %v\nrecorded %v",
+									mc.name, k, d, m, root, p,
+									len(compiled[p]), len(recorded[p]), compiled[p], recorded[p])
+							}
+							for i := range recorded[p] {
+								if compiled[p][i] != recorded[p][i] {
+									t.Fatalf("%s %v d=%d m=%d root=%d node %d op %d: compiled %+v, recorded %+v",
+										mc.name, k, d, m, root, p, i, compiled[p][i], recorded[p][i])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Cost (compiled replay) must agree exactly with Simulate (goroutine run
+// + recorded-trace replay): identical programs through the same engine.
+func TestCostEqualsSimulate(t *testing.T) {
+	for _, k := range []Kind{Broadcast, Scatter, Gather, AllGather} {
+		net := simnet.New(topology.MustNew(4), model.IPSC860())
+		sim, err := Simulate(k, net, 48, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := Cost(k, net, 48, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost.Makespan != sim.Makespan || cost.Messages != sim.Messages ||
+			cost.BytesMoved != sim.BytesMoved {
+			t.Errorf("%v: compiled %+v != simulated %+v", k, cost, sim)
+		}
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	if _, err := Compile(Broadcast, -1, 4, 0); err == nil {
+		t.Error("negative dimension must fail")
+	}
+	if _, err := Compile(Broadcast, 3, -1, 0); err == nil {
+		t.Error("negative block size must fail")
+	}
+	if _, err := Compile(Broadcast, 3, 4, 8); err == nil {
+		t.Error("out-of-range root must fail")
+	}
+	if _, err := Compile(Kind(99), 3, 4, 0); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	if _, err := Cost(Kind(99), simnet.New(topology.MustNew(2), model.IPSC860()), 4, 0); err == nil {
+		t.Error("Cost must propagate compile errors")
+	}
+}

@@ -19,6 +19,12 @@ type Time float64
 // Handler is a callback fired when an event matures.
 type Handler func(now Time)
 
+// ArgHandler is a callback fired with the integer argument it was
+// scheduled with. Passing one long-lived ArgHandler to many PostArg calls
+// avoids the per-event closure allocation a plain Handler would need to
+// capture its argument.
+type ArgHandler func(now Time, arg int)
+
 // Event is a scheduled callback. It is returned by Engine.At so callers
 // can cancel it.
 type Event struct {
@@ -26,6 +32,9 @@ type Event struct {
 	seq     uint64
 	index   int // heap index, -1 when not queued
 	handler Handler
+	argh    ArgHandler
+	arg     int
+	pooled  bool // recycled into the engine's free list after firing
 }
 
 // Time returns the maturity time of the event.
@@ -37,6 +46,7 @@ type Engine struct {
 	seq    uint64
 	queue  eventHeap
 	nsteps uint64
+	free   []*Event // recycled events for Post/PostArg
 }
 
 // New returns an engine with the clock at zero.
@@ -63,6 +73,50 @@ func (g *Engine) At(t Time, h Handler) *Event {
 	e := &Event{time: t, seq: g.seq, handler: h}
 	g.seq++
 	heap.Push(&g.queue, e)
+	return e
+}
+
+// Post schedules h to fire at absolute time t, like At, but the Event is
+// recycled by the engine after it fires: no handle is returned and the
+// event cannot be cancelled. Simulation hot loops use Post/PostArg so a
+// run performs no per-event allocation once the free list is warm.
+func (g *Engine) Post(t Time, h Handler) {
+	if h == nil {
+		panic("event: nil handler")
+	}
+	e := g.pooledEvent(t)
+	e.handler = h
+	heap.Push(&g.queue, e)
+}
+
+// PostArg schedules h(now, arg) to fire at absolute time t with pooled-
+// event semantics (see Post). The handler is stored as passed, so reusing
+// one bound ArgHandler across calls makes scheduling allocation-free.
+func (g *Engine) PostArg(t Time, h ArgHandler, arg int) {
+	if h == nil {
+		panic("event: nil handler")
+	}
+	e := g.pooledEvent(t)
+	e.argh = h
+	e.arg = arg
+	heap.Push(&g.queue, e)
+}
+
+// pooledEvent returns a recycled (or new) event stamped for time t.
+func (g *Engine) pooledEvent(t Time) *Event {
+	if t < g.now {
+		panic(fmt.Sprintf("event: scheduling at %v before now %v", t, g.now))
+	}
+	var e *Event
+	if n := len(g.free); n > 0 {
+		e = g.free[n-1]
+		g.free[n-1] = nil
+		g.free = g.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	*e = Event{time: t, seq: g.seq, pooled: true}
+	g.seq++
 	return e
 }
 
@@ -98,7 +152,16 @@ func (g *Engine) Step() bool {
 	}
 	g.now = e.time
 	g.nsteps++
-	e.handler(g.now)
+	h, argh, arg := e.handler, e.argh, e.arg
+	if e.pooled {
+		*e = Event{index: -1}
+		g.free = append(g.free, e)
+	}
+	if argh != nil {
+		argh(g.now, arg)
+	} else {
+		h(g.now)
+	}
 	return true
 }
 

@@ -1,6 +1,7 @@
 package event
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -218,5 +219,59 @@ func TestEmptyRun(t *testing.T) {
 	}
 	if g.Step() {
 		t.Error("Step on empty queue must be false")
+	}
+}
+
+func TestPostAndPostArgPooling(t *testing.T) {
+	g := New()
+	var order []string
+	g.Post(2, func(Time) { order = append(order, "post@2") })
+	g.PostArg(1, func(_ Time, arg int) { order = append(order, fmt.Sprintf("arg%d@1", arg)) }, 7)
+	g.At(1, func(Time) { order = append(order, "at@1") })
+	g.Run()
+	want := []string{"arg7@1", "at@1", "post@2"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+
+	// Pooled events are recycled: a chain of sequential Posts reuses one
+	// Event from the free list instead of allocating per step.
+	g2 := New()
+	count := 0
+	var tick Handler
+	tick = func(now Time) {
+		count++
+		if count < 100 {
+			g2.Post(now+1, tick)
+		}
+	}
+	g2.Post(0, tick)
+	allocs := testing.AllocsPerRun(1, func() {
+		count = 0
+		g2.Post(g2.Now(), tick)
+		g2.Run()
+	})
+	if count != 100 {
+		t.Fatalf("chain ran %d steps", count)
+	}
+	// One warm-up run has filled the free list; steady-state scheduling
+	// must not allocate per event (allow slack for the heap slice).
+	if allocs > 5 {
+		t.Errorf("pooled Post allocated %.0f times per run", allocs)
+	}
+
+	// Cancellable At events coexist with pooled ones.
+	g3 := New()
+	fired := false
+	e := g3.At(5, func(Time) { fired = true })
+	g3.PostArg(5, func(Time, int) {}, 0)
+	if !g3.Cancel(e) {
+		t.Error("cancel must succeed")
+	}
+	g3.Run()
+	if fired {
+		t.Error("cancelled event fired")
 	}
 }

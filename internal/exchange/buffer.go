@@ -15,11 +15,7 @@
 // against the analytic model (package model).
 package exchange
 
-import (
-	"fmt"
-
-	"repro/internal/bitutil"
-)
+import "fmt"
 
 // Buffer is one node's block storage for a complete exchange: 2^d blocks
 // of m bytes. Before the exchange, block t holds the data this node sends
@@ -65,11 +61,21 @@ func (b *Buffer) Bytes() []byte { return b.data }
 // contiguous message. This is the data-permutation work the paper charges
 // at ρ µs/byte.
 func (b *Buffer) Gather(positions []int) []byte {
-	out := make([]byte, 0, len(positions)*b.m)
-	for _, t := range positions {
-		out = append(out, b.Block(t)...)
+	return b.GatherInto(nil, positions)
+}
+
+// GatherInto is Gather reusing dst's backing storage (contents are
+// discarded): the hot-loop form Plan.Execute uses so a superblock is not
+// allocated on every step.
+func (b *Buffer) GatherInto(dst []byte, positions []int) []byte {
+	if cap(dst) < len(positions)*b.m {
+		dst = make([]byte, 0, len(positions)*b.m)
 	}
-	return out
+	dst = dst[:0]
+	for _, t := range positions {
+		dst = append(dst, b.Block(t)...)
+	}
+	return dst
 }
 
 // Scatter copies a contiguous message back into the blocks at the given
@@ -126,15 +132,30 @@ func (b *Buffer) VerifyIncoming(dst int) error {
 // during a partial exchange (§5.2); there are 2^(d−w) of them, forming
 // one effective block of m·2^(d−w) bytes.
 func FieldPositions(d, lo, w, val int) []int {
+	return AppendFieldPositions(nil, d, lo, w, val)
+}
+
+// AppendFieldPositions is FieldPositions appending into dst (contents are
+// discarded, storage reused). It composes each position from its low and
+// high free bits directly — 2^(d−w) iterations rather than a scan of all
+// 2^d labels — so the per-step cost of Plan.Execute stays proportional to
+// the data actually moved.
+func AppendFieldPositions(dst []int, d, lo, w, val int) []int {
 	if lo < 0 || w < 0 || lo+w > d {
 		panic(fmt.Sprintf("exchange: field [%d,%d) out of a %d-cube label", lo, lo+w, d))
 	}
-	n := 1 << uint(d)
-	out := make([]int, 0, 1<<uint(d-w))
-	for t := 0; t < n; t++ {
-		if bitutil.Field(t, lo, w) == val {
-			out = append(out, t)
+	dst = dst[:0]
+	if val < 0 || val >= 1<<uint(w) {
+		return dst // no label carries this field value
+	}
+	mid := val << uint(lo)
+	loCount := 1 << uint(lo)
+	hiCount := 1 << uint(d-lo-w)
+	for hi := 0; hi < hiCount; hi++ {
+		base := hi<<uint(lo+w) | mid
+		for t := base; t < base+loCount; t++ {
+			dst = append(dst, t)
 		}
 	}
-	return out
+	return dst
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/bitutil"
 )
 
 func TestNewBufferValidation(t *testing.T) {
@@ -183,5 +185,65 @@ func TestFieldPositionsPartitionProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// AppendFieldPositions composes positions arithmetically; it must agree
+// with a straight scan of all labels, in the same increasing order, and
+// reuse the storage it is handed.
+func TestAppendFieldPositionsMatchesScan(t *testing.T) {
+	scan := func(d, lo, w, val int) []int {
+		var out []int
+		for p := 0; p < 1<<uint(d); p++ {
+			if bitutil.Field(p, lo, w) == val {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	var scratch []int
+	for d := 1; d <= 6; d++ {
+		for w := 1; w <= d; w++ {
+			for lo := 0; lo+w <= d; lo++ {
+				for val := 0; val < 1<<uint(w); val++ {
+					scratch = AppendFieldPositions(scratch, d, lo, w, val)
+					want := scan(d, lo, w, val)
+					if len(scratch) != len(want) {
+						t.Fatalf("d=%d lo=%d w=%d val=%d: %v, want %v", d, lo, w, val, scratch, want)
+					}
+					for i := range want {
+						if scratch[i] != want[i] {
+							t.Fatalf("d=%d lo=%d w=%d val=%d: %v, want %v", d, lo, w, val, scratch, want)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Out-of-range field values match no label.
+	if got := AppendFieldPositions(scratch, 3, 1, 2, 4); len(got) != 0 {
+		t.Errorf("val ≥ 2^w must match nothing, got %v", got)
+	}
+}
+
+func TestGatherIntoReusesStorage(t *testing.T) {
+	b, err := NewBuffer(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.FillOutgoing(5)
+	positions := []int{1, 3, 6}
+	want := b.Gather(positions)
+	scratch := make([]byte, 0, len(positions)*4)
+	got := b.GatherInto(scratch, positions)
+	if !bytes.Equal(got, want) {
+		t.Errorf("GatherInto = %v, want %v", got, want)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Error("GatherInto must reuse the scratch backing array when it fits")
+	}
+	// Undersized scratch grows transparently.
+	if small := b.GatherInto(make([]byte, 0, 1), positions); !bytes.Equal(small, want) {
+		t.Errorf("undersized scratch: %v, want %v", small, want)
 	}
 }

@@ -1,0 +1,106 @@
+package exchange
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// CompiledPlan is the trace-compiled form of a Plan: the exact per-node
+// simnet programs a live fabric.Sim run of Plan.Execute would record,
+// derived deterministically from the phase layout — no goroutines, no
+// mailboxes, no payload bytes. Because every node runs the same op
+// sequence up to XOR-relabeling of partners, the compiled form stores one
+// shared op table and computes each node's partner on the fly, so even a
+// million-node plan costs O(ops per node) memory instead of O(2^d · ops).
+//
+// CompiledPlan implements simnet.Source; fabric.Sim's recorded traces are
+// the oracle the compiler is tested against (op-for-op equality).
+type CompiledPlan struct {
+	d, m int
+	n    int
+	rows []compiledOp
+}
+
+// compiledOp is one row of the shared op table. For exchange rows, node
+// p's partner is p XOR mask (mask = j·2^lo never being zero, a compiled
+// exchange is never a self-exchange).
+type compiledOp struct {
+	kind  simnet.OpKind
+	mask  int
+	bytes int
+}
+
+// Compile lowers the plan to its per-node simnet programs: for each phase
+// a barrier (the posting of FORCED receives, §7.3), the 2^di − 1 subcube
+// pairwise exchanges of one effective block each, and — except when the
+// phase spans the whole cube — the ρ·m·2^d shuffle charge, mirroring
+// Execute exactly.
+func (p *Plan) Compile() *CompiledPlan {
+	c := &CompiledPlan{d: p.d, m: p.m, n: p.Nodes()}
+	for _, ph := range p.phases {
+		c.rows = append(c.rows, compiledOp{kind: simnet.OpBarrier})
+		for j := 1; j <= ph.steps(); j++ {
+			c.rows = append(c.rows, compiledOp{
+				kind:  simnet.OpExchange,
+				mask:  j << uint(ph.Lo),
+				bytes: ph.EffBytes,
+			})
+		}
+		if ph.SubcubeDim != p.d {
+			c.rows = append(c.rows, compiledOp{kind: simnet.OpShuffle, bytes: p.m << uint(p.d)})
+		}
+	}
+	return c
+}
+
+// NumNodes returns 2^d.
+func (c *CompiledPlan) NumNodes() int { return c.n }
+
+// NumOps returns the program length, identical for every node.
+func (c *CompiledPlan) NumOps(int) int { return len(c.rows) }
+
+// Ops returns the total op count over all nodes.
+func (c *CompiledPlan) Ops() int { return c.n * len(c.rows) }
+
+// Op returns node p's i-th op.
+func (c *CompiledPlan) Op(p, i int) simnet.Op {
+	r := c.rows[i]
+	switch r.kind {
+	case simnet.OpExchange:
+		return simnet.Op{Kind: simnet.OpExchange, Peer: p ^ r.mask, Bytes: r.bytes}
+	case simnet.OpShuffle:
+		return simnet.Op{Kind: simnet.OpShuffle, Bytes: r.bytes}
+	default:
+		return simnet.Op{Kind: r.kind}
+	}
+}
+
+// Programs materializes the per-node programs — the form fabric.Sim
+// records and the equivalence tests compare against. Intended for tests
+// and small dimensions; costing at scale should pass the CompiledPlan
+// itself to simnet.Network.RunSource.
+func (c *CompiledPlan) Programs() []simnet.Program {
+	out := make([]simnet.Program, c.n)
+	for p := 0; p < c.n; p++ {
+		prog := make(simnet.Program, len(c.rows))
+		for i := range c.rows {
+			prog[i] = c.Op(p, i)
+		}
+		out[p] = prog
+	}
+	return out
+}
+
+// Cost replays the compiled plan through the discrete-event simulator and
+// returns the virtual-time result. This is the fast costing path: unlike
+// Simulate it moves no payload bytes and spawns no goroutines, so it is
+// the right tool for optimizer enumeration and figure sweeps; use
+// Simulate when the data movement itself should be machine-checked.
+func (p *Plan) Cost(net *simnet.Network) (simnet.Result, error) {
+	if net.Cube().Dim() != p.d {
+		return simnet.Result{}, fmt.Errorf("exchange: plan d=%d on %d-cube network",
+			p.d, net.Cube().Dim())
+	}
+	return net.RunSource(p.Compile())
+}

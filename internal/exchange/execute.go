@@ -30,17 +30,25 @@ func (p *Plan) Execute(nd fabric.Node, buf *Buffer) error {
 	}
 	me := nd.ID()
 	shuffleBytes := p.m << uint(p.d)
+	// The superblock scratch circulates through Exchange's ownership
+	// hand-off: each step gathers into the buffer received on the
+	// previous step, so the whole plan allocates O(1) superblocks per
+	// node instead of one per step. positions storage is reused the same
+	// way.
+	var scratch []byte
+	var positions []int
 	for _, ph := range p.phases {
 		nd.Barrier()
 		for j := 1; j <= ph.steps(); j++ {
 			q := ph.partner(me, j)
-			positions := p.sendPositions(ph, q)
-			out := buf.Gather(positions)
+			positions = p.appendSendPositions(positions, ph, q)
+			out := buf.GatherInto(scratch, positions)
 			in := nd.Exchange(q, out)
 			if err := buf.Scatter(positions, in); err != nil {
 				return fmt.Errorf("exchange: node %d phase lo=%d step %d: %w",
 					me, ph.Lo, j, err)
 			}
+			scratch = in
 		}
 		if ph.SubcubeDim != p.d {
 			nd.Shuffle(shuffleBytes)

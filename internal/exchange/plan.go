@@ -148,7 +148,14 @@ func (p *Plan) Steps() [][]topology.Transfer {
 // sendPositions returns the block positions node holds that must travel to
 // partner q during a phase: those whose label field matches q's field.
 func (p *Plan) sendPositions(ph Phase, q int) []int {
-	return FieldPositions(p.d, ph.Lo, ph.SubcubeDim, bitutil.Field(q, ph.Lo, ph.SubcubeDim))
+	return p.appendSendPositions(nil, ph, q)
+}
+
+// appendSendPositions is sendPositions reusing dst's storage — the form
+// the Execute hot loop uses so no position list is allocated per step.
+func (p *Plan) appendSendPositions(dst []int, ph Phase, q int) []int {
+	return AppendFieldPositions(dst, p.d, ph.Lo, ph.SubcubeDim,
+		bitutil.Field(q, ph.Lo, ph.SubcubeDim))
 }
 
 // TotalMessages returns the number of pairwise exchanges each node

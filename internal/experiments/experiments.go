@@ -2,6 +2,12 @@
 // evaluation, one function per artifact (the experiment index E1–E8 of
 // README.md). Each returns a report.Table or report.Figure with the same
 // rows/series the paper plots, with the comparison pinned by tests here.
+//
+// The figure sweeps cost their schedules on the trace-compiled path
+// (exchange.Plan.Cost): each plan is lowered directly to per-node simnet
+// programs and replayed — no goroutines, no payload bytes — which is
+// op-for-op identical to (and much faster than) the goroutine-backed
+// Simulate and therefore produces the same virtual times to the bit.
 package experiments
 
 import (
@@ -63,7 +69,7 @@ func E2WorkedExample() (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := plan.Simulate(simnet.New(topology.MustNew(d), prm))
+	res, err := plan.Cost(simnet.New(topology.MustNew(d), prm))
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +84,7 @@ func E2WorkedExample() (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	seRes, err := se.Simulate(simnet.New(topology.MustNew(d), prm))
+	seRes, err := se.Cost(simnet.New(topology.MustNew(d), prm))
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +147,7 @@ func Figure(d int) (*report.Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := plan.Simulate(net)
+			res, err := plan.Cost(net)
 			if err != nil {
 				return nil, err
 			}
@@ -188,7 +194,7 @@ func MeasuredVsPredicted(d int) (*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := plan.Simulate(net)
+			res, err := plan.Cost(net)
 			if err != nil {
 				return nil, err
 			}
@@ -305,7 +311,7 @@ func Headline() (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := plan.Simulate(net)
+		res, err := plan.Cost(net)
 		if err != nil {
 			return nil, err
 		}

@@ -47,7 +47,11 @@ type Node interface {
 	// Recv blocks until the next message from src arrives and returns it.
 	Recv(src int) []byte
 	// Exchange performs a pairwise exchange with peer: sends data and
-	// returns the peer's message. Exchange with self returns a copy.
+	// returns the peer's message. Ownership transfers both ways — the
+	// caller relinquishes data (it must not read or write it after the
+	// call) and owns the returned slice outright. This lets backends
+	// hand the payload over clone-free; callers that reuse buffers (the
+	// exchange executor's circulating superblock scratch) rely on it.
 	Exchange(peer int, data []byte) []byte
 	// Barrier blocks until every node on the fabric has reached it.
 	Barrier()

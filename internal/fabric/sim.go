@@ -187,12 +187,17 @@ func (nd *simNode) Recv(src int) []byte {
 // same start time max(readyA, readyB) from the clocks carried with the
 // payloads, then advance by the exchange duration of the configured mode
 // (§7.2): synced, serialized, or ideal.
+//
+// The hand-off is clone-free: ownership of data passes to the peer
+// through the mailbox (the rendezvous — each side blocks on the other's
+// put — makes the transfer race-free), and the returned slice is the
+// peer's relinquished buffer.
 func (nd *simNode) Exchange(peer int, data []byte) []byte {
 	nd.record(simnet.Exchange(peer, len(data)))
 	if peer == nd.id {
-		return clone(data)
+		return data
 	}
-	nd.f.boxes[peer].put(nd.id, envelope{data: clone(data), t: nd.clock})
+	nd.f.boxes[peer].put(nd.id, envelope{data: data, t: nd.clock})
 	e := nd.f.boxes[nd.id].take(peer)
 	start := nd.clock
 	if e.t > start {

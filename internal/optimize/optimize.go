@@ -5,14 +5,28 @@
 // for repeated use.
 //
 // Two evaluation backends are available: the closed-form analytic model
-// (fast, used by default, mirrors §4.3/§7.4) and full network simulation
-// (slower, accounts for any contention the analytic model cannot see).
+// (fast, used by default, mirrors §4.3/§7.4) and network simulation
+// (accounts for any contention the analytic model cannot see). The
+// simulated backend costs candidates on the trace-compiled path by
+// default: each plan is lowered directly to per-node simnet programs and
+// replayed through the discrete-event engine — no goroutines, no payload
+// bytes — which raises the practical dimension limit from d ≤ 10 (the old
+// 2^d-goroutine path) to d ≤ MaxSimulatedDim, and candidates are
+// enumerated on a bounded worker pool. The goroutine path remains
+// available (SetCosting(CostingGoroutine)) as the data-verified oracle
+// and benchmark baseline.
+//
+// Concurrent Best calls on the same uncached key share one evaluation:
+// in-flight de-duplication prevents a cache stampede from running the
+// full enumeration once per caller.
 package optimize
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exchange"
 	"repro/internal/model"
@@ -42,6 +56,42 @@ func (b Backend) String() string {
 	}
 }
 
+// Costing selects which simulation path the Simulated backend uses.
+type Costing int
+
+const (
+	// CostingCompiled lowers each candidate plan to per-node simnet
+	// programs with the trace compiler and replays them directly: no
+	// goroutines, no payload bytes, allocation-free hot loops. The
+	// default.
+	CostingCompiled Costing = iota
+	// CostingGoroutine runs each candidate on the simulated fabric with
+	// 2^d goroutines moving (and verifying) real payloads before the
+	// recorded traces are replayed. Slower by construction; kept as the
+	// data-verified oracle the compiled path is benchmarked against.
+	CostingGoroutine
+)
+
+func (c Costing) String() string {
+	switch c {
+	case CostingCompiled:
+		return "compiled"
+	case CostingGoroutine:
+		return "goroutine"
+	default:
+		return fmt.Sprintf("Costing(%d)", int(c))
+	}
+}
+
+// MaxSimulatedDim is the dimension limit of the Simulated backend on the
+// compiled costing path. The goroutine path stays capped at
+// MaxGoroutineDim — 2^d goroutines with per-node payload buffers do not
+// scale past it — which is exactly why the compiled path exists.
+const (
+	MaxSimulatedDim = 16
+	MaxGoroutineDim = 10
+)
+
 // Choice is the optimizer's answer for one (d, m) query.
 type Choice struct {
 	D         int
@@ -52,13 +102,25 @@ type Choice struct {
 }
 
 // Optimizer enumerates partitions for one machine parameter set and caches
-// results per (d, m). It is safe for concurrent use.
+// results per (d, m). It is safe for concurrent use; concurrent queries
+// for the same uncached key share a single evaluation.
 type Optimizer struct {
 	params  model.Params
 	backend Backend
+	costing atomic.Int32 // Costing; atomic so SetCosting is race-free
+	evals   atomic.Int64 // evaluateAll invocations, for stampede tests
 
-	mu    sync.Mutex
-	cache map[[2]int]Choice
+	mu     sync.Mutex
+	cache  map[[2]int]Choice
+	flight map[[2]int]*inflight
+}
+
+// inflight is one evaluation in progress; latecomers for the same key
+// wait on done instead of re-running the enumeration.
+type inflight struct {
+	done chan struct{}
+	c    Choice
+	err  error
 }
 
 // New returns an optimizer over the given machine parameters using the
@@ -67,16 +129,20 @@ func New(p model.Params) *Optimizer {
 	return &Optimizer{params: p, backend: Analytic, cache: make(map[[2]int]Choice)}
 }
 
-// NewSimulated returns an optimizer that costs candidates by simulation.
-// Each candidate is run on the simulated fabric, which moves (and
-// verifies) real payloads while costing the schedule, so enumeration is
-// substantially heavier than the analytic backend — O(2^d goroutines and
-// m·2^d bytes per node) per candidate. Prefer the analytic backend for
-// sweeps; use this one when contention effects the closed form cannot
-// see might matter.
+// NewSimulated returns an optimizer that costs candidates by simulation
+// on the trace-compiled path (see Costing). Dimensions up to
+// MaxSimulatedDim are accepted; enumeration runs on a worker pool bounded
+// by GOMAXPROCS.
 func NewSimulated(p model.Params) *Optimizer {
 	return &Optimizer{params: p, backend: Simulated, cache: make(map[[2]int]Choice)}
 }
+
+// SetCosting selects the Simulated backend's costing path (no-op for the
+// analytic backend). Safe to call concurrently with Best; an in-flight
+// evaluation keeps the costing it started with. Switching clears nothing:
+// cached choices are identical on both paths because the compiled
+// programs are op-for-op the programs the goroutine run records.
+func (o *Optimizer) SetCosting(c Costing) { o.costing.Store(int32(c)) }
 
 // Params returns the machine parameters the optimizer evaluates against.
 func (o *Optimizer) Params() model.Params { return o.params }
@@ -94,51 +160,109 @@ func (o *Optimizer) Best(d, m int) (Choice, error) {
 	key := [2]int{d, m}
 	o.mu.Lock()
 	if c, ok := o.cache[key]; ok {
+		// Cached results stay reachable regardless of the current
+		// costing's dimension limit (both costings produce identical
+		// choices, so a hit is always valid).
 		o.mu.Unlock()
 		return c, nil
 	}
 	o.mu.Unlock()
-
-	c, err := o.evaluateAll(d, m)
-	if err != nil {
-		return Choice{}, err
+	costing := Costing(o.costing.Load())
+	if o.backend == Simulated {
+		if d > MaxSimulatedDim {
+			return Choice{}, fmt.Errorf("optimize: simulated backend limited to d ≤ %d, got %d",
+				MaxSimulatedDim, d)
+		}
+		if costing == CostingGoroutine && d > MaxGoroutineDim {
+			return Choice{}, fmt.Errorf("optimize: goroutine-costed simulated backend limited to d ≤ %d, got %d (use the compiled costing path)",
+				MaxGoroutineDim, d)
+		}
 	}
 	o.mu.Lock()
-	o.cache[key] = c
+	if c, ok := o.cache[key]; ok {
+		o.mu.Unlock()
+		return c, nil
+	}
+	if f, ok := o.flight[key]; ok {
+		// Another goroutine is already enumerating this key: share its
+		// result instead of stampeding.
+		o.mu.Unlock()
+		<-f.done
+		return f.c, f.err
+	}
+	f := &inflight{done: make(chan struct{})}
+	if o.flight == nil {
+		o.flight = make(map[[2]int]*inflight)
+	}
+	o.flight[key] = f
 	o.mu.Unlock()
-	return c, nil
+
+	f.c, f.err = o.evaluateAll(d, m, costing)
+	o.mu.Lock()
+	if f.err == nil {
+		o.cache[key] = f.c
+	}
+	delete(o.flight, key)
+	o.mu.Unlock()
+	close(f.done)
+	return f.c, f.err
 }
 
-func (o *Optimizer) evaluateAll(d, m int) (Choice, error) {
+// evaluateAll costs every partition of d and returns the winner (ties go
+// to the candidate with fewer phases, then to enumeration order, as
+// before). Candidates are evaluated on a worker pool bounded by
+// GOMAXPROCS and the reduction runs in enumeration order, so the result
+// is deterministic.
+func (o *Optimizer) evaluateAll(d, m int, costing Costing) (Choice, error) {
+	o.evals.Add(1)
 	if d == 0 {
 		return Choice{D: 0, Block: m, Part: nil, TimeMicro: 0, Backend: o.backend}, nil
 	}
+	parts := partition.All(d)
+	times := make([]float64, len(parts))
+	errs := make([]error, len(parts))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if o.backend == Analytic || workers < 1 {
+		workers = 1 // the closed form is too cheap to fan out
+	}
+	if costing == CostingGoroutine && o.backend == Simulated {
+		// The oracle path spawns 2^d goroutines and m·4^d payload bytes
+		// per candidate; fanning it out would multiply that footprint by
+		// the core count. Keep it sequential, as it always was.
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var net *simnet.Network
+			if o.backend == Simulated {
+				net = simnet.New(topology.MustNew(d), o.params)
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(parts) {
+					return
+				}
+				times[i], errs[i] = o.evaluate(net, d, m, parts[i], costing)
+			}
+		}()
+	}
+	wg.Wait()
+
 	best := Choice{D: d, Block: m, Backend: o.backend}
 	first := true
-	var net *simnet.Network
-	if o.backend == Simulated {
-		if d > 10 {
-			return Choice{}, fmt.Errorf("optimize: simulated backend limited to d ≤ 10, got %d", d)
+	for i, D := range parts {
+		if errs[i] != nil {
+			return Choice{}, errs[i]
 		}
-		net = simnet.New(topology.MustNew(d), o.params)
-	}
-	it := partition.NewIterator(d)
-	for D := it.Next(); D != nil; D = it.Next() {
-		var t float64
-		switch o.backend {
-		case Analytic:
-			t, _ = o.params.Multiphase(m, d, D)
-		case Simulated:
-			plan, err := exchange.NewPlan(d, m, D)
-			if err != nil {
-				return Choice{}, err
-			}
-			res, err := plan.Simulate(net)
-			if err != nil {
-				return Choice{}, err
-			}
-			t = res.Makespan
-		}
+		t := times[i]
 		if first || t < best.TimeMicro || (t == best.TimeMicro && len(D) < len(best.Part)) {
 			best.Part = D
 			best.TimeMicro = t
@@ -146,6 +270,28 @@ func (o *Optimizer) evaluateAll(d, m int) (Choice, error) {
 		}
 	}
 	return best, nil
+}
+
+// evaluate costs one candidate partition.
+func (o *Optimizer) evaluate(net *simnet.Network, d, m int, D partition.Partition, costing Costing) (float64, error) {
+	if o.backend == Analytic {
+		t, _ := o.params.Multiphase(m, d, D)
+		return t, nil
+	}
+	plan, err := exchange.NewPlan(d, m, D)
+	if err != nil {
+		return 0, err
+	}
+	var res simnet.Result
+	if costing == CostingGoroutine {
+		res, err = plan.Simulate(net)
+	} else {
+		res, err = plan.Cost(net)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
 }
 
 // Plan returns an executable exchange plan for the optimizer's best

@@ -1,6 +1,9 @@
 package optimize
 
 import (
+	"math"
+	"os"
+	"sync"
 	"testing"
 
 	"repro/internal/model"
@@ -102,9 +105,109 @@ func TestSimulatedBackendAgrees(t *testing.T) {
 }
 
 func TestSimulatedBackendDimLimit(t *testing.T) {
+	if MaxSimulatedDim < 14 {
+		t.Fatalf("MaxSimulatedDim = %d; the compiled costing path must accept d = 14", MaxSimulatedDim)
+	}
 	o := NewSimulated(model.IPSC860())
-	if _, err := o.Best(11, 4); err == nil {
-		t.Error("simulated backend must refuse d > 10")
+	if _, err := o.Best(MaxSimulatedDim+1, 4); err == nil {
+		t.Errorf("compiled simulated backend must refuse d > %d", MaxSimulatedDim)
+	}
+	o.SetCosting(CostingGoroutine)
+	if _, err := o.Best(MaxGoroutineDim+1, 4); err == nil {
+		t.Errorf("goroutine-costed simulated backend must refuse d > %d", MaxGoroutineDim)
+	}
+}
+
+// The compiled costing path must handle dimensions the goroutine path
+// never could: d = 11 exceeds the old hard cap of 10 and still matches
+// the analytic winner (the schedules are contention-free, so the two
+// backends coincide on the iPSC-860 model).
+func TestSimulatedCompiledBeyondGoroutineLimit(t *testing.T) {
+	prm := model.IPSC860()
+	o := NewSimulated(prm)
+	s, err := o.Best(11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cached d > MaxGoroutineDim result stays reachable after switching
+	// to goroutine costing (the limit only gates new evaluations).
+	o.SetCosting(CostingGoroutine)
+	cached, err := o.Best(11, 4)
+	if err != nil {
+		t.Fatalf("cached d=11 result unreachable after SetCosting: %v", err)
+	}
+	if !cached.Part.Equal(s.Part) {
+		t.Errorf("cached %v != original %v", cached.Part, s.Part)
+	}
+	a, err := New(prm).Best(11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Part.Canonical().Equal(s.Part.Canonical()) {
+		t.Errorf("analytic %v vs compiled-simulated %v", a.Part, s.Part)
+	}
+	if math.Abs(s.TimeMicro-a.TimeMicro) > 1e-6*a.TimeMicro {
+		t.Errorf("compiled-simulated %v µs vs analytic %v µs", s.TimeMicro, a.TimeMicro)
+	}
+}
+
+// The acceptance case for the raised limit: the simulated optimizer
+// accepts d = 14 (16384 nodes). The full enumeration replays ~10^9
+// events, so it only runs when REPRO_HEAVY is set; the limit itself is
+// pinned unconditionally in TestSimulatedBackendDimLimit.
+func TestSimulatedBest14(t *testing.T) {
+	if os.Getenv("REPRO_HEAVY") == "" {
+		t.Skip("set REPRO_HEAVY=1 to run the full d=14 simulated enumeration")
+	}
+	prm := model.IPSC860()
+	s, err := NewSimulated(prm).Best(14, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(prm).Best(14, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Part.Canonical().Equal(s.Part.Canonical()) {
+		t.Errorf("analytic %v vs compiled-simulated %v", a.Part, s.Part)
+	}
+}
+
+// Concurrent Best calls on one uncached key must share a single
+// enumeration (no cache stampede).
+func TestBestStampedeDeduplicated(t *testing.T) {
+	o := NewSimulated(model.IPSC860())
+	const callers = 8
+	var wg sync.WaitGroup
+	choices := make([]Choice, callers)
+	errs := make([]error, callers)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			choices[i], errs[i] = o.Best(7, 40)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !choices[i].Part.Equal(choices[0].Part) {
+			t.Errorf("caller %d got %v, caller 0 got %v", i, choices[i].Part, choices[0].Part)
+		}
+	}
+	if n := o.evals.Load(); n != 1 {
+		t.Errorf("%d concurrent Best calls ran %d evaluations, want 1", callers, n)
+	}
+}
+
+func TestCostingString(t *testing.T) {
+	if CostingCompiled.String() != "compiled" || CostingGoroutine.String() != "goroutine" {
+		t.Error("costing strings")
+	}
+	if Costing(9).String() == "" {
+		t.Error("unknown costing string")
 	}
 }
 

@@ -79,14 +79,18 @@ func (nd *Node) Recv(src int) []byte {
 }
 
 // Exchange performs a pairwise exchange with peer: sends data and returns
-// the peer's message. Exchange with self returns a copy of data.
+// the peer's message. Ownership transfers both ways (the fabric contract):
+// data is handed to the peer without a copy — the channel send/receive
+// pair orders the hand-off — and the returned slice was relinquished by
+// the peer, so the caller owns it outright.
 func (nd *Node) Exchange(peer int, data []byte) []byte {
 	if peer == nd.id {
-		buf := make([]byte, len(data))
-		copy(buf, data)
-		return buf
+		return data
 	}
-	nd.Send(peer, data)
+	if peer < 0 || peer >= nd.c.n {
+		panic(fmt.Sprintf("runtime: node %d exchanging with invalid node %d", nd.id, peer))
+	}
+	nd.c.queues[nd.id*nd.c.n+peer] <- data
 	return nd.Recv(peer)
 }
 

@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/event"
 	"repro/internal/model"
@@ -41,11 +42,15 @@ func (n *Network) SetJitter(frac float64, seed int64) {
 
 // DefaultEventBudget is the watchdog limit on simulation events per Run;
 // real workloads stay far below it, so hitting it indicates a livelock in
-// the simulated programs.
+// the simulated programs. Runs whose programs are structurally larger
+// (e.g. compiled complete-exchange plans beyond d = 12) raise the limit
+// automatically to a bound derived from the total op count, so the
+// watchdog can only trip on a genuine scheduling bug.
 const DefaultEventBudget = 50_000_000
 
 // SetEventBudget overrides the per-Run event watchdog (0 restores the
-// default). Exists mainly so tests can exercise the livelock path.
+// default with its structural auto-scaling). An explicit budget is taken
+// literally; tests use tiny values to exercise the exhaustion path.
 func (n *Network) SetEventBudget(limit uint64) { n.budget = limit }
 
 // SetTrace enables or disables timeline recording: when on, every node
@@ -104,70 +109,163 @@ type Result struct {
 	Timeline []Interval
 }
 
-// runState is the mutable execution state of one Run.
+// Source is the program set of one run addressed by (node, index). It is
+// the compiled form of per-node programs: a trace compiler (package
+// exchange's CompiledPlan) can replay a million-node plan without
+// materializing 2^d op slices, because the replay core only ever asks for
+// one op at a time. A plain []Program is adapted by Network.Run.
+type Source interface {
+	// NumNodes returns the number of node programs (must equal the
+	// network's node count).
+	NumNodes() int
+	// NumOps returns the length of node p's program.
+	NumOps(p int) int
+	// Op returns the i-th op of node p's program, 0 ≤ i < NumOps(p).
+	Op(p, i int) Op
+}
+
+// programsSource adapts explicit per-node programs to Source.
+type programsSource []Program
+
+func (s programsSource) NumNodes() int    { return len(s) }
+func (s programsSource) NumOps(p int) int { return len(s[p]) }
+func (s programsSource) Op(p, i int) Op   { return s[p][i] }
+
+// runState is the mutable execution state of one Run. All hot tables are
+// flat slices indexed by node or directed-link id — the interpreter
+// allocates nothing per event once set up (inbox slots and edge hold
+// rings grow amortized on first use).
 type runState struct {
-	net     *Network
-	eng     *event.Engine
-	progs   []Program
-	pc      []int     // program counter per node
+	net *Network
+	eng *event.Engine
+	src Source
+	n   int // nodes
+	d   int // cube dimension
+
+	pc      []int32   // program counter per node
+	lens    []int32   // program length per node (NumOps, cached)
 	opStart []float64 // time the current op began occupying the node
 	ready   []float64 // node-available time, µs
 	done    []bool
-	edges   map[topology.Edge]*edgeState
-	pend    map[pairKey]*pendingExchange
-	inbox   map[msgKey]*inboxEntry
-	bar     *barrierState
-	res     Result
-	failed  error
-	rng     *rand.Rand
 
-	// FIFO sequence counters for rendezvous and message matching.
-	pairSeq map[pairID]int
-	arrSeq  map[pairID]int
-	postSeq map[pairID]int
-	waitSeq map[pairID]int
+	// Exchange rendezvous: node p parked inside OpExchange has
+	// exPeer[p] = partner, with its payload size and ready time. The
+	// second side to arrive finds its partner here and computes the
+	// circuit timing for both (replaces the pend/pairSeq maps).
+	exPeer  []int32
+	exBytes []int
+	exReady []float64
+
+	// edges[u*d+i] is the directed link from node u across dimension i.
+	edges []edgeState
+
+	// Message channels, one per ordered (src,dst) pair actually used,
+	// discovered on first contact. outIdx[src] lists src's channels; the
+	// per-slot cursors replace the inbox/arrSeq/postSeq/waitSeq maps.
+	chans  []msgChan
+	outIdx [][]chanRef
+
+	bar barrierState
+
+	res    Result
+	failed error
+	rng    *rand.Rand
+
+	// Long-lived bound handlers so event scheduling never allocates.
+	stepH    event.ArgHandler
+	deliverH event.ArgHandler
 }
 
+// edgeState is one directed link. Holds on a link never overlap (each
+// reservation starts at or after the previous finish), so the outstanding
+// reservations at any instant form an ascending queue of finish times,
+// pruned in place at each new hold instead of scheduling a release event
+// per link per hold. The queue lives in a small inline ring — schedules
+// without deep contention allocate nothing — and spills to a slice only
+// when more than edgeRing circuits stack up on one link.
 type edgeState struct {
 	busyUntil float64
-	queue     int // circuits currently holding or waiting
-	maxQueue  int
+	maxQueue  int32
+	head, n   int32 // inline ring cursor and length
+	ring      [edgeRing]float64
+	spill     []float64 // overflow mode once non-nil
+	spillHead int32
 }
 
-// pairID names an ordered or unordered node pair, depending on use.
-type pairID struct{ a, b int }
+const edgeRing = 4
 
-// pairKey identifies an exchange rendezvous between two nodes; seq
-// disambiguates repeated exchanges between the same pair.
-type pairKey struct {
-	lo, hi int
-	seq    int
+// hold records a reservation finishing at finish, placed at time now, and
+// returns the number of circuits then holding-or-waiting on the link.
+func (e *edgeState) hold(now, finish float64) int32 {
+	if e.spill != nil {
+		h := e.spillHead
+		for int(h) < len(e.spill) && e.spill[h] <= now {
+			h++
+		}
+		if int(h) == len(e.spill) {
+			e.spill, h = e.spill[:0], 0
+		} else if int(h) >= len(e.spill)-int(h) {
+			// Compact once the dead prefix outgrows the live suffix, so
+			// a continuously backlogged link stays O(live holds).
+			n := copy(e.spill, e.spill[h:])
+			e.spill, h = e.spill[:n], 0
+		}
+		e.spillHead = h
+		e.spill = append(e.spill, finish)
+		return int32(len(e.spill)) - h
+	}
+	for e.n > 0 && e.ring[e.head] <= now {
+		e.head = (e.head + 1) % edgeRing
+		e.n--
+	}
+	if e.n == edgeRing {
+		e.spill = make([]float64, 0, 2*edgeRing)
+		for i := int32(0); i < edgeRing; i++ {
+			e.spill = append(e.spill, e.ring[(e.head+i)%edgeRing])
+		}
+		e.spill = append(e.spill, finish)
+		e.head, e.n = 0, 0
+		return edgeRing + 1
+	}
+	e.ring[(e.head+e.n)%edgeRing] = finish
+	e.n++
+	return e.n
 }
 
-type pendingExchange struct {
-	firstNode  int
-	firstReady float64
-	bytes      int
+// msgChan carries the messages of one ordered (src,dst) pair. The three
+// cursors are the FIFO sequence counters for arrival, posting and waiting;
+// sent indexes the slot a send writes its message type into.
+type msgChan struct {
+	src, dst int32
+	arr      int32
+	post     int32
+	wait     int32
+	sent     int32
+	slots    []inboxSlot
 }
 
-// msgKey identifies the k-th message from src to dst.
-type msgKey struct {
-	src, dst int
-	seq      int
-}
-
-type inboxEntry struct {
-	arrived   bool
+type inboxSlot struct {
 	arriveAt  float64
-	posted    bool
-	waiting   bool
 	waiterCPU float64 // time at which the waiter parked
+	flags     uint8
+}
+
+const (
+	slotArrived uint8 = 1 << iota
+	slotPosted
+	slotWaiting
+	slotForced
+)
+
+type chanRef struct {
+	dst int32
+	ch  int32
 }
 
 type barrierState struct {
 	arrived int
 	maxTime float64
-	waiters []int
+	waiters []int32
 }
 
 // Run executes one program per node (len(programs) must equal the node
@@ -179,41 +277,73 @@ func (n *Network) Run(programs []Program) (Result, error) {
 		return Result{}, fmt.Errorf("simnet: %d programs for %d nodes",
 			len(programs), n.cube.Nodes())
 	}
-	st := &runState{
-		net:   n,
-		eng:   event.New(),
-		progs: programs,
-		pc:    make([]int, len(programs)),
+	return n.runSource(programsSource(programs))
+}
 
-		opStart: make([]float64, len(programs)),
-		ready:   make([]float64, len(programs)),
-		done:    make([]bool, len(programs)),
-		edges:   make(map[topology.Edge]*edgeState),
-		pend:    make(map[pairKey]*pendingExchange),
-		inbox:   make(map[msgKey]*inboxEntry),
-		res:     Result{NodeFinish: make([]float64, len(programs))},
+// RunSource executes a compiled program source — the allocation-free
+// costing path used by exchange.Plan.Cost and collectives.Cost.
+func (n *Network) RunSource(src Source) (Result, error) {
+	if src.NumNodes() != n.cube.Nodes() {
+		return Result{}, fmt.Errorf("simnet: source of %d programs for %d nodes",
+			src.NumNodes(), n.cube.Nodes())
+	}
+	return n.runSource(src)
+}
+
+func (n *Network) runSource(src Source) (Result, error) {
+	nodes := n.cube.Nodes()
+	st := &runState{
+		net: n,
+		eng: event.New(),
+		src: src,
+		n:   nodes,
+		d:   n.cube.Dim(),
+
+		pc:      make([]int32, nodes),
+		lens:    make([]int32, nodes),
+		opStart: make([]float64, nodes),
+		ready:   make([]float64, nodes),
+		done:    make([]bool, nodes),
+		exPeer:  make([]int32, nodes),
+		exBytes: make([]int, nodes),
+		exReady: make([]float64, nodes),
+		edges:   make([]edgeState, nodes*n.cube.Dim()),
+		outIdx:  make([][]chanRef, nodes),
+		res:     Result{NodeFinish: make([]float64, nodes)},
 
 		// A fresh per-Run source seeded from the Network keeps jitter
 		// reproducible across repeated and concurrent Runs (see
 		// SetJitter); never touch the global math/rand state here.
 		rng: rand.New(rand.NewSource(n.jitterSeed)),
+	}
+	for p := range st.exPeer {
+		st.exPeer[p] = -1
+	}
+	st.stepH = func(_ event.Time, p int) { st.step(p) }
+	st.deliverH = func(now event.Time, ch int) { st.deliverAt(ch, float64(now)) }
 
-		pairSeq: make(map[pairID]int),
-		arrSeq:  make(map[pairID]int),
-		postSeq: make(map[pairID]int),
-		waitSeq: make(map[pairID]int),
+	totalOps := uint64(0)
+	for p := 0; p < nodes; p++ {
+		st.lens[p] = int32(src.NumOps(p))
+		totalOps += uint64(st.lens[p])
 	}
 	// Seed: every node begins interpreting its program at time 0.
-	for p := range programs {
-		p := p
-		st.eng.At(0, func(event.Time) { st.step(p) })
+	for p := 0; p < nodes; p++ {
+		st.eng.PostArg(0, st.stepH, p)
 	}
 	budget := n.budget
 	if budget == 0 {
 		budget = DefaultEventBudget
+		// Every op consumes exactly one step event; add one final step
+		// per node, one delivery per send, and the seed events. 2·ops +
+		// 4·nodes dominates that, so the watchdog never trips on a
+		// well-formed program of any size.
+		if structural := 2*totalOps + 4*uint64(nodes); structural > budget {
+			budget = structural
+		}
 	}
 	if !st.eng.RunLimit(budget) {
-		return st.res, fmt.Errorf("simnet: event budget exhausted (livelock?)")
+		return st.res, st.budgetError(budget)
 	}
 	if st.failed != nil {
 		return st.res, st.failed
@@ -224,17 +354,53 @@ func (n *Network) Run(programs []Program) (Result, error) {
 				p, st.pc[p], st.opName(p))
 		}
 	}
-	for _, e := range st.edges {
-		if e.maxQueue > st.res.MaxEdgeQueue {
-			st.res.MaxEdgeQueue = e.maxQueue
+	for i := range st.edges {
+		if q := int(st.edges[i].maxQueue); q > st.res.MaxEdgeQueue {
+			st.res.MaxEdgeQueue = q
 		}
 	}
 	return st.res, nil
 }
 
+// budgetError reports event-budget exhaustion with enough detail to act
+// on: how many events ran, and where each unfinished node is stuck (its
+// program counter and current op), mirroring the deadlock error path.
+func (st *runState) budgetError(budget uint64) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simnet: event budget (%d) exhausted after %d events (livelock?)",
+		budget, st.eng.Steps())
+	const maxListed = 8
+	listed, unfinished := 0, 0
+	for p := 0; p < st.n; p++ {
+		if st.done[p] {
+			continue
+		}
+		unfinished++
+		if listed < maxListed {
+			if listed == 0 {
+				b.WriteString("; unfinished:")
+			} else {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, " node %d at op %d/%d (%s)",
+				p, st.pc[p], st.src.NumOps(p), st.opName(p))
+			listed++
+		}
+	}
+	if unfinished > listed {
+		fmt.Fprintf(&b, " and %d more", unfinished-listed)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
 func (st *runState) opName(p int) string {
-	if st.pc[p] < len(st.progs[p]) {
-		return st.progs[p][st.pc[p]].Kind.String()
+	if int(st.pc[p]) < st.src.NumOps(p) {
+		op := st.src.Op(p, int(st.pc[p]))
+		switch op.Kind {
+		case OpExchange, OpSend, OpPostRecv, OpWaitRecv, OpRecv:
+			return fmt.Sprintf("%s peer %d", op.Kind, op.Peer)
+		}
+		return op.Kind.String()
 	}
 	return "end"
 }
@@ -245,14 +411,23 @@ func (st *runState) fail(err error) {
 	}
 }
 
+// checkPeer validates a receive op's peer, failing the run (not
+// panicking) on a node outside the cube.
+func (st *runState) checkPeer(p int, op Op) bool {
+	if op.Peer < 0 || op.Peer >= st.n {
+		st.fail(fmt.Errorf("simnet: node %d: %s from nonexistent node %d", p, op.Kind, op.Peer))
+		return false
+	}
+	return true
+}
+
 // step interprets the current op of node p. Called whenever node p becomes
 // runnable (at its ready time).
 func (st *runState) step(p int) {
 	if st.failed != nil || st.done[p] {
 		return
 	}
-	prog := st.progs[p]
-	if st.pc[p] >= len(prog) {
+	if st.pc[p] >= st.lens[p] {
 		st.done[p] = true
 		st.res.NodeFinish[p] = st.ready[p]
 		if st.ready[p] > st.res.Makespan {
@@ -260,7 +435,7 @@ func (st *runState) step(p int) {
 		}
 		return
 	}
-	op := prog[st.pc[p]]
+	op := st.src.Op(p, int(st.pc[p]))
 	st.opStart[p] = st.ready[p]
 	switch op.Kind {
 	case OpCompute:
@@ -278,12 +453,21 @@ func (st *runState) step(p int) {
 	case OpSend:
 		st.doSend(p, op)
 	case OpPostRecv:
+		if !st.checkPeer(p, op) {
+			return
+		}
 		st.doPostRecv(p, op.Peer)
 		st.advance(p, st.ready[p])
 	case OpRecv:
+		if !st.checkPeer(p, op) {
+			return
+		}
 		st.doPostRecv(p, op.Peer)
 		st.doWaitRecv(p, op.Peer)
 	case OpWaitRecv:
+		if !st.checkPeer(p, op) {
+			return
+		}
 		st.doWaitRecv(p, op.Peer)
 	default:
 		st.fail(fmt.Errorf("simnet: node %d: unknown op kind %v", p, op.Kind))
@@ -292,8 +476,8 @@ func (st *runState) step(p int) {
 
 // advance completes node p's current op at time t and schedules the next.
 func (st *runState) advance(p int, t float64) {
-	if st.net.trace && st.pc[p] < len(st.progs[p]) {
-		op := st.progs[p][st.pc[p]]
+	if st.net.trace && st.pc[p] < st.lens[p] {
+		op := st.src.Op(p, int(st.pc[p]))
 		st.res.Timeline = append(st.res.Timeline, Interval{
 			Node:  p,
 			Kind:  op.Kind,
@@ -305,7 +489,7 @@ func (st *runState) advance(p int, t float64) {
 	}
 	st.ready[p] = t
 	st.pc[p]++
-	st.eng.At(event.Time(t), func(event.Time) { st.step(p) })
+	st.eng.PostArg(event.Time(t), st.stepH, p)
 }
 
 // park leaves node p blocked inside its current op; a later event will

@@ -2,9 +2,9 @@ package simnet
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/event"
-	"repro/internal/topology"
 )
 
 // jitter perturbs a transmission duration by the network's configured
@@ -17,107 +17,94 @@ func (st *runState) jitter(dur float64) float64 {
 	return dur * (1 + f*(2*st.rng.Float64()-1))
 }
 
-// pathEdges returns the directed links of the e-cube route src→dst.
-func (st *runState) pathEdges(src, dst int) ([]topology.Edge, error) {
-	return st.net.cube.RouteEdges(src, dst)
-}
-
-// edgesFreeAt returns the earliest time ≥ t at which all given links are
-// free.
-func (st *runState) edgesFreeAt(edges []topology.Edge, t float64) float64 {
-	start := t
-	for _, e := range edges {
-		if es := st.edge(e); es.busyUntil > start {
-			start = es.busyUntil
+// circuitFreeAt returns the earliest time ≥ t at which every directed
+// link of the e-cube route src→dst is free. The route is walked by
+// flipping differing label bits lowest-first; edges[u*d+i] is the link
+// from node u across dimension i, so no edge list is materialized.
+func (st *runState) circuitFreeAt(src, dst int, t float64) float64 {
+	cur, diff := src, src^dst
+	for diff != 0 {
+		i := bits.TrailingZeros(uint(diff))
+		if e := &st.edges[cur*st.d+i]; e.busyUntil > t {
+			t = e.busyUntil
 		}
+		cur ^= 1 << uint(i)
+		diff &= diff - 1
 	}
-	return start
+	return t
 }
 
-// holdEdges reserves the given links for [start, finish).
-func (st *runState) holdEdges(edges []topology.Edge, start, finish float64) {
-	for _, e := range edges {
-		es := st.edge(e)
-		es.busyUntil = finish
-		es.queue++
-		if es.queue > es.maxQueue {
-			es.maxQueue = es.queue
+// holdCircuit reserves every link of the route src→dst until finish.
+// Holds on one link never overlap (busyUntil is monotone), so the
+// per-link occupancy count is maintained by pruning finished holds at
+// reservation time (edgeState.hold) instead of scheduling a release
+// event per link — the old per-hold events dominated large replays.
+func (st *runState) holdCircuit(src, dst int, finish float64) {
+	now := float64(st.eng.Now())
+	cur, diff := src, src^dst
+	for diff != 0 {
+		i := bits.TrailingZeros(uint(diff))
+		e := &st.edges[cur*st.d+i]
+		e.busyUntil = finish
+		if q := e.hold(now, finish); q > e.maxQueue {
+			e.maxQueue = q
 		}
-		st.eng.At(event.Time(finish), func(event.Time) { es.queue-- })
+		cur ^= 1 << uint(i)
+		diff &= diff - 1
 	}
 }
 
 // reservePath acquires the e-cube circuit src→dst for a transmission
 // wanting to start no earlier than t and lasting dur µs. It returns the
 // actual start time (delayed if any link is busy — edge contention).
-func (st *runState) reservePath(src, dst int, t, dur float64) (float64, error) {
+func (st *runState) reservePath(src, dst int, t, dur float64) float64 {
 	if src == dst {
-		return t, nil
+		return t
 	}
-	edges, err := st.pathEdges(src, dst)
-	if err != nil {
-		return 0, err
-	}
-	start := st.edgesFreeAt(edges, t)
-	st.holdEdges(edges, start, start+dur)
+	start := st.circuitFreeAt(src, dst, t)
+	st.holdCircuit(src, dst, start+dur)
 	st.res.ContentionStall += start - t
-	return start, nil
+	return start
 }
 
 // reservePair acquires both directed circuits of a pairwise exchange at a
 // common start time.
-func (st *runState) reservePair(p, q int, t, dur float64) (float64, error) {
-	fw, err := st.pathEdges(p, q)
-	if err != nil {
-		return 0, err
-	}
-	bw, err := st.pathEdges(q, p)
-	if err != nil {
-		return 0, err
-	}
-	start := st.edgesFreeAt(fw, t)
-	start = st.edgesFreeAt(bw, start)
-	st.holdEdges(fw, start, start+dur)
-	st.holdEdges(bw, start, start+dur)
+func (st *runState) reservePair(p, q int, t, dur float64) float64 {
+	start := st.circuitFreeAt(p, q, t)
+	start = st.circuitFreeAt(q, p, start)
+	st.holdCircuit(p, q, start+dur)
+	st.holdCircuit(q, p, start+dur)
 	st.res.ContentionStall += start - t
-	return start, nil
-}
-
-func (st *runState) edge(e topology.Edge) *edgeState {
-	es, ok := st.edges[e]
-	if !ok {
-		es = &edgeState{}
-		st.edges[e] = es
-	}
-	return es
+	return start
 }
 
 // enterBarrier implements OpBarrier: all nodes wait for the last arrival,
 // then pay the global synchronization cost 150·d µs (§7.3) together.
 func (st *runState) enterBarrier(p int) {
-	if st.bar == nil {
-		st.bar = &barrierState{}
-	}
-	b := st.bar
+	b := &st.bar
 	b.arrived++
 	if st.ready[p] > b.maxTime {
 		b.maxTime = st.ready[p]
 	}
-	b.waiters = append(b.waiters, p)
-	if b.arrived < st.net.cube.Nodes() {
+	b.waiters = append(b.waiters, int32(p))
+	if b.arrived < st.n {
 		st.park()
 		return
 	}
-	release := b.maxTime + st.net.params.GlobalSync(st.net.cube.Dim())
+	release := b.maxTime + st.net.params.GlobalSync(st.d)
 	st.res.Barriers++
-	st.bar = nil
-	for _, q := range b.waiters {
-		st.advance(q, release)
+	waiters := b.waiters
+	// Resetting to [:0] reuses the backing array; nothing re-enters the
+	// barrier while we release (advance only schedules events).
+	b.arrived, b.maxTime, b.waiters = 0, 0, b.waiters[:0]
+	for _, q := range waiters {
+		st.advance(int(q), release)
 	}
 }
 
 // enterExchange implements OpExchange via a rendezvous: the first node to
-// arrive parks; the second computes the circuit timing for both.
+// arrive parks in the exPeer/exBytes/exReady slots; the second computes
+// the circuit timing for both.
 //
 // Timing (§7.2, §7.4): from the instant both parties are ready,
 //
@@ -135,67 +122,89 @@ func (st *runState) enterExchange(p int, op Op) {
 		st.advance(p, st.ready[p]) // self-exchange is a no-op
 		return
 	}
-	if !st.net.cube.Contains(q) {
+	if q < 0 || q >= st.n {
 		st.fail(fmt.Errorf("simnet: node %d: exchange with nonexistent node %d", p, q))
 		return
 	}
-	lo, hi := p, q
-	if lo > hi {
-		lo, hi = hi, lo
-	}
-	id := pairID{lo, hi}
-	key := pairKey{lo, hi, st.pairSeq[id]}
-	pe, ok := st.pend[key]
-	if !ok {
-		st.pend[key] = &pendingExchange{firstNode: p, firstReady: st.ready[p], bytes: op.Bytes}
+	if st.exPeer[q] != int32(p) {
+		// First to arrive: park until the partner shows up.
+		st.exPeer[p] = int32(q)
+		st.exBytes[p] = op.Bytes
+		st.exReady[p] = st.ready[p]
 		st.park()
 		return
 	}
-	if pe.firstNode == p {
-		st.fail(fmt.Errorf("simnet: node %d exchanged with %d twice concurrently", p, q))
-		return
-	}
-	if pe.bytes != op.Bytes {
+	firstBytes, firstReady := st.exBytes[q], st.exReady[q]
+	st.exPeer[q] = -1
+	if firstBytes != op.Bytes {
 		st.fail(fmt.Errorf("simnet: exchange size mismatch between %d (%dB) and %d (%dB)",
-			pe.firstNode, pe.bytes, p, op.Bytes))
+			q, firstBytes, p, op.Bytes))
 		return
 	}
-	delete(st.pend, key)
-	st.pairSeq[id]++
 
-	h := st.net.cube.Distance(p, q)
+	h := bits.OnesCount(uint(p ^ q))
 	both := st.ready[p]
-	if pe.firstReady > both {
-		both = pe.firstReady
+	if firstReady > both {
+		both = firstReady
 	}
 	dur := st.jitter(st.net.params.ExchangeTime(op.Bytes, h))
-	start, err := st.reservePair(p, q, both, dur)
-	if err != nil {
-		st.fail(err)
-		return
-	}
+	start := st.reservePair(p, q, both, dur)
 	finish := start + dur
 	st.res.Messages += 2
 	st.res.BytesMoved += 2 * op.Bytes
 	st.advance(p, finish)
-	st.advance(pe.firstNode, finish)
+	st.advance(q, finish)
+}
+
+// channel returns the index into st.chans of the ordered pair src→dst,
+// creating it on first contact. Per-source channel lists stay short (a
+// node talks to at most a handful of peers), so the linear scan beats a
+// map and allocates only when a new pair first communicates.
+func (st *runState) channel(src, dst int) int {
+	refs := st.outIdx[src]
+	for _, r := range refs {
+		if int(r.dst) == dst {
+			return int(r.ch)
+		}
+	}
+	ci := len(st.chans)
+	st.chans = append(st.chans, msgChan{src: int32(src), dst: int32(dst)})
+	st.outIdx[src] = append(refs, chanRef{dst: int32(dst), ch: int32(ci)})
+	return ci
+}
+
+// slot returns channel ci's i-th message slot, extending the ring as
+// posts/waits/sends run ahead of each other.
+func (st *runState) slot(ci, i int) *inboxSlot {
+	ch := &st.chans[ci]
+	for len(ch.slots) <= i {
+		ch.slots = append(ch.slots, inboxSlot{})
+	}
+	return &ch.slots[i]
 }
 
 // doSend implements OpSend: the sender owns the circuit for the message
-// duration; delivery is recorded in the receiver's inbox.
+// duration; delivery is recorded in the receiver's channel.
 func (st *runState) doSend(p int, op Op) {
 	q := op.Peer
-	if !st.net.cube.Contains(q) {
+	if q < 0 || q >= st.n {
 		st.fail(fmt.Errorf("simnet: node %d: send to nonexistent node %d", p, q))
 		return
 	}
+	ci := st.channel(p, q)
+	ch := &st.chans[ci]
+	s := st.slot(ci, int(ch.sent))
+	ch.sent++
+	if op.Type == Forced {
+		s.flags |= slotForced
+	}
 	if q == p {
-		st.deliver(p, p, st.ready[p], op.Type) // local delivery is free
+		st.deliverAt(ci, st.ready[p]) // local delivery is free
 		st.advance(p, st.ready[p])
 		return
 	}
 	prm := st.net.params
-	h := st.net.cube.Distance(p, q)
+	h := bits.OnesCount(uint(p ^ q))
 	var dur float64
 	if op.Type == Unforced {
 		dur = prm.UnforcedMessageTime(op.Bytes, h)
@@ -203,74 +212,62 @@ func (st *runState) doSend(p int, op Op) {
 		dur = prm.RawMessageTime(op.Bytes, h)
 	}
 	dur = st.jitter(dur)
-	start, err := st.reservePath(p, q, st.ready[p], dur)
-	if err != nil {
-		st.fail(err)
-		return
-	}
+	start := st.reservePath(p, q, st.ready[p], dur)
 	finish := start + dur
 	st.res.Messages++
 	st.res.BytesMoved += op.Bytes
-	st.eng.At(event.Time(finish), func(event.Time) { st.deliver(p, q, finish, op.Type) })
+	st.eng.PostArg(event.Time(finish), st.deliverH, ci)
 	st.advance(p, finish)
 }
 
-// deliver records arrival of the next message from src at dst and wakes a
-// parked waiter.
-func (st *runState) deliver(src, dst int, t float64, mt MsgType) {
-	id := pairID{src, dst}
-	key := msgKey{src, dst, st.arrSeq[id]}
-	st.arrSeq[id]++
-	e := st.inboxEntry(key)
-	e.arrived = true
-	e.arriveAt = t
-	if mt == Forced && !e.posted {
+// deliverAt records arrival of the next message on channel ci at time t
+// and wakes a parked waiter. Per-channel deliveries arrive in send order
+// (a sender's transmissions to one destination have increasing finish
+// times), so the arrival cursor walks the slots FIFO.
+func (st *runState) deliverAt(ci int, t float64) {
+	ch := &st.chans[ci]
+	s := &ch.slots[ch.arr]
+	ch.arr++
+	s.flags |= slotArrived
+	s.arriveAt = t
+	if s.flags&slotForced != 0 && s.flags&slotPosted == 0 {
 		st.res.DroppedForced++
 	}
-	if e.waiting {
-		e.waiting = false
+	if s.flags&slotWaiting != 0 {
+		s.flags &^= slotWaiting
 		wake := t
-		if e.waiterCPU > wake {
-			wake = e.waiterCPU
+		if s.waiterCPU > wake {
+			wake = s.waiterCPU
 		}
-		st.advance(dst, wake)
+		st.advance(int(ch.dst), wake)
 	}
 }
 
 // doPostRecv implements OpPostRecv for the next unposted message slot from
 // peer.
 func (st *runState) doPostRecv(p, peer int) {
-	id := pairID{peer, p}
-	key := msgKey{peer, p, st.postSeq[id]}
-	st.postSeq[id]++
-	st.inboxEntry(key).posted = true
+	ci := st.channel(peer, p)
+	i := int(st.chans[ci].post)
+	st.chans[ci].post++
+	st.slot(ci, i).flags |= slotPosted
 }
 
 // doWaitRecv implements OpWaitRecv: blocks until the next unconsumed
 // message from peer has arrived.
 func (st *runState) doWaitRecv(p, peer int) {
-	id := pairID{peer, p}
-	key := msgKey{peer, p, st.waitSeq[id]}
-	st.waitSeq[id]++
-	e := st.inboxEntry(key)
-	if e.arrived {
-		wake := e.arriveAt
+	ci := st.channel(peer, p)
+	i := int(st.chans[ci].wait)
+	st.chans[ci].wait++
+	s := st.slot(ci, i)
+	if s.flags&slotArrived != 0 {
+		wake := s.arriveAt
 		if st.ready[p] > wake {
 			wake = st.ready[p]
 		}
 		st.advance(p, wake)
 		return
 	}
-	e.waiting = true
-	e.waiterCPU = st.ready[p]
+	s.flags |= slotWaiting
+	s.waiterCPU = st.ready[p]
 	st.park()
-}
-
-func (st *runState) inboxEntry(k msgKey) *inboxEntry {
-	e, ok := st.inbox[k]
-	if !ok {
-		e = &inboxEntry{}
-		st.inbox[k] = e
-	}
-	return e
 }

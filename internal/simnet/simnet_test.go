@@ -141,6 +141,22 @@ func TestExchangeBadPeer(t *testing.T) {
 	}
 }
 
+// Receive-family ops with a peer outside the cube must fail the run with
+// an error, like sends and exchanges do.
+func TestRecvBadPeer(t *testing.T) {
+	for _, prog := range []Program{
+		{PostRecv(99)},
+		{WaitRecv(99)},
+		{Recv(-1)},
+	} {
+		n := mkNet(1, model.IPSC860())
+		if _, err := n.Run([]Program{prog, {}}); err == nil ||
+			!strings.Contains(err.Error(), "nonexistent") {
+			t.Errorf("%v must fail with a nonexistent-node error, got %v", prog, err)
+		}
+	}
+}
+
 func TestRepeatedExchangesSamePair(t *testing.T) {
 	p := model.IPSC860()
 	n := mkNet(1, p)
@@ -433,6 +449,74 @@ func TestEventBudgetExhaustion(t *testing.T) {
 	n.SetEventBudget(0) // restore default
 	if _, err := n.Run(progs); err != nil {
 		t.Errorf("default budget must suffice: %v", err)
+	}
+}
+
+// The budget error must be actionable: events executed plus each
+// unfinished node's program counter and current op, matching the detail
+// of the deadlock error path.
+func TestEventBudgetErrorDetail(t *testing.T) {
+	n := mkNet(2, model.IPSC860())
+	n.SetEventBudget(5)
+	progs := emptyPrograms(4)
+	for i := range progs {
+		progs[i] = Program{Compute(1), Exchange(i^1, 16), Compute(1)}
+	}
+	_, err := n.Run(progs)
+	if err == nil {
+		t.Fatal("tiny budget must trip the watchdog")
+	}
+	msg := err.Error()
+	for _, want := range []string{"budget", "5 events", "unfinished", "node 0 at op", "/3", "peer"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("budget error missing %q: %v", want, msg)
+		}
+	}
+	// Many stuck nodes are summarized, not listed exhaustively.
+	big := mkNet(4, model.IPSC860())
+	big.SetEventBudget(1)
+	bigProgs := emptyPrograms(16)
+	for i := range bigProgs {
+		bigProgs[i] = Program{Barrier()}
+	}
+	_, err = big.Run(bigProgs)
+	if err == nil || !strings.Contains(err.Error(), "more") {
+		t.Errorf("16 stuck nodes should be summarized: %v", err)
+	}
+}
+
+// sliceSource adapts programs to the Source interface directly, to pin
+// RunSource's behaviour against Run's.
+type sliceSource []Program
+
+func (s sliceSource) NumNodes() int    { return len(s) }
+func (s sliceSource) NumOps(p int) int { return len(s[p]) }
+func (s sliceSource) Op(p, i int) Op   { return s[p][i] }
+
+func TestRunSourceMatchesRun(t *testing.T) {
+	p := model.IPSC860()
+	build := func() []Program {
+		progs := emptyPrograms(8)
+		for i := range progs {
+			progs[i] = Program{Barrier(), Exchange(i^5, 33), Shuffle(264), Exchange(i^3, 33)}
+		}
+		return progs
+	}
+	n1 := mkNet(3, p)
+	r1, err := n1.Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := mkNet(3, p)
+	r2, err := n2.RunSource(sliceSource(build()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan || r1.Messages != r2.Messages || r1.Barriers != r2.Barriers {
+		t.Errorf("RunSource %+v differs from Run %+v", r2, r1)
+	}
+	if _, err := n2.RunSource(sliceSource(make([]Program, 3))); err == nil {
+		t.Error("wrong source size must fail")
 	}
 }
 
