@@ -10,7 +10,11 @@
 package repro
 
 import (
+	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -23,7 +27,9 @@ import (
 	"repro/internal/model"
 	"repro/internal/optimize"
 	"repro/internal/partition"
+	"repro/internal/plancache"
 	"repro/internal/schedule"
+	"repro/internal/service"
 	"repro/internal/simnet"
 	"repro/internal/topology"
 )
@@ -572,5 +578,60 @@ func BenchmarkCommAllToAll(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPlanCacheHit times the plan cache's hot path — a (machine,
+// d, m) query answered from a resident hull line: shard lookup, binary
+// search over segments, closed-form time for the exact block size.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	pc := plancache.New(plancache.Config{})
+	if _, err := pc.Get("ipsc860", 7, 40); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pc.Get("ipsc860", 7, (i*37)%500); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := pc.Stats()
+	if s.Misses != 1 {
+		b.Fatalf("bench drove %d misses, want 1 (hits only)", s.Misses)
+	}
+	b.ReportMetric(float64(s.Hits)/float64(b.N), "hits/op")
+}
+
+// BenchmarkServePlan times one /v1/plan request end-to-end over a
+// loopback HTTP connection against a warm cache — the serving tier's
+// unit of work.
+func BenchmarkServePlan(b *testing.B) {
+	srv, err := service.New(service.Config{Cache: plancache.New(plancache.Config{})})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	warm := func(url string) {
+		resp, err := client.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	warm(ts.URL + "/v1/plan?machine=ipsc860&d=7&m=40")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm(fmt.Sprintf("%s/v1/plan?machine=ipsc860&d=7&m=%d", ts.URL, (i*37)%500))
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/calibrate"
 	"repro/internal/model"
@@ -21,22 +22,17 @@ import (
 )
 
 func main() {
-	machine := flag.String("machine", "ipsc", "machine model: ipsc | ipsc-nosync | ncube2 | hypo")
+	machine := flag.String("machine", "ipsc860",
+		"machine model: "+strings.Join(model.MachineNames(), " | "))
 	d := flag.Int("d", 5, "cube dimension for the measurement runs")
 	flag.Parse()
 
-	var prm model.Params
-	switch *machine {
-	case "ipsc":
-		prm = model.IPSC860()
-	case "ipsc-nosync":
-		prm = model.IPSC860NoSync()
-	case "ncube2":
-		prm = model.Ncube2()
-	case "hypo":
-		prm = model.Hypothetical()
-	default:
-		fatal(fmt.Errorf("unknown machine %q", *machine))
+	prm, err := model.MachineByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	if *d < 1 || *d > 16 {
+		fatal(fmt.Errorf("dimension %d out of range [1,16]: the fits need at least one distance sample and the measurement runs grow with 2^d", *d))
 	}
 
 	sizes := []int{0, 16, 64, 256, 1024, 4096}

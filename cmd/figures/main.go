@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	figures            # everything
-//	figures -only E5   # a single experiment
+//	figures                  # everything, on the paper's machines
+//	figures -only E5         # a single experiment
+//	figures -machine ncube2  # re-price the figure sweeps (E4-E6) on another machine
 package main
 
 import (
@@ -17,12 +18,35 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/model"
 )
+
+// experimentIDs is the valid set for -only.
+var experimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
 
 func main() {
 	only := flag.String("only", "", "run a single experiment: E1..E8 (default all)")
 	plot := flag.Bool("plot", false, "render Figures 4-6 as ASCII charts instead of tables")
+	machine := flag.String("machine", "ipsc860",
+		"machine model for the figure sweeps E4-E6 (E1/E2/E7/E8 are pinned to the paper's machines): "+
+			strings.Join(model.MachineNames(), " | "))
 	flag.Parse()
+
+	if *only != "" {
+		valid := false
+		for _, id := range experimentIDs {
+			if strings.EqualFold(*only, id) {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			check(fmt.Errorf("unknown experiment %q (valid: %s)", *only, strings.Join(experimentIDs, ", ")))
+		}
+	}
+	prm, err := model.MachineByName(*machine)
+	check(err)
+	machineName := model.DisplayName(*machine)
 
 	want := func(id string) bool {
 		return *only == "" || strings.EqualFold(*only, id)
@@ -44,15 +68,15 @@ func main() {
 		if !want(id) {
 			continue
 		}
-		fig, err := experiments.Figure(d)
+		fig, err := experiments.FigureOn(prm, machineName, d)
 		check(err)
 		if *plot {
 			fmt.Println(fig.Plot(90, 24))
 		} else {
 			fmt.Println(fig)
 		}
-		fmt.Println(experiments.Hull(d))
-		mvp, err := experiments.MeasuredVsPredicted(d)
+		fmt.Println(experiments.HullOn(prm, machineName, d))
+		mvp, err := experiments.MeasuredVsPredictedOn(prm, d)
 		check(err)
 		fmt.Println(mvp)
 	}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/model"
 	"repro/internal/optimize"
@@ -25,28 +26,19 @@ func main() {
 	hi := flag.Int("hi", 400, "sweep end, bytes")
 	step := flag.Int("step", 4, "sweep step, bytes")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	machine := flag.String("machine", "ipsc", "machine model: ipsc | ipsc-nosync | ncube2 | hypo")
+	machine := flag.String("machine", "ipsc860",
+		"machine model: "+strings.Join(model.MachineNames(), " | "))
 	save := flag.String("save", "", "also write the table as JSON to this path (§6: compute once, reuse)")
 	load := flag.String("load", "", "load a previously saved table instead of recomputing")
 	flag.Parse()
 
-	var prm model.Params
-	switch *machine {
-	case "ipsc":
-		prm = model.IPSC860()
-	case "ipsc-nosync":
-		prm = model.IPSC860NoSync()
-	case "ncube2":
-		prm = model.Ncube2()
-	case "hypo":
-		prm = model.Hypothetical()
-	default:
-		fatal(fmt.Errorf("unknown machine %q", *machine))
+	prm, err := model.MachineByName(*machine)
+	if err != nil {
+		fatal(err)
 	}
 
 	opt := optimize.New(prm)
 	var tbl optimize.Table
-	var err error
 	if *load != "" {
 		tbl, err = optimize.LoadTableFile(*load, prm)
 	} else {

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -32,13 +33,14 @@ func main() {
 	d := flag.Int("d", 6, "hypercube dimension (n = 2^d nodes)")
 	m := flag.Int("m", 40, "block size in bytes per destination")
 	part := flag.String("D", "", "explicit partition, e.g. \"{3,4}\" (default: auto-tune)")
-	machine := flag.String("machine", "ipsc", "machine model: ipsc | ipsc-nosync | ncube2 | hypo")
+	machine := flag.String("machine", "ipsc860",
+		"machine model: "+strings.Join(model.MachineNames(), " | "))
 	onRuntime := flag.Bool("runtime", false, "additionally execute the plan on the goroutine runtime fabric and report wall time")
 	gantt := flag.Bool("gantt", false, "render a per-node timeline of the simulated run")
 	ganttWidth := flag.Int("gantt-width", 100, "timeline width in characters")
 	flag.Parse()
 
-	prm, err := machineParams(*machine)
+	prm, err := model.MachineByName(*machine)
 	if err != nil {
 		fatal(err)
 	}
@@ -106,21 +108,6 @@ func main() {
 		fmt.Println()
 		fmt.Print(trace.Summary(traced))
 		fmt.Print(trace.Gantt(traced, *ganttWidth))
-	}
-}
-
-func machineParams(name string) (model.Params, error) {
-	switch name {
-	case "ipsc":
-		return model.IPSC860(), nil
-	case "ipsc-nosync":
-		return model.IPSC860NoSync(), nil
-	case "ncube2":
-		return model.Ncube2(), nil
-	case "hypo":
-		return model.Hypothetical(), nil
-	default:
-		return model.Params{}, fmt.Errorf("unknown machine %q (want ipsc, ipsc-nosync, ncube2, hypo)", name)
 	}
 }
 

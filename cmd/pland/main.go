@@ -1,0 +1,264 @@
+// Command pland is the plan-serving daemon: it exposes the multiphase
+// exchange auto-tuner as an HTTP JSON service backed by the sharded plan
+// cache, so choosing the best partition for a (machine, d, m) query is a
+// network call answered from O(hull) cached segments instead of a fresh
+// enumeration.
+//
+// Usage:
+//
+//	pland                                    # iPSC-860 default, :8080
+//	pland -machine hypo -addr :9090
+//	pland -snapshot plans.json -snapshot-every 1m
+//	pland -warmup-dims 5,6,7                 # pre-build every machine's hulls
+//
+// The daemon restores its cache from -snapshot at startup (if the file
+// exists), persists it periodically and again on graceful shutdown
+// (SIGINT/SIGTERM), so a restarted daemon answers warm without re-running
+// a single partition enumeration.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/plancache"
+	"repro/internal/service"
+)
+
+// options collects the daemon's flag values; main parses them and the
+// end-to-end test constructs them directly.
+type options struct {
+	addr          string
+	machine       string
+	backend       string
+	shards        int
+	capacity      int
+	sweepHi       int
+	sweepStep     int
+	snapshotPath  string
+	snapshotEvery time.Duration
+	warmupDims    string
+	logger        *log.Logger
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.machine, "machine", "ipsc860", "default machine for requests that omit ?machine=")
+	flag.StringVar(&o.backend, "backend", "analytic", "costing backend: analytic | simulated")
+	flag.IntVar(&o.shards, "shards", 8, "cache shard count")
+	flag.IntVar(&o.capacity, "cache-capacity", 64, "cache lines per shard (LRU beyond)")
+	flag.IntVar(&o.sweepHi, "sweep-hi", plancache.DefaultSweepHi, "hull sweep upper block-size bound")
+	flag.IntVar(&o.sweepStep, "sweep-step", 1, "hull sweep step")
+	flag.StringVar(&o.snapshotPath, "snapshot", "", "cache snapshot file (restored at startup, written periodically and on shutdown)")
+	flag.DurationVar(&o.snapshotEvery, "snapshot-every", 5*time.Minute, "periodic snapshot interval (requires -snapshot)")
+	flag.StringVar(&o.warmupDims, "warmup-dims", "", "comma-separated dimensions to pre-build for every machine at startup, e.g. \"5,6,7\"")
+	flag.Parse()
+	o.logger = log.New(os.Stderr, "pland: ", log.LstdFlags)
+
+	d, err := newDaemon(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pland:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pland:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := d.run(ctx, ln); err != nil {
+		fmt.Fprintln(os.Stderr, "pland:", err)
+		os.Exit(1)
+	}
+}
+
+// daemon owns the cache, the HTTP server, and the snapshot lifecycle.
+type daemon struct {
+	opts  options
+	cache *plancache.Cache
+	srv   *http.Server
+	log   *log.Logger
+}
+
+// newDaemon validates the options, builds the cache (restoring a
+// snapshot if one exists), warms it, and wires the service handler.
+func newDaemon(o options) (*daemon, error) {
+	if o.logger == nil {
+		o.logger = log.New(os.Stderr, "pland: ", log.LstdFlags)
+	}
+	var newOpt func(model.Params) *optimize.Optimizer
+	switch o.backend {
+	case "analytic", "":
+		newOpt = optimize.New
+	case "simulated":
+		newOpt = optimize.NewSimulated
+	default:
+		return nil, fmt.Errorf("unknown backend %q (valid: analytic, simulated)", o.backend)
+	}
+	defaultMachine, err := model.CanonicalName(o.machine)
+	if err != nil {
+		return nil, err
+	}
+	// The simulated backend's serving bound (see service.PlanMaxDim
+	// below): warming dimensions the server will refuse to serve would
+	// be pure startup cost.
+	planMaxDim := 20
+	if o.backend == "simulated" {
+		planMaxDim = 12
+	}
+	dims, err := parseDims(o.warmupDims)
+	if err != nil {
+		return nil, err
+	}
+	for _, dim := range dims {
+		if dim > planMaxDim {
+			return nil, fmt.Errorf("warmup dimension %d exceeds the serving bound d ≤ %d for the %s backend",
+				dim, planMaxDim, o.backend)
+		}
+	}
+
+	cache := plancache.New(plancache.Config{
+		Shards:           o.shards,
+		CapacityPerShard: o.capacity,
+		SweepHi:          o.sweepHi,
+		SweepStep:        o.sweepStep,
+		NewOptimizer:     newOpt,
+	})
+	if o.snapshotPath != "" {
+		restored, skipped, err := cache.RestoreFile(o.snapshotPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			o.logger.Printf("no snapshot at %s, starting cold", o.snapshotPath)
+		case err != nil:
+			return nil, fmt.Errorf("restoring snapshot %s: %w", o.snapshotPath, err)
+		default:
+			// Resident can be below restored when the snapshot holds
+			// more lines than the configured capacity.
+			o.logger.Printf("restored %d cache lines from %s (%d stale skipped, %d resident)",
+				restored, o.snapshotPath, skipped, cache.Stats().Lines)
+		}
+	}
+	for _, dim := range dims {
+		for name := range cache.Machines() {
+			built, err := cache.Warm(name, dim)
+			if err != nil {
+				return nil, fmt.Errorf("warmup %s/d=%d: %w", name, dim, err)
+			}
+			if built {
+				o.logger.Printf("warmed %s/d=%d", name, dim)
+			}
+		}
+	}
+
+	// A cache miss on the simulated backend runs a full hull sweep of
+	// Best calls — hundreds of compiled replays per build — so the
+	// serving bound must match the per-request /v1/cost bound.
+	svcCfg := service.Config{Cache: cache, DefaultMachine: defaultMachine, PlanMaxDim: planMaxDim}
+	svc, err := service.New(svcCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &daemon{
+		opts:  o,
+		cache: cache,
+		srv:   &http.Server{Handler: svc.Handler()},
+		log:   o.logger,
+	}, nil
+}
+
+// run serves until ctx is cancelled, then shuts down gracefully and
+// writes a final snapshot.
+func (d *daemon) run(ctx context.Context, ln net.Listener) error {
+	d.log.Printf("serving on %s (default machine %s, backend %s)",
+		ln.Addr(), d.opts.machine, d.opts.backend)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.srv.Serve(ln) }()
+
+	snapDone := make(chan struct{})
+	if d.opts.snapshotPath != "" && d.opts.snapshotEvery > 0 {
+		go d.snapshotLoop(ctx, snapDone)
+	} else {
+		close(snapDone)
+	}
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-snapDone
+	return d.snapshot("final")
+}
+
+// snapshotLoop persists the cache every snapshotEvery until ctx ends.
+func (d *daemon) snapshotLoop(ctx context.Context, done chan<- struct{}) {
+	defer close(done)
+	tick := time.NewTicker(d.opts.snapshotEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if err := d.snapshot("periodic"); err != nil {
+				d.log.Printf("periodic snapshot failed: %v", err)
+			}
+		}
+	}
+}
+
+func (d *daemon) snapshot(kind string) error {
+	if d.opts.snapshotPath == "" {
+		return nil
+	}
+	if err := d.cache.SnapshotFile(d.opts.snapshotPath); err != nil {
+		return fmt.Errorf("%s snapshot: %w", kind, err)
+	}
+	s := d.cache.Stats()
+	d.log.Printf("%s snapshot: %d lines (%d segments) → %s",
+		kind, s.Lines, s.Segments, d.opts.snapshotPath)
+	return nil
+}
+
+// parseDims parses a comma-separated dimension list.
+func parseDims(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var dims []int
+	for _, f := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("warmup dimension %q is not an integer", f)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("warmup dimension %d is negative", d)
+		}
+		dims = append(dims, d)
+	}
+	return dims, nil
+}

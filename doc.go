@@ -16,10 +16,18 @@
 // and replays them with no goroutines or payload bytes, which is what the
 // optimizer enumeration and the figure sweeps use.
 //
+// On top of the optimizer sits the serving subsystem: internal/plancache
+// collapses the unbounded block-size axis onto hull-of-optimality
+// segments in a sharded LRU cache with JSON snapshot/restore,
+// internal/service exposes it as an HTTP JSON API (/v1/plan, /v1/cost,
+// /v1/hull, /v1/batch, /healthz, /metrics), and cmd/pland is the daemon
+// that serves auto-tuned exchange plans to the network — the paper's
+// "compute once, store for repeated future use" (§6) as a product.
+//
 // Layout:
 //
 //	internal/...   the library (see README.md for the package map)
-//	cmd/...        mpx, hull, partitions, figures, calibrate
+//	cmd/...        mpx, hull, partitions, figures, calibrate, pland
 //	examples/...   runnable demonstrations
 //
 // The benchmark harness in this package (bench_test.go) regenerates every

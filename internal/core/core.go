@@ -24,6 +24,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/optimize"
 	"repro/internal/partition"
+	"repro/internal/plancache"
 	"repro/internal/simnet"
 	"repro/internal/topology"
 )
@@ -35,6 +36,12 @@ type System struct {
 	prm  model.Params
 	opt  *optimize.Optimizer
 	cube *topology.Hypercube
+
+	// pc, when set, answers partition selection from the shared plan
+	// cache (hull-segment lookup) instead of this System's private
+	// optimizer. See UsePlanCache.
+	pc        *plancache.Cache
+	pcMachine string
 }
 
 // NewSystem returns a system for a d-dimensional cube with the given
@@ -65,6 +72,45 @@ func (s *System) Nodes() int { return s.cube.Nodes() }
 // Params returns the machine parameters.
 func (s *System) Params() model.Params { return s.prm }
 
+// UsePlanCache routes this System's partition selection through a shared
+// plan cache under the given machine name: CompleteExchange,
+// VerifiedExchange and BestPartition resolve their block size by hull-
+// segment lookup (building the hull once per (machine, d) across every
+// System and daemon sharing the cache) instead of enumerating on the
+// System's private optimizer. The named machine's parameters must match
+// the System's own, otherwise the cached plans would be answers to a
+// different question.
+func (s *System) UsePlanCache(pc *plancache.Cache, machine string) error {
+	if pc == nil {
+		s.pc, s.pcMachine = nil, ""
+		return nil
+	}
+	// Resolve through the cache itself, so a machine the cache cannot
+	// serve is rejected here rather than on every later request.
+	name, prm, err := pc.Resolve(machine)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if prm != s.prm {
+		return fmt.Errorf("core: plan cache machine %q has different parameters than this System", machine)
+	}
+	s.pc, s.pcMachine = pc, name
+	return nil
+}
+
+// bestPartition picks the partition for a block size: from the shared
+// plan cache when attached, else from the private optimizer.
+func (s *System) bestPartition(block int) (partition.Partition, error) {
+	if s.pc != nil {
+		return s.pc.Lookup(s.pcMachine, s.dim, block)
+	}
+	c, err := s.opt.Best(s.dim, block)
+	if err != nil {
+		return nil, err
+	}
+	return c.Part, nil
+}
+
 // Result describes one complete exchange.
 type Result struct {
 	// Block is the per-destination block size in bytes.
@@ -90,11 +136,11 @@ type Result struct {
 // on the simulated fabric both verifies the data movement and measures
 // the virtual-time cost.
 func (s *System) CompleteExchange(block int) (Result, error) {
-	choice, err := s.opt.Best(s.dim, block)
+	part, err := s.bestPartition(block)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.ExchangeWith(block, choice.Part)
+	return s.ExchangeWith(block, part)
 }
 
 // ExchangeWith runs a complete exchange with an explicit partition.
@@ -107,11 +153,11 @@ func (s *System) ExchangeWith(block int, D partition.Partition) (Result, error) 
 // separate execution on the goroutine runtime; the unified fabric now
 // verifies payloads and measures time in the same run.)
 func (s *System) VerifiedExchange(block int, timeout time.Duration) (Result, error) {
-	choice, err := s.opt.Best(s.dim, block)
+	part, err := s.bestPartition(block)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.exchange(block, choice.Part, timeout)
+	return s.exchange(block, part, timeout)
 }
 
 // exchange runs one plan on a fresh simulated fabric: real payloads move
@@ -144,13 +190,10 @@ func (s *System) exchange(block int, D partition.Partition, timeout time.Duratio
 	}, nil
 }
 
-// BestPartition returns the optimizer's choice for a block size.
+// BestPartition returns the optimizer's choice for a block size (served
+// from the shared plan cache when one is attached).
 func (s *System) BestPartition(block int) (partition.Partition, error) {
-	c, err := s.opt.Best(s.dim, block)
-	if err != nil {
-		return nil, err
-	}
-	return c.Part, nil
+	return s.bestPartition(block)
 }
 
 // Plan returns an executable plan for an explicit partition, for callers

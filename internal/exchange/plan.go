@@ -78,6 +78,9 @@ func NewPlan(d, m int, D partition.Partition) (*Plan, error) {
 // NewStandardPlan returns the Standard Exchange algorithm (§4.1) as the
 // degenerate plan {1,1,...,1}.
 func NewStandardPlan(d, m int) (*Plan, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("exchange: dimension %d out of range [0,24]", d)
+	}
 	ones := make(partition.Partition, d)
 	for i := range ones {
 		ones[i] = 1

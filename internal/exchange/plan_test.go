@@ -26,6 +26,12 @@ func TestNewPlanValidation(t *testing.T) {
 	if _, err := NewPlan(0, 4, nil); err != nil {
 		t.Errorf("0-cube plan: %v", err)
 	}
+	if _, err := NewStandardPlan(-1, 4); err == nil {
+		t.Error("negative dim standard plan must fail, not panic")
+	}
+	if _, err := NewOptimalPlan(-1, 4); err == nil {
+		t.Error("negative dim optimal plan must fail")
+	}
 }
 
 func TestNewPlanAcceptsUnsortedPartition(t *testing.T) {

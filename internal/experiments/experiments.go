@@ -132,10 +132,15 @@ func FigureCurves(d int) []partition.Partition {
 // contention-free schedules, mirroring the paper's dashed-vs-solid
 // agreement).
 func Figure(d int) (*report.Figure, error) {
-	prm := model.IPSC860()
+	return FigureOn(model.IPSC860(), "iPSC-860", d)
+}
+
+// FigureOn is Figure on an arbitrary machine parameter set — the same
+// sweep the paper ran, re-priced for another machine from the registry.
+func FigureOn(prm model.Params, machine string, d int) (*report.Figure, error) {
 	sweep := BlockSweep()
 	fig := &report.Figure{
-		Title:  fmt.Sprintf("Figure %d: multiphase exchange on %d-node iPSC-860 (d=%d)", d-1, 1<<uint(d), d),
+		Title:  fmt.Sprintf("Figure %d: multiphase exchange on %d-node %s (d=%d)", d-1, 1<<uint(d), machine, d),
 		XLabel: "block(B)",
 		YLabel: "µs",
 	}
@@ -162,9 +167,13 @@ func Figure(d int) (*report.Figure, error) {
 // sweep — the "best partition per block size" summary the paper reads off
 // each figure.
 func Hull(d int) *report.Table {
-	prm := model.IPSC860()
+	return HullOn(model.IPSC860(), "iPSC-860", d)
+}
+
+// HullOn is Hull on an arbitrary machine parameter set.
+func HullOn(prm model.Params, machine string, d int) *report.Table {
 	t := report.NewTable(
-		fmt.Sprintf("Hull of optimality, d=%d (iPSC-860 model)", d),
+		fmt.Sprintf("Hull of optimality, d=%d (%s model)", d, machine),
 		"blocks", "partition")
 	segs := prm.Hull(d, 0, 400, 4, false)
 	for _, s := range segs {
@@ -180,7 +189,12 @@ func Hull(d int) *report.Table {
 // "good agreement between the predicted and observed run times... not
 // perfect"; the table quantifies the same with a relative RMS per curve.
 func MeasuredVsPredicted(d int) (*report.Table, error) {
-	prm := model.IPSC860()
+	return MeasuredVsPredictedOn(model.IPSC860(), d)
+}
+
+// MeasuredVsPredictedOn is MeasuredVsPredicted on an arbitrary machine
+// parameter set.
+func MeasuredVsPredictedOn(prm model.Params, d int) (*report.Table, error) {
 	t := report.NewTable(
 		fmt.Sprintf("§8 measured (±5%% jitter) vs predicted, d=%d", d),
 		"partition", "rel RMS (%)", "max dev (%)")

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// builtinMachines is the immutable registry backing Machines(),
+// CanonicalName and MachineByName; built once at init so the per-request
+// resolution paths never reconstruct parameter sets.
+var builtinMachines = map[string]Params{
+	"ipsc860":        IPSC860(),
+	"ipsc860-raw":    IPSC860Raw(),
+	"ipsc860-nosync": IPSC860NoSync(),
+	"ncube2":         Ncube2(),
+	"hypo":           Hypothetical(),
+}
+
+// builtinNames is the sorted canonical name list, computed once.
+var builtinNames = func() []string {
+	names := make([]string, 0, len(builtinMachines))
+	for name := range builtinMachines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}()
+
+// machineAliases maps historical flag spellings to canonical registry
+// names, so existing scripts keep working.
+var machineAliases = map[string]string{
+	"ipsc":         "ipsc860",
+	"ipsc-raw":     "ipsc860-raw",
+	"ipsc-nosync":  "ipsc860-nosync",
+	"hypothetical": "hypo",
+}
+
+// machineDisplayNames maps canonical registry keys to the spellings the
+// paper uses in prose and figure titles.
+var machineDisplayNames = map[string]string{
+	"ipsc860":        "iPSC-860",
+	"ipsc860-raw":    "iPSC-860 (raw)",
+	"ipsc860-nosync": "iPSC-860 (no sync)",
+	"ncube2":         "Ncube-2",
+	"hypo":           "hypothetical",
+}
+
+// Machines returns the built-in machine registry: every parameter set the
+// repository knows, keyed by its canonical name. The service layer and
+// the cmd/ binaries all resolve -machine flags and request parameters
+// through this single table, so adding a machine here makes it available
+// everywhere at once. The map is a fresh copy on every call; callers may
+// mutate their copy.
+func Machines() map[string]Params {
+	out := make(map[string]Params, len(builtinMachines))
+	for name, p := range builtinMachines {
+		out[name] = p
+	}
+	return out
+}
+
+// MachineNames returns the canonical registry names, sorted.
+func MachineNames() []string {
+	return append([]string(nil), builtinNames...)
+}
+
+// CanonicalName resolves a machine name (canonical or alias,
+// case-insensitive, whitespace-tolerant) to its canonical registry key.
+// Unknown names produce an error that lists the valid set. This is the
+// single alias-resolution rule; the plan cache, the daemon and the cmd
+// binaries all go through it.
+func CanonicalName(name string) (string, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if canon, ok := machineAliases[key]; ok {
+		key = canon
+	}
+	if _, ok := builtinMachines[key]; ok {
+		return key, nil
+	}
+	return "", fmt.Errorf("unknown machine %q (valid: %s)",
+		name, strings.Join(builtinNames, ", "))
+}
+
+// MachineByName resolves a machine name (canonical or alias,
+// case-insensitive) to its parameters. Unknown names produce an error
+// that lists the valid set.
+func MachineByName(name string) (Params, error) {
+	key, err := CanonicalName(name)
+	if err != nil {
+		return Params{}, err
+	}
+	return builtinMachines[key], nil
+}
+
+// DisplayName returns the human-facing spelling of a machine name
+// ("iPSC-860" for "ipsc860"), falling back to the input for names
+// outside the registry.
+func DisplayName(name string) string {
+	key := name
+	if canon, err := CanonicalName(name); err == nil {
+		key = canon
+	}
+	if pretty, ok := machineDisplayNames[key]; ok {
+		return pretty
+	}
+	return name
+}

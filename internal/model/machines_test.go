@@ -1,0 +1,75 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMachinesRegistry(t *testing.T) {
+	reg := Machines()
+	want := map[string]Params{
+		"ipsc860":        IPSC860(),
+		"ipsc860-raw":    IPSC860Raw(),
+		"ipsc860-nosync": IPSC860NoSync(),
+		"ncube2":         Ncube2(),
+		"hypo":           Hypothetical(),
+	}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d machines, want %d", len(reg), len(want))
+	}
+	for name, p := range want {
+		got, ok := reg[name]
+		if !ok {
+			t.Fatalf("registry missing %q", name)
+		}
+		if got != p {
+			t.Errorf("registry[%q] = %+v, want %+v", name, got, p)
+		}
+	}
+}
+
+func TestMachineByName(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want Params
+	}{
+		{"ipsc860", IPSC860()},
+		{"ipsc", IPSC860()},              // alias
+		{"IPSC860", IPSC860()},           // case-insensitive
+		{" ncube2 ", Ncube2()},           // trimmed
+		{"ipsc-nosync", IPSC860NoSync()}, // alias
+		{"hypo", Hypothetical()},
+	} {
+		got, err := MachineByName(tc.name)
+		if err != nil {
+			t.Fatalf("MachineByName(%q): %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("MachineByName(%q) = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMachineByNameUnknownListsValidSet(t *testing.T) {
+	_, err := MachineByName("cray")
+	if err == nil {
+		t.Fatal("expected error for unknown machine")
+	}
+	for _, name := range MachineNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid machine %q", err, name)
+		}
+	}
+}
+
+func TestMachineNamesSorted(t *testing.T) {
+	names := MachineNames()
+	if len(names) != len(Machines()) {
+		t.Fatalf("MachineNames has %d entries, registry %d", len(names), len(Machines()))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

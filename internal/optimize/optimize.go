@@ -144,6 +144,12 @@ func NewSimulated(p model.Params) *Optimizer {
 // programs are op-for-op the programs the goroutine run records.
 func (o *Optimizer) SetCosting(c Costing) { o.costing.Store(int32(c)) }
 
+// Evaluations returns the number of full partition enumerations the
+// optimizer has run so far. Cache hits and singleflight followers do not
+// increment it, which makes it the observable a caching layer (the plan
+// cache, the serving daemon) uses to prove its hits bypass the optimizer.
+func (o *Optimizer) Evaluations() int64 { return o.evals.Load() }
+
 // Params returns the machine parameters the optimizer evaluates against.
 func (o *Optimizer) Params() model.Params { return o.params }
 
@@ -342,12 +348,35 @@ func (o *Optimizer) BuildTable(d, mLo, mHi, step int) (Table, error) {
 // Lookup returns the optimal partition for block size m from the table
 // (the segment containing m, or the nearest segment for out-of-range m).
 func (t Table) Lookup(m int) partition.Partition {
+	seg, _ := t.LookupSegment(m)
+	return seg.Part
+}
+
+// LookupSegment returns the hull segment answering block size m, and
+// whether m actually lies inside it. ok=false means the nearest segment
+// answered: below the table's low bound the first segment, above the
+// high bound the last one (for large blocks the hull has converged to
+// its asymptotic partition, so the clamp is the right extrapolation),
+// and — for tables built with a sweep step > 1 — the next segment up
+// when m falls in a gap between swept grid points. On an empty table the
+// zero segment and false are returned.
+func (t Table) LookupSegment(m int) (model.HullSegment, bool) {
 	if len(t.Segments) == 0 {
-		return nil
+		return model.HullSegment{}, false
 	}
 	i := sort.Search(len(t.Segments), func(i int) bool { return t.Segments[i].MaxBlock >= m })
 	if i == len(t.Segments) {
 		i = len(t.Segments) - 1
 	}
-	return t.Segments[i].Part
+	seg := t.Segments[i]
+	return seg, m >= seg.MinBlock && m <= seg.MaxBlock
+}
+
+// Bounds returns the block-size range [lo, hi] the table covers; ok is
+// false for an empty table.
+func (t Table) Bounds() (lo, hi int, ok bool) {
+	if len(t.Segments) == 0 {
+		return 0, 0, false
+	}
+	return t.Segments[0].MinBlock, t.Segments[len(t.Segments)-1].MaxBlock, true
 }

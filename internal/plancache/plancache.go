@@ -1,0 +1,440 @@
+// Package plancache is a sharded, concurrency-safe cache of optimal
+// exchange plans keyed by (machine, dimension, block size) — the serving
+// tier the paper's §6 observation calls for: the partition enumeration
+// "needs to be done only once and the optimal combination stored for
+// repeated future use".
+//
+// The cache does not store one entry per block size. A cache line holds
+// the hull-of-optimality table for one (machine, d) pair — built once via
+// optimize.BuildTable — and every block size resolves through
+// Table.LookupSegment to one of its O(hull) segments, so millions of
+// distinct m values collapse onto a handful of cached partitions. The
+// per-request cost for a resident line is a binary search plus the
+// closed-form time for the exact m asked.
+//
+// Concurrency: lines live in fixed shards (mutex + LRU list each); a
+// missing line is built exactly once per cache — concurrent requests for
+// the same (machine, d) wait on a single in-flight build, and the build's
+// Best sweeps ride optimize.Optimizer's own singleflight underneath.
+// Capacity is bounded per shard with least-recently-used eviction, and
+// hit/miss/evict/inflight counters expose the cache's behaviour to the
+// service layer's /metrics.
+//
+// Snapshot/Restore serialize resident lines as JSON, tagged with the
+// machine parameters they were computed for, so a restarted daemon
+// answers from a warm cache without re-running a single enumeration.
+package plancache
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/partition"
+)
+
+// DefaultSweepHi is the upper block-size bound of the hull sweep a line
+// is built over. Queries above it clamp to the last hull segment, which
+// for every machine in the registry has converged to the asymptotically
+// optimal partition well before this bound.
+const DefaultSweepHi = 512
+
+// Config parameterizes a Cache. The zero value is usable: all machines
+// from model.Machines, 8 shards of 64 lines, analytic costing, a
+// [0, DefaultSweepHi] step-1 sweep.
+type Config struct {
+	// Machines is the name → parameters registry requests resolve
+	// against. Nil means model.Machines().
+	Machines map[string]model.Params
+	// Shards is the number of independent lock domains (default 8).
+	Shards int
+	// CapacityPerShard bounds resident lines per shard; the least
+	// recently used line is evicted beyond it (default 64).
+	CapacityPerShard int
+	// SweepHi and SweepStep control the hull sweep a line is built over:
+	// block sizes [0, SweepHi] in steps of SweepStep (defaults
+	// DefaultSweepHi and 1). Step 1 makes a resident line's answer exact
+	// for every in-range m, not just the swept grid.
+	SweepHi   int
+	SweepStep int
+	// NewOptimizer builds the per-machine optimizer (default
+	// optimize.New, the analytic backend).
+	NewOptimizer func(model.Params) *optimize.Optimizer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines == nil {
+		c.Machines = model.Machines()
+	} else {
+		// Snapshot the caller's map: the cache reads it unlocked from
+		// every shard, so later caller mutation must not be visible.
+		reg := make(map[string]model.Params, len(c.Machines))
+		for name, p := range c.Machines {
+			reg[name] = p
+		}
+		c.Machines = reg
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.CapacityPerShard <= 0 {
+		c.CapacityPerShard = 64
+	}
+	if c.SweepHi <= 0 {
+		c.SweepHi = DefaultSweepHi
+	}
+	if c.SweepStep <= 0 {
+		c.SweepStep = 1
+	}
+	if c.NewOptimizer == nil {
+		c.NewOptimizer = optimize.New
+	}
+	return c
+}
+
+// Plan is one served answer: the optimal partition for (Machine, D,
+// Block) together with its modeled time and per-phase breakdown, plus
+// the hull segment the block size resolved through.
+type Plan struct {
+	Machine   string
+	D         int
+	Block     int
+	Part      partition.Partition
+	TimeMicro float64
+	Phases    []model.PhaseBreakdown
+	// SegMin and SegMax bound the hull segment that answered: every
+	// block size in [SegMin, SegMax] shares this partition.
+	SegMin, SegMax int
+	// InRange reports whether Block lay inside the answering segment;
+	// false means the nearest segment answered — for blocks outside the
+	// line's sweep (the clamping extrapolation, exact beyond the hull's
+	// convergence) or, on a coarse-step sweep (SweepStep > 1), for
+	// blocks falling in a gap between swept grid points.
+	InRange bool
+}
+
+// Stats is a point-in-time counter snapshot. The JSON names are part of
+// the service's /metrics wire format.
+type Stats struct {
+	// Hits counts requests answered from a resident line.
+	Hits int64 `json:"hits"`
+	// Misses counts requests that had to build (or wait for) a line.
+	Misses int64 `json:"misses"`
+	// Evictions counts lines dropped by the per-shard LRU bound.
+	Evictions int64 `json:"evictions"`
+	// Inflight is the number of line builds running right now.
+	Inflight int64 `json:"inflight"`
+	// Builds counts completed line builds (restores not included).
+	Builds int64 `json:"builds"`
+	// Lines and Segments are the resident totals.
+	Lines    int `json:"lines"`
+	Segments int `json:"segments"`
+}
+
+// lineKey identifies one cache line.
+type lineKey struct {
+	machine string
+	d       int
+}
+
+// line is one resident hull table.
+type line struct {
+	key              lineKey
+	table            optimize.Table
+	sweepLo, sweepHi int
+	sweepStep        int
+}
+
+// flight is one in-progress line build; latecomers wait on done.
+type flight struct {
+	done chan struct{}
+	line *line
+	err  error
+}
+
+type shard struct {
+	mu     sync.Mutex
+	lines  map[lineKey]*list.Element // value: *line
+	lru    *list.List                // front = most recent
+	flight map[lineKey]*flight
+}
+
+// Cache is the sharded plan cache. Safe for concurrent use.
+type Cache struct {
+	cfg    Config
+	shards []*shard
+
+	optMu sync.Mutex
+	opts  map[string]*optimize.Optimizer
+
+	hits, misses, evictions, inflight, builds atomic.Int64
+}
+
+// New returns a cache with the given configuration (zero value ok).
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	c := &Cache{cfg: cfg, opts: make(map[string]*optimize.Optimizer)}
+	c.shards = make([]*shard, cfg.Shards)
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			lines:  make(map[lineKey]*list.Element),
+			lru:    list.New(),
+			flight: make(map[lineKey]*flight),
+		}
+	}
+	return c
+}
+
+// Machines returns a copy of the registry the cache resolves machine
+// names against; mutating it does not affect the cache.
+func (c *Cache) Machines() map[string]model.Params {
+	out := make(map[string]model.Params, len(c.cfg.Machines))
+	for name, p := range c.cfg.Machines {
+		out[name] = p
+	}
+	return out
+}
+
+// Resolve canonicalizes a machine name against the cache's registry: an
+// exact registry key wins, otherwise the global alias/case rules
+// (model.CanonicalName) are applied and the canonical spelling is looked
+// up. The service layer resolves every request through this, so a cache
+// built over a custom registry never silently falls back to the built-in
+// constants.
+func (c *Cache) Resolve(machine string) (string, model.Params, error) {
+	return c.resolve(machine)
+}
+
+func (c *Cache) resolve(machine string) (string, model.Params, error) {
+	if p, ok := c.cfg.Machines[machine]; ok {
+		return machine, p, nil
+	}
+	if canon, err := model.CanonicalName(machine); err == nil {
+		if p, ok := c.cfg.Machines[canon]; ok {
+			return canon, p, nil
+		}
+	}
+	// List this cache's registry, not the global one: a custom-registry
+	// cache serves exactly these names.
+	names := make([]string, 0, len(c.cfg.Machines))
+	for name := range c.cfg.Machines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return "", model.Params{}, fmt.Errorf("unknown machine %q (valid: %s)",
+		machine, strings.Join(names, ", "))
+}
+
+func (c *Cache) shardFor(key lineKey) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key.machine))
+	h.Write([]byte{byte(key.d), byte(key.d >> 8)})
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// optimizer returns (creating once) the per-machine optimizer.
+func (c *Cache) optimizer(name string, p model.Params) *optimize.Optimizer {
+	c.optMu.Lock()
+	defer c.optMu.Unlock()
+	if o, ok := c.opts[name]; ok {
+		return o
+	}
+	o := c.cfg.NewOptimizer(p)
+	c.opts[name] = o
+	return o
+}
+
+// Get answers one (machine, d, m) query with the full plan detail.
+func (c *Cache) Get(machine string, d, m int) (Plan, error) {
+	name, prm, err := c.resolve(machine)
+	if err != nil {
+		return Plan{}, err
+	}
+	if m < 0 {
+		return Plan{}, fmt.Errorf("plancache: negative block size %d", m)
+	}
+	ln, _, err := c.lineFor(name, prm, d)
+	if err != nil {
+		return Plan{}, err
+	}
+	return c.answer(name, prm, ln, d, m), nil
+}
+
+// Lookup is the fast path: the optimal partition for (machine, d, m)
+// with no per-request breakdown. The returned slice is shared with the
+// cache line and must be treated as read-only.
+func (c *Cache) Lookup(machine string, d, m int) (partition.Partition, error) {
+	name, prm, err := c.resolve(machine)
+	if err != nil {
+		return nil, err
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("plancache: negative block size %d", m)
+	}
+	ln, _, err := c.lineFor(name, prm, d)
+	if err != nil {
+		return nil, err
+	}
+	return ln.table.Lookup(m), nil
+}
+
+// Hull returns the resident hull table for (machine, d), building the
+// line if needed.
+func (c *Cache) Hull(machine string, d int) (optimize.Table, error) {
+	name, prm, err := c.resolve(machine)
+	if err != nil {
+		return optimize.Table{}, err
+	}
+	ln, _, err := c.lineFor(name, prm, d)
+	if err != nil {
+		return optimize.Table{}, err
+	}
+	return ln.table, nil
+}
+
+// Warm pre-builds the line for (machine, d), so the first query pays no
+// enumeration. It reports whether a build actually ran (false when the
+// line was already resident or another caller's build was joined).
+func (c *Cache) Warm(machine string, d int) (built bool, err error) {
+	name, prm, err := c.resolve(machine)
+	if err != nil {
+		return false, err
+	}
+	_, built, err = c.lineFor(name, prm, d)
+	return built, err
+}
+
+// answer resolves m through a resident line.
+func (c *Cache) answer(name string, prm model.Params, ln *line, d, m int) Plan {
+	seg, inRange := ln.table.LookupSegment(m)
+	t, phases := prm.Multiphase(m, d, seg.Part)
+	if d == 0 {
+		t, phases = 0, nil
+	}
+	return Plan{
+		Machine:   name,
+		D:         d,
+		Block:     m,
+		Part:      seg.Part,
+		TimeMicro: t,
+		Phases:    phases,
+		SegMin:    seg.MinBlock,
+		SegMax:    seg.MaxBlock,
+		InRange:   inRange,
+	}
+}
+
+// lineFor returns the resident line for (name, d), building it under a
+// per-key singleflight on a miss. built is true only for the caller
+// that ran the build itself (not for hits or joined waiters).
+func (c *Cache) lineFor(name string, prm model.Params, d int) (ln *line, built bool, err error) {
+	key := lineKey{machine: name, d: d}
+	sh := c.shardFor(key)
+
+	sh.mu.Lock()
+	if el, ok := sh.lines[key]; ok {
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*line), false, nil
+	}
+	if f, ok := sh.flight[key]; ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		<-f.done
+		return f.line, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.flight[key] = f
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	c.inflight.Add(1)
+
+	f.line, f.err = c.build(name, prm, d)
+
+	sh.mu.Lock()
+	if f.err == nil {
+		c.insertLocked(sh, f.line)
+		c.builds.Add(1)
+	}
+	delete(sh.flight, key)
+	sh.mu.Unlock()
+	c.inflight.Add(-1)
+	close(f.done)
+	return f.line, f.err == nil, f.err
+}
+
+// BuildError marks a failure inside a line build (the hull sweep), as
+// opposed to request-validation failures: a serving tier maps the former
+// to 500 and the latter to 400.
+type BuildError struct {
+	Machine string
+	D       int
+	Err     error
+}
+
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("plancache: building %s/d=%d: %v", e.Machine, e.D, e.Err)
+}
+
+func (e *BuildError) Unwrap() error { return e.Err }
+
+// build runs the hull sweep for one line.
+func (c *Cache) build(name string, prm model.Params, d int) (*line, error) {
+	opt := c.optimizer(name, prm)
+	tbl, err := opt.BuildTable(d, 0, c.cfg.SweepHi, c.cfg.SweepStep)
+	if err != nil {
+		return nil, &BuildError{Machine: name, D: d, Err: err}
+	}
+	return &line{
+		key:       lineKey{machine: name, d: d},
+		table:     tbl,
+		sweepLo:   0,
+		sweepHi:   c.cfg.SweepHi,
+		sweepStep: c.cfg.SweepStep,
+	}, nil
+}
+
+// insertLocked adds a line to its shard and evicts past capacity. The
+// shard mutex must be held.
+func (c *Cache) insertLocked(sh *shard, ln *line) {
+	if el, ok := sh.lines[ln.key]; ok {
+		el.Value = ln
+		sh.lru.MoveToFront(el)
+		return
+	}
+	sh.lines[ln.key] = sh.lru.PushFront(ln)
+	for sh.lru.Len() > c.cfg.CapacityPerShard {
+		back := sh.lru.Back()
+		victim := back.Value.(*line)
+		sh.lru.Remove(back)
+		delete(sh.lines, victim.key)
+		c.evictions.Add(1)
+	}
+}
+
+// Stats returns a counter snapshot.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Inflight:  c.inflight.Load(),
+		Builds:    c.builds.Load(),
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.Lines += sh.lru.Len()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			s.Segments += len(el.Value.(*line).table.Segments)
+		}
+		sh.mu.Unlock()
+	}
+	return s
+}

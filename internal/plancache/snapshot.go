@@ -1,0 +1,182 @@
+package plancache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/partition"
+)
+
+// snapSegment is the JSON form of one hull segment.
+type snapSegment struct {
+	Partition []int `json:"partition"`
+	MinBlock  int   `json:"min_block"`
+	MaxBlock  int   `json:"max_block"`
+}
+
+// snapLine is the JSON form of one cache line, tagged with the machine
+// parameters it was computed against so a restore into a cache with
+// different constants rejects it as stale rather than serving wrong
+// plans.
+type snapLine struct {
+	Machine   string        `json:"machine"`
+	Params    model.Params  `json:"params"`
+	D         int           `json:"d"`
+	SweepLo   int           `json:"sweep_lo"`
+	SweepHi   int           `json:"sweep_hi"`
+	SweepStep int           `json:"sweep_step"`
+	Segments  []snapSegment `json:"segments"`
+}
+
+// snapshot is the JSON envelope.
+type snapshot struct {
+	Version int        `json:"version"`
+	Lines   []snapLine `json:"lines"`
+}
+
+// Snapshot writes every resident line as JSON, most recently used first.
+// Counters are not serialized: a restored cache starts cold on stats but
+// warm on content.
+func (c *Cache) Snapshot(w io.Writer) error {
+	snap := snapshot{Version: 1}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			ln := el.Value.(*line)
+			prm, ok := c.cfg.Machines[ln.key.machine]
+			if !ok {
+				continue
+			}
+			sl := snapLine{
+				Machine:   ln.key.machine,
+				Params:    prm,
+				D:         ln.key.d,
+				SweepLo:   ln.sweepLo,
+				SweepHi:   ln.sweepHi,
+				SweepStep: ln.sweepStep,
+			}
+			for _, seg := range ln.table.Segments {
+				sl.Segments = append(sl.Segments, snapSegment{
+					Partition: append([]int(nil), seg.Part...),
+					MinBlock:  seg.MinBlock,
+					MaxBlock:  seg.MaxBlock,
+				})
+			}
+			snap.Lines = append(snap.Lines, sl)
+		}
+		sh.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Restore loads lines written by Snapshot into the cache. Lines whose
+// machine is unknown to this cache's registry, whose recorded parameters
+// differ from the registry's (a recalibrated machine), or whose sweep
+// does not match this cache's configured sweep (a line built at a
+// different resolution or range would shadow the promised answers) are
+// skipped as stale; malformed lines are an error. It returns how many
+// lines were accepted and how many were skipped; when the snapshot holds
+// more lines than the cache's capacity, accepted lines beyond it are
+// LRU-evicted during the restore (Stats().Lines reports what stayed
+// resident).
+func (c *Cache) Restore(r io.Reader) (restored, skipped int, err error) {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, 0, fmt.Errorf("plancache: decoding snapshot: %w", err)
+	}
+	if snap.Version != 1 {
+		return 0, 0, fmt.Errorf("plancache: unsupported snapshot version %d", snap.Version)
+	}
+	// Insert in reverse so the snapshot's MRU-first order is preserved
+	// by the front-insertion LRU.
+	for i := len(snap.Lines) - 1; i >= 0; i-- {
+		sl := snap.Lines[i]
+		prm, ok := c.cfg.Machines[sl.Machine]
+		if !ok || prm != sl.Params {
+			skipped++
+			continue
+		}
+		if sl.SweepLo != 0 || sl.SweepHi != c.cfg.SweepHi || sl.SweepStep != c.cfg.SweepStep {
+			skipped++
+			continue
+		}
+		ln, err := restoreLine(sl)
+		if err != nil {
+			return restored, skipped, err
+		}
+		sh := c.shardFor(ln.key)
+		sh.mu.Lock()
+		c.insertLocked(sh, ln)
+		sh.mu.Unlock()
+		restored++
+	}
+	return restored, skipped, nil
+}
+
+// restoreLine validates and rebuilds one line.
+func restoreLine(sl snapLine) (*line, error) {
+	if sl.D < 0 {
+		return nil, fmt.Errorf("plancache: snapshot line %s has negative dimension %d", sl.Machine, sl.D)
+	}
+	tbl := optimize.Table{D: sl.D}
+	prevMax := -1
+	for _, seg := range sl.Segments {
+		D := partition.Partition(append([]int(nil), seg.Partition...))
+		if sl.D > 0 && !D.Canonical().IsValid(sl.D) {
+			return nil, fmt.Errorf("plancache: snapshot partition %v invalid for d=%d", D, sl.D)
+		}
+		if seg.MinBlock > seg.MaxBlock || seg.MinBlock <= prevMax {
+			return nil, fmt.Errorf("plancache: snapshot segment range [%d,%d] out of order",
+				seg.MinBlock, seg.MaxBlock)
+		}
+		prevMax = seg.MaxBlock
+		tbl.Segments = append(tbl.Segments, model.HullSegment{
+			Part:     D,
+			MinBlock: seg.MinBlock,
+			MaxBlock: seg.MaxBlock,
+		})
+	}
+	return &line{
+		key:       lineKey{machine: sl.Machine, d: sl.D},
+		table:     tbl,
+		sweepLo:   sl.SweepLo,
+		sweepHi:   sl.SweepHi,
+		sweepStep: sl.SweepStep,
+	}, nil
+}
+
+// SnapshotFile writes the snapshot atomically: to a temp file in the
+// target directory, then renamed over the destination, so a crash
+// mid-write never truncates the previous snapshot.
+func (c *Cache) SnapshotFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".plancache-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := c.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// RestoreFile loads a snapshot from a file path.
+func (c *Cache) RestoreFile(path string) (restored, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	return c.Restore(f)
+}

@@ -1,0 +1,578 @@
+// Package service exposes the plan cache as an HTTP JSON API — the
+// serving tier that turns the paper's "compute once, store for repeated
+// future use" artifact (§6) into a queryable product:
+//
+//	GET  /v1/plan?machine=ipsc860&d=7&m=40   best partition + cost breakdown
+//	POST /v1/cost                            cost an explicit partition
+//	                                         (analytic + compiled-trace simulation)
+//	GET  /v1/hull?machine=ipsc860&d=7        the hull-of-optimality table
+//	POST /v1/batch                           many plan queries, one round trip
+//	GET  /healthz                            liveness
+//	GET  /metrics                            cache + per-endpoint latency counters
+//
+// Request validation maps to proper status codes (400 for bad input with
+// the valid machine set listed, 405 for wrong methods, 413 for oversized
+// batches); all responses are JSON. The handler is stateless beyond the
+// shared plancache.Cache and its counters, so it is safe behind any
+// number of listeners.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/partition"
+	"repro/internal/plancache"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Config parameterizes a Server. Only Cache is required.
+type Config struct {
+	// Cache is the shared plan cache (required).
+	Cache *plancache.Cache
+	// DefaultMachine answers requests that omit ?machine= (default
+	// "ipsc860").
+	DefaultMachine string
+	// BatchWorkers bounds the fan-out of /v1/batch (default GOMAXPROCS).
+	BatchWorkers int
+	// MaxBatch bounds the query count of one /v1/batch call (default
+	// 4096); larger bodies get 413.
+	MaxBatch int
+	// CostMaxDim bounds the dimension /v1/cost will simulate (default
+	// 12). The compiled-trace replay is fast, but its event count grows
+	// like 4^d; a serving tier must refuse work that large per request.
+	CostMaxDim int
+	// PlanMaxDim bounds the dimension /v1/plan, /v1/hull and /v1/batch
+	// accept (default 20, the optimizer's own limit). A daemon whose
+	// cache costs hull sweeps by simulation must set this near
+	// CostMaxDim: one cache miss runs a full sweep of Best calls, each
+	// hundreds of times the work of a single /v1/cost.
+	PlanMaxDim int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultMachine == "" {
+		c.DefaultMachine = "ipsc860"
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.CostMaxDim <= 0 {
+		c.CostMaxDim = 12
+	}
+	if c.CostMaxDim > optimize.MaxSimulatedDim {
+		c.CostMaxDim = optimize.MaxSimulatedDim
+	}
+	if c.PlanMaxDim <= 0 || c.PlanMaxDim > 20 {
+		c.PlanMaxDim = 20 // optimize.Best's own dimension bound
+	}
+	return c
+}
+
+// endpointStats aggregates one route's latency counters.
+type endpointStats struct {
+	count   atomic.Int64
+	errors  atomic.Int64
+	totalUS atomic.Int64
+	maxUS   atomic.Int64
+}
+
+// Server is the HTTP facade over a plan cache.
+type Server struct {
+	cfg   Config
+	cache *plancache.Cache
+	start time.Time
+
+	mu    sync.Mutex
+	stats map[string]*endpointStats
+}
+
+// New returns a server over the given configuration.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Cache == nil {
+		return nil, fmt.Errorf("service: Config.Cache is required")
+	}
+	// Resolve through the cache so aliases work and the stored default
+	// is the canonical name every response echoes.
+	name, _, err := cfg.Cache.Resolve(cfg.DefaultMachine)
+	if err != nil {
+		return nil, fmt.Errorf("service: default machine: %w", err)
+	}
+	cfg.DefaultMachine = name
+	return &Server{
+		cfg:   cfg,
+		cache: cfg.Cache,
+		start: time.Now(),
+		stats: make(map[string]*endpointStats),
+	}, nil
+}
+
+// Handler returns the routed, instrumented handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", s.instrument("/v1/plan", http.MethodGet, s.handlePlan))
+	mux.HandleFunc("/v1/cost", s.instrument("/v1/cost", http.MethodPost, s.handleCost))
+	mux.HandleFunc("/v1/hull", s.instrument("/v1/hull", http.MethodGet, s.handleHull))
+	mux.HandleFunc("/v1/batch", s.instrument("/v1/batch", http.MethodPost, s.handleBatch))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", http.MethodGet, s.handleMetrics))
+	return mux
+}
+
+// instrument wraps a handler with method enforcement and latency
+// accounting.
+func (s *Server) instrument(name, method string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	st := s.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		var code int
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			code = http.StatusMethodNotAllowed
+			writeError(w, code, fmt.Sprintf("method %s not allowed, use %s", r.Method, method))
+		} else {
+			code = h(w, r)
+		}
+		us := time.Since(begin).Microseconds()
+		st.count.Add(1)
+		st.totalUS.Add(us)
+		if code >= 400 {
+			st.errors.Add(1)
+		}
+		for {
+			old := st.maxUS.Load()
+			if us <= old || st.maxUS.CompareAndSwap(old, us) {
+				break
+			}
+		}
+	}
+}
+
+func (s *Server) endpoint(name string) *endpointStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stats[name]
+	if !ok {
+		st = &endpointStats{}
+		s.stats[name] = st
+	}
+	return st
+}
+
+// --- wire types ---
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type phaseJSON struct {
+	SubcubeDim int     `json:"subcube_dim"`
+	EffBlock   int     `json:"eff_block"`
+	Alg        string  `json:"alg"`
+	TimeUS     float64 `json:"time_us"`
+}
+
+type segmentJSON struct {
+	Partition []int `json:"partition"`
+	MinBlock  int   `json:"min_block"`
+	MaxBlock  int   `json:"max_block"`
+}
+
+// PlanResponse is the /v1/plan wire format.
+type PlanResponse struct {
+	Machine     string      `json:"machine"`
+	D           int         `json:"d"`
+	M           int         `json:"m"`
+	Partition   []int       `json:"partition"`
+	PredictedUS float64     `json:"predicted_us"`
+	Phases      []phaseJSON `json:"phases"`
+	Segment     segmentJSON `json:"segment"`
+	InRange     bool        `json:"in_range"`
+}
+
+func planResponse(p plancache.Plan) PlanResponse {
+	resp := PlanResponse{
+		Machine:     p.Machine,
+		D:           p.D,
+		M:           p.Block,
+		Partition:   append([]int{}, p.Part...),
+		PredictedUS: p.TimeMicro,
+		Phases:      phasesJSON(p.Phases),
+		Segment: segmentJSON{
+			Partition: append([]int{}, p.Part...),
+			MinBlock:  p.SegMin,
+			MaxBlock:  p.SegMax,
+		},
+		InRange: p.InRange,
+	}
+	return resp
+}
+
+func phasesJSON(phases []model.PhaseBreakdown) []phaseJSON {
+	out := make([]phaseJSON, 0, len(phases))
+	for _, ph := range phases {
+		out = append(out, phaseJSON{
+			SubcubeDim: ph.SubcubeDim,
+			EffBlock:   ph.EffBlock,
+			Alg:        ph.Alg.String(),
+			TimeUS:     ph.Time,
+		})
+	}
+	return out
+}
+
+// --- handlers; each returns the HTTP status it wrote ---
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) int {
+	machine, d, m, errCode := s.planQuery(w, r)
+	if errCode != 0 {
+		return errCode
+	}
+	p, err := s.cache.Get(machine, d, m)
+	if err != nil {
+		return writeCacheError(w, err)
+	}
+	return writeJSON(w, http.StatusOK, planResponse(p))
+}
+
+// checkPlanDim enforces the server's dimension bound on cache-building
+// endpoints; returns an error message for out-of-bound d.
+func (s *Server) checkPlanDim(d int) error {
+	if d < 0 || d > s.cfg.PlanMaxDim {
+		return fmt.Errorf("d=%d out of this server's range [0,%d]", d, s.cfg.PlanMaxDim)
+	}
+	return nil
+}
+
+// writeCacheError maps a plancache error to a status: build failures
+// are server-side (500), everything else is request validation (400).
+func writeCacheError(w http.ResponseWriter, err error) int {
+	var be *plancache.BuildError
+	if errors.As(err, &be) {
+		return writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	return writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// planQuery parses machine/d/m from the URL query; on failure it writes
+// the error response and returns its code (0 on success).
+func (s *Server) planQuery(w http.ResponseWriter, r *http.Request) (machine string, d, m, errCode int) {
+	q := r.URL.Query()
+	machine = q.Get("machine")
+	if machine == "" {
+		machine = s.cfg.DefaultMachine
+	}
+	d, err := queryInt(q.Get("d"), "d")
+	if err != nil {
+		return "", 0, 0, writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if err := s.checkPlanDim(d); err != nil {
+		return "", 0, 0, writeError(w, http.StatusBadRequest, err.Error())
+	}
+	m, err = queryInt(q.Get("m"), "m")
+	if err != nil {
+		return "", 0, 0, writeError(w, http.StatusBadRequest, err.Error())
+	}
+	return machine, d, m, 0
+}
+
+func queryInt(raw, name string) (int, error) {
+	if raw == "" {
+		return 0, fmt.Errorf("missing required parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+// CostRequest is the /v1/cost wire format.
+type CostRequest struct {
+	Machine   string `json:"machine"`
+	D         int    `json:"d"`
+	M         int    `json:"m"`
+	Partition []int  `json:"partition"`
+}
+
+// CostResponse reports both cost views of one explicit partition: the
+// closed-form prediction and the compiled-trace discrete-event replay.
+type CostResponse struct {
+	Machine         string      `json:"machine"`
+	D               int         `json:"d"`
+	M               int         `json:"m"`
+	Partition       []int       `json:"partition"`
+	PredictedUS     float64     `json:"predicted_us"`
+	SimulatedUS     float64     `json:"simulated_us"`
+	ContentionStall float64     `json:"contention_stall_us"`
+	Phases          []phaseJSON `json:"phases"`
+}
+
+func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) int {
+	var req CostRequest
+	if code := decodeBody(w, r, &req); code != 0 {
+		return code
+	}
+	if req.Machine == "" {
+		req.Machine = s.cfg.DefaultMachine
+	}
+	machine, prm, err := s.cache.Resolve(req.Machine)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	req.Machine = machine
+	if req.D > s.cfg.CostMaxDim {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("d=%d exceeds this server's simulation bound d ≤ %d", req.D, s.cfg.CostMaxDim))
+	}
+	D := partition.Partition(req.Partition)
+	plan, err := exchange.NewPlan(req.D, req.M, D)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	cube, err := topology.New(req.D)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	res, err := plan.Cost(simnet.New(cube, prm))
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	pred, phases := prm.Multiphase(req.M, req.D, D)
+	if req.D == 0 {
+		pred, phases = 0, nil
+	}
+	return writeJSON(w, http.StatusOK, CostResponse{
+		Machine:         req.Machine,
+		D:               req.D,
+		M:               req.M,
+		Partition:       append([]int{}, D...),
+		PredictedUS:     pred,
+		SimulatedUS:     res.Makespan,
+		ContentionStall: res.ContentionStall,
+		Phases:          phasesJSON(phases),
+	})
+}
+
+// HullResponse is the /v1/hull wire format.
+type HullResponse struct {
+	Machine  string        `json:"machine"`
+	D        int           `json:"d"`
+	Segments []segmentJSON `json:"segments"`
+}
+
+func (s *Server) handleHull(w http.ResponseWriter, r *http.Request) int {
+	q := r.URL.Query()
+	machine := q.Get("machine")
+	if machine == "" {
+		machine = s.cfg.DefaultMachine
+	}
+	name, _, err := s.cache.Resolve(machine)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	d, err := queryInt(q.Get("d"), "d")
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if err := s.checkPlanDim(d); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	tbl, err := s.cache.Hull(name, d)
+	if err != nil {
+		return writeCacheError(w, err)
+	}
+	resp := HullResponse{Machine: name, D: tbl.D}
+	for _, seg := range tbl.Segments {
+		resp.Segments = append(resp.Segments, segmentJSON{
+			Partition: append([]int{}, seg.Part...),
+			MinBlock:  seg.MinBlock,
+			MaxBlock:  seg.MaxBlock,
+		})
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest is the /v1/batch wire format: a slice of plan queries.
+type BatchRequest struct {
+	Queries []BatchQuery `json:"queries"`
+}
+
+// BatchQuery is one (machine, d, m) plan query.
+type BatchQuery struct {
+	Machine string `json:"machine"`
+	D       int    `json:"d"`
+	M       int    `json:"m"`
+}
+
+// BatchItem is one batch result: a plan or a per-query error, never
+// both. A bad query does not fail its siblings.
+type BatchItem struct {
+	Plan  *PlanResponse `json:"plan,omitempty"`
+	Error string        `json:"error,omitempty"`
+}
+
+// BatchResponse carries the results in query order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// handleBatch fans the queries across a bounded worker pool; results
+// come back in request order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	var req BatchRequest
+	if code := decodeBody(w, r, &req); code != 0 {
+		return code
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		return writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d queries exceeds the limit of %d", len(req.Queries), s.cfg.MaxBatch))
+	}
+	results := make([]BatchItem, len(req.Queries))
+	workers := s.cfg.BatchWorkers
+	if workers > len(req.Queries) {
+		workers = len(req.Queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(results) {
+					return
+				}
+				qy := req.Queries[i]
+				machine := qy.Machine
+				if machine == "" {
+					machine = s.cfg.DefaultMachine
+				}
+				if err := s.checkPlanDim(qy.D); err != nil {
+					results[i] = BatchItem{Error: err.Error()}
+					continue
+				}
+				p, err := s.cache.Get(machine, qy.D, qy.M)
+				if err != nil {
+					results[i] = BatchItem{Error: err.Error()}
+					continue
+				}
+				resp := planResponse(p)
+				results[i] = BatchItem{Plan: &resp}
+			}
+		}()
+	}
+	wg.Wait()
+	return writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// HealthResponse is the /healthz wire format.
+type HealthResponse struct {
+	Status   string   `json:"status"`
+	UptimeS  float64  `json:"uptime_s"`
+	Machines []string `json:"machines"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
+	machines := s.cache.Machines()
+	names := make([]string, 0, len(machines))
+	for name := range machines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		UptimeS:  time.Since(s.start).Seconds(),
+		Machines: names,
+	})
+}
+
+// EndpointMetrics is one route's latency accounting.
+type EndpointMetrics struct {
+	Count   int64   `json:"count"`
+	Errors  int64   `json:"errors"`
+	TotalUS int64   `json:"total_us"`
+	MeanUS  float64 `json:"mean_us"`
+	MaxUS   int64   `json:"max_us"`
+}
+
+// MetricsResponse is the /metrics wire format: the cache counters next
+// to per-endpoint request/latency counters.
+type MetricsResponse struct {
+	Cache     plancache.Stats            `json:"cache"`
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
+	resp := MetricsResponse{
+		Cache:     s.cache.Stats(),
+		Endpoints: make(map[string]EndpointMetrics),
+	}
+	s.mu.Lock()
+	for name, st := range s.stats {
+		m := EndpointMetrics{
+			Count:   st.count.Load(),
+			Errors:  st.errors.Load(),
+			TotalUS: st.totalUS.Load(),
+			MaxUS:   st.maxUS.Load(),
+		}
+		if m.Count > 0 {
+			m.MeanUS = float64(m.TotalUS) / float64(m.Count)
+		}
+		resp.Endpoints[name] = m
+	}
+	s.mu.Unlock()
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// maxBodyBytes bounds a POST body: the size cap is enforced while
+// reading, before any per-query work, so an oversized /v1/batch cannot
+// allocate its way past MaxBatch.
+const maxBodyBytes = 1 << 20
+
+// decodeBody JSON-decodes a size-limited request body; on failure it
+// writes the error response and returns its status code (0 on success).
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) int {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		}
+		return writeError(w, http.StatusBadRequest, "decoding request body: "+err.Error())
+	}
+	return 0
+}
+
+// --- response plumbing ---
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+	return code
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) int {
+	return writeJSON(w, code, errorResponse{Error: msg})
+}
