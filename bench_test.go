@@ -635,3 +635,44 @@ func BenchmarkServePlan(b *testing.B) {
 		warm(fmt.Sprintf("%s/v1/plan?machine=ipsc860&d=7&m=%d", ts.URL, (i*37)%500))
 	}
 }
+
+// BenchmarkCostingCompiledTorus is the non-hypercube datapoint of the
+// perf trajectory: the same compiled-trace replay on a 64-node torus,
+// exercising the generic (non-bit-trick) routing path of the simulator.
+func BenchmarkCostingCompiledTorus(b *testing.B) {
+	prm := model.IPSC860()
+	topo := topology.MustParseSpec("torus-4x4x4")
+	b.ReportAllocs()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for _, G := range []partition.Partition{{3}, {2, 1}, {1, 1, 1}} {
+			plan, err := exchange.NewPlanOn(topo, 40, G)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := plan.Cost(simnet.New(topo, prm))
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res.Makespan
+		}
+	}
+	b.ReportMetric(last, "sim_µs")
+}
+
+// BenchmarkPlanCacheHitTorus pins the serving hot path under a topology
+// key: a resident torus line must answer with the same O(1) lookup as
+// the hypercube line.
+func BenchmarkPlanCacheHitTorus(b *testing.B) {
+	c := plancache.New(plancache.Config{SweepHi: 64})
+	if _, err := c.GetOn("ipsc860", "torus-4x4x4", 40); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GetOn("ipsc860", "torus-4x4x4", i&255); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document, so CI can upload benchmark numbers as a
+// machine-readable artifact and a later job (or benchstat after a
+// json-to-text round trip) can track the perf trajectory across commits.
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH_smoke.json
+//
+// The benchmark name keys keep the standard benchstat-compatible
+// spelling (name/op including the -N GOMAXPROCS suffix), and every
+// "value unit" pair after the iteration count is carried through, so
+// custom metrics (sim_µs, hits/op) survive alongside ns/op, B/op and
+// allocs/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name, e.g. "BenchmarkPlanCacheHit-8".
+	Name string `json:"name"`
+	// Pkg is the package the result came from ("pkg: …" header lines).
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every "value unit" pair on the
+	// line: ns/op, B/op, allocs/op, and any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Output is the JSON envelope benchjson writes.
+type Output struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (Output, error) {
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var out Output
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       fields[0],
+			Pkg:        pkg,
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+	return out, sc.Err()
+}

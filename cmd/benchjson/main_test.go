@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkPlanCacheHit-8   200000   225.7 ns/op   1.000 hits/op   41 B/op   1 allocs/op
+BenchmarkCostingCompiled/figure6_d7_m40-8   20   5890165 ns/op   34823 sim_µs   475853 B/op   738 allocs/op
+PASS
+ok  repro 1.2s
+pkg: repro/internal/simnet
+BenchmarkReplay-8   10   123 ns/op
+`
+	out, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(out.Benchmarks))
+	}
+	b := out.Benchmarks[0]
+	if b.Name != "BenchmarkPlanCacheHit-8" || b.Pkg != "repro" || b.Iterations != 200000 {
+		t.Errorf("first benchmark: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 225.7 || b.Metrics["allocs/op"] != 1 || b.Metrics["hits/op"] != 1 {
+		t.Errorf("metrics: %+v", b.Metrics)
+	}
+	if out.Benchmarks[1].Metrics["sim_µs"] != 34823 {
+		t.Errorf("custom metric lost: %+v", out.Benchmarks[1].Metrics)
+	}
+	if out.Benchmarks[2].Pkg != "repro/internal/simnet" {
+		t.Errorf("pkg tracking: %+v", out.Benchmarks[2])
+	}
+}

@@ -99,7 +99,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		net := simnet.New(topology.MustNew(*d), prm)
+		cube, err := topology.New(*d)
+		if err != nil {
+			fatal(err)
+		}
+		net := simnet.New(cube, prm)
 		net.SetTrace(true)
 		traced, err := plan.Simulate(net)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/optimize"
 	"repro/internal/partition"
+	"repro/internal/topology"
 )
 
 // startDaemon runs a daemon on a loopback listener and returns its base
@@ -247,5 +248,82 @@ func TestDaemonDefaultMachineFlag(t *testing.T) {
 	}
 	if !partition.Partition(got.Partition).Equal(want.Part) {
 		t.Errorf("served %v, want %v", got.Partition, want.Part)
+	}
+}
+
+// TestDaemonServesTorus drives the topology acceptance path end to end:
+// the daemon serves /v1/plan for a torus machine, the answer equals the
+// optimizer's own winner for that shape, repeat queries hit the cache
+// without new builds, and the torus line survives a snapshot restart.
+func TestDaemonServesTorus(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "plans.json")
+	base, stop := startDaemon(t, options{
+		machine:      "ipsc860",
+		snapshotPath: snap,
+	})
+
+	ref := optimize.New(model.IPSC860())
+	net, err := topology.ParseSpec("torus-4x4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type torusWire struct {
+		planWire
+		Topology string `json:"topology"`
+	}
+	for _, m := range []int{0, 40, 160} {
+		var got torusWire
+		fetch(t, fmt.Sprintf("%s/v1/plan?machine=ipsc860&topology=torus-4x4x4&m=%d", base, m), &got)
+		want, err := ref.BestOn(net, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Topology != "torus-4x4x4" {
+			t.Errorf("m=%d: served topology %q", m, got.Topology)
+		}
+		if !partition.Partition(got.Partition).Equal(want.Part) || got.PredictedUS != want.TimeMicro {
+			t.Errorf("m=%d: served %v/%v µs, optimizer %v/%v µs",
+				m, got.Partition, got.PredictedUS, want.Part, want.TimeMicro)
+		}
+	}
+
+	// One torus line was built; further torus queries are pure hits.
+	var before metricsWire
+	fetch(t, base+"/metrics", &before)
+	if before.Cache.Builds != 1 || before.Cache.Lines != 1 {
+		t.Errorf("builds=%d lines=%d after one torus line, want 1/1", before.Cache.Builds, before.Cache.Lines)
+	}
+	for i := 0; i < 8; i++ {
+		var got torusWire
+		fetch(t, fmt.Sprintf("%s/v1/plan?machine=ipsc860&topology=torus-4x4x4&m=%d", base, i*53), &got)
+	}
+	var after metricsWire
+	fetch(t, base+"/metrics", &after)
+	if after.Cache.Builds != before.Cache.Builds || after.Cache.Misses != before.Cache.Misses {
+		t.Errorf("torus hits ran builds %d→%d misses %d→%d, want unchanged",
+			before.Cache.Builds, after.Cache.Builds, before.Cache.Misses, after.Cache.Misses)
+	}
+	if after.Cache.Hits < before.Cache.Hits+8 {
+		t.Errorf("hits %d→%d, want +8", before.Cache.Hits, after.Cache.Hits)
+	}
+
+	// Warm restart keeps the torus line.
+	stop()
+	base2, stop2 := startDaemon(t, options{machine: "ipsc860", snapshotPath: snap})
+	defer stop2()
+	var got torusWire
+	fetch(t, base2+"/v1/plan?machine=ipsc860&topology=torus-4x4x4&m=40", &got)
+	want, err := ref.BestOn(net, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partition.Partition(got.Partition).Equal(want.Part) {
+		t.Errorf("restored torus answer %v, want %v", got.Partition, want.Part)
+	}
+	var warm metricsWire
+	fetch(t, base2+"/metrics", &warm)
+	if warm.Cache.Builds != 0 || warm.Cache.Misses != 0 {
+		t.Errorf("restored torus cache ran builds=%d misses=%d, want 0/0",
+			warm.Cache.Builds, warm.Cache.Misses)
 	}
 }

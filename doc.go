@@ -16,6 +16,19 @@
 // and replays them with no goroutines or payload bytes, which is what the
 // optimizer enumeration and the figure sweeps use.
 //
+// The network shape is a pluggable parameter, not a type: the whole
+// stack — routing, link contention, the replay core, the exchange
+// planner, the optimizer and the serving tier — is built on
+// topology.Network, with three implementations: the binary Hypercube
+// (radix-2 bit-trick fast paths preserved), and mixed-radix Torus and
+// Mesh machines ("torus-4x4x4", "mesh-8x8"). The multiphase family
+// generalizes accordingly: a plan groups the topology's dimensions into
+// consecutive phases; all-radix-2 fields keep the paper's pairwise XOR
+// schedule (the hypercube is exactly the all-2 special case), while
+// mixed-radix fields run cyclic shifts within their sub-blocks, with
+// the analytic model (model.MultiphaseOn) collapsing to eq. (3) on the
+// hypercube.
+//
 // On top of the optimizer sits the serving subsystem: internal/plancache
 // collapses the unbounded block-size axis onto hull-of-optimality
 // segments in a sharded LRU cache with JSON snapshot/restore,

@@ -26,7 +26,11 @@ func main() {
 	const d = 5 // 32 nodes
 	const m = 64
 	prm := model.IPSC860()
-	net := simnet.New(topology.MustNew(d), prm)
+	cube, err := topology.New(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := simnet.New(cube, prm)
 
 	fmt.Printf("collectives on a %d-node simulated iPSC-860, %dB blocks\n\n", 1<<d, m)
 

@@ -4,27 +4,39 @@
 // verified) while the discrete-event simulator prices the schedule.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -topology torus-4x4x4
+//	go run ./examples/quickstart -topology mesh-8x8
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/topology"
 )
 
 func main() {
-	// A 64-node (dimension 6) circuit-switched hypercube with the
-	// measured iPSC-860 parameters of the paper's §7.4.
-	sys, err := core.NewSystem(6, model.IPSC860())
+	spec := flag.String("topology", "hypercube-6",
+		"interconnect shape: hypercube-<d>, torus-<r>x<r>x…, or mesh-<r>x<r>x…")
+	flag.Parse()
+
+	// A circuit-switched machine of the chosen shape with the measured
+	// iPSC-860 parameters of the paper's §7.4.
+	topo, err := topology.ParseSpec(*spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystemOn(topo, model.IPSC860())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("machine: %d-node hypercube (d=%d), λ=%.1fµs τ=%.3fµs/B δ=%.1fµs/dim ρ=%.2fµs/B\n\n",
-		sys.Nodes(), sys.Dim(), sys.Params().Lambda, sys.Params().Tau,
+	fmt.Printf("machine: %d-node %s (%d dims), λ=%.1fµs τ=%.3fµs/B δ=%.1fµs/dim ρ=%.2fµs/B\n\n",
+		sys.Nodes(), topo.Name(), sys.Dim(), sys.Params().Lambda, sys.Params().Tau,
 		sys.Params().Delta, sys.Params().Rho)
 
 	// Across the paper's 0-160B "interesting" range the optimal
@@ -39,15 +51,22 @@ func main() {
 			block, res.Partition, res.SimulatedMicros, res.DataVerified)
 	}
 
-	// Compare against the two classical algorithms at 40 bytes — the
-	// paper's headline case where multiphase wins by ~2x.
+	// Compare against the two extreme groupings at 40 bytes — on the
+	// paper's d=6 hypercube these are the Standard Exchange and Optimal
+	// Circuit-Switched algorithms, the headline case where multiphase
+	// wins by ~2x.
 	fmt.Println()
+	k := sys.Dim()
+	ones := make([]int, k)
+	for i := range ones {
+		ones[i] = 1
+	}
 	for _, alg := range []struct {
 		name string
 		part []int
 	}{
-		{"standard exchange {1,1,1,1,1,1}", []int{1, 1, 1, 1, 1, 1}},
-		{"optimal circuit-switched {6}", []int{6}},
+		{fmt.Sprintf("one dimension per phase {1×%d}", k), ones},
+		{fmt.Sprintf("single phase {%d}", k), []int{k}},
 	} {
 		res, err := sys.ExchangeWith(40, alg.part)
 		if err != nil {

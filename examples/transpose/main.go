@@ -1,11 +1,15 @@
 // Transpose: the ADI-style distributed matrix transpose of the paper's §3
-// (Figure 2) on a 16-node hypercube — the workload that motivates the
-// complete exchange.
+// (Figure 2) on a 16-node machine — the workload that motivates the
+// complete exchange. The -topology flag picks the interconnect the
+// exchange is priced on (the data movement itself runs on the goroutine
+// runtime and is shape-independent).
 //
 //	go run ./examples/transpose
+//	go run ./examples/transpose -topology torus-4x4
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -13,6 +17,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/topology"
 )
 
 func main() {
@@ -20,6 +25,16 @@ func main() {
 		n  = 16 // processor count = block-grid side (d = 4)
 		bs = 4  // block side: each processor owns a 4×64 strip
 	)
+	spec := flag.String("topology", "hypercube-4",
+		"16-node interconnect to price the exchange on: hypercube-4, torus-4x4, mesh-4x4, torus-2x2x4, …")
+	flag.Parse()
+	topo, err := topology.ParseSpec(*spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if topo.Nodes() != n {
+		log.Fatalf("transpose runs on %d nodes; %s has %d", n, topo.Name(), topo.Nodes())
+	}
 	prm := model.IPSC860()
 
 	// Build the matrix A(r,c) = 1000r + c, block-row mapped (Figure 2).
@@ -32,8 +47,9 @@ func main() {
 	fmt.Printf("matrix: %d×%d doubles in %d×%d blocks of %d×%d, one block row per node\n",
 		n*bs, n*bs, n, n, bs, bs)
 
-	// What will the exchange cost? Each block is bs²·8 bytes.
-	sys, err := core.NewSystem(4, prm)
+	// What will the exchange cost on the chosen interconnect? Each
+	// block is bs²·8 bytes.
+	sys, err := core.NewSystemOn(topo, prm)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,8 +58,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("exchange blocks: %dB each; optimizer picked %v, %.1f µs simulated\n",
-		block, res.Partition, res.SimulatedMicros)
+	fmt.Printf("exchange blocks: %dB each on %s; optimizer picked %v, %.1f µs simulated\n",
+		block, topo.Name(), res.Partition, res.SimulatedMicros)
 
 	// Run the real transpose on goroutines and spot-check.
 	start := time.Now()

@@ -129,7 +129,10 @@ func sqrt(x float64) float64 {
 // combination on a simulated d-cube and returns the samples. This is the
 // ping benchmark of [2] run against our virtual machine.
 func MeasureMessages(prm model.Params, d int, sizes, dists []int) ([]Sample, error) {
-	h := topology.MustNew(d)
+	h, err := topology.New(d)
+	if err != nil {
+		return nil, err
+	}
 	net := simnet.New(h, prm)
 	var out []Sample
 	for _, m := range sizes {
@@ -155,7 +158,10 @@ func MeasureMessages(prm model.Params, d int, sizes, dists []int) ([]Sample, err
 // constants (the paper's λ=177.5, δ=20.6 row): under ExchangeSynced the
 // fitted λ must come out λ+λ0 and the fitted δ must double.
 func MeasureExchanges(prm model.Params, d int, sizes, dists []int) ([]Sample, error) {
-	h := topology.MustNew(d)
+	h, err := topology.New(d)
+	if err != nil {
+		return nil, err
+	}
 	net := simnet.New(h, prm)
 	var out []Sample
 	for _, m := range sizes {
@@ -183,7 +189,10 @@ func MeasureShuffle(prm model.Params, sizes []int) (float64, error) {
 	if len(sizes) == 0 {
 		return 0, fmt.Errorf("calibrate: no sizes")
 	}
-	h := topology.MustNew(0)
+	h, err := topology.New(0)
+	if err != nil {
+		return 0, err
+	}
 	net := simnet.New(h, prm)
 	var num, den float64
 	for _, m := range sizes {

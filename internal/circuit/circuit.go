@@ -92,18 +92,39 @@ type Result struct {
 
 // Network is the hop-level simulator.
 type Network struct {
-	cube  *topology.Hypercube
+	topo  topology.Network
 	prm   model.Params
 	order RouteOrder
 }
 
-// New returns a hop-level network with the given routing order policy
-// (nil means e-cube).
-func New(h *topology.Hypercube, prm model.Params, order RouteOrder) *Network {
-	if order == nil {
-		order = ECubeOrder
+// New returns a hop-level network over any topology. order overrides the
+// routing policy with an explicit bit-correction order — it is defined
+// on label bits, so a non-nil order requires a hypercube (Run reports an
+// error otherwise); nil means the topology's own dimension-ordered
+// routing, which works on every shape.
+func New(t topology.Network, prm model.Params, order RouteOrder) *Network {
+	return &Network{topo: t, prm: prm, order: order}
+}
+
+// path returns the node sequence message m's header will walk.
+func (n *Network) path(m Message) ([]int, error) {
+	if n.order == nil {
+		return n.topo.Route(m.Src, m.Dst)
 	}
-	return &Network{cube: h, prm: prm, order: order}
+	if _, ok := n.topo.(*topology.Hypercube); !ok {
+		return nil, fmt.Errorf("circuit: explicit routing orders are bit-based and need a hypercube, not %s",
+			n.topo.Name())
+	}
+	p := []int{m.Src}
+	cur := m.Src
+	for _, dim := range n.order(m.Src, m.Dst) {
+		cur = bitutil.FlipBit(cur, dim)
+		p = append(p, cur)
+	}
+	if cur != m.Dst {
+		return nil, fmt.Errorf("circuit: routing order for %d→%d ends at %d", m.Src, m.Dst, cur)
+	}
+	return p, nil
 }
 
 type link struct {
@@ -114,7 +135,7 @@ type link struct {
 type circuitState struct {
 	idx  int // index into messages
 	msg  Message
-	dims []int // remaining dimensions to correct
+	path []int // remaining nodes the header must visit
 	at   int   // current node of the header
 	held []topology.Edge
 	done bool
@@ -124,14 +145,20 @@ type circuitState struct {
 // Quiescence with incomplete circuits is reported as deadlock rather than
 // as an error: callers inspect Result.Deadlocked.
 func (n *Network) Run(messages []Message) (Result, error) {
-	for _, m := range messages {
-		if !n.cube.Contains(m.Src) || !n.cube.Contains(m.Dst) {
-			return Result{}, fmt.Errorf("circuit: message %d→%d outside %d-cube",
-				m.Src, m.Dst, n.cube.Dim())
+	paths := make([][]int, len(messages))
+	for i, m := range messages {
+		if !n.topo.Contains(m.Src) || !n.topo.Contains(m.Dst) {
+			return Result{}, fmt.Errorf("circuit: message %d→%d outside %s",
+				m.Src, m.Dst, n.topo.Name())
 		}
 		if m.Bytes < 0 || m.Start < 0 {
 			return Result{}, fmt.Errorf("circuit: negative size or start time")
 		}
+		p, err := n.path(m)
+		if err != nil {
+			return Result{}, err
+		}
+		paths[i] = p[1:] // the header starts at src
 	}
 	eng := event.New()
 	links := make(map[topology.Edge]*link)
@@ -164,9 +191,9 @@ func (n *Network) Run(messages []Message) (Result, error) {
 				l.waiters = l.waiters[1:]
 				l.owner = next
 				next.held = append(next.held, e)
-				// The granted circuit crosses the link now; the dim it
-				// was retrying (kept at the front of dims) is consumed.
-				next.dims = next.dims[1:]
+				// The granted circuit crosses the link now; the hop it
+				// was retrying (kept at the front of path) is consumed.
+				next.path = next.path[1:]
 				nc := next
 				eng.At(now+event.Time(n.prm.Delta), func(t event.Time) {
 					nc.at = e.To
@@ -194,28 +221,27 @@ func (n *Network) Run(messages []Message) (Result, error) {
 			})
 			return
 		}
-		// Next link in the fixed dimension order.
-		dim := cs.dims[0]
-		cs.dims = cs.dims[1:]
-		e := topology.Edge{From: cs.at, To: bitutil.FlipBit(cs.at, dim)}
+		// Next link of the precomputed dimension-ordered path.
+		e := topology.Edge{From: cs.at, To: cs.path[0]}
 		l := getLink(e)
 		if l.owner == nil {
 			l.owner = cs
 			cs.held = append(cs.held, e)
+			cs.path = cs.path[1:]
 			eng.At(now+event.Time(n.prm.Delta), func(t event.Time) {
 				cs.at = e.To
 				advance(cs, t)
 			})
 			return
 		}
-		// Hold-and-wait: keep everything we have, queue on the link.
-		cs.dims = append([]int{dim}, cs.dims...) // consumed again on grant
+		// Hold-and-wait: keep everything we have, queue on the link; the
+		// pending hop stays at the front of path until granted.
 		l.waiters = append(l.waiters, cs)
 	}
 
 	states := make([]*circuitState, len(messages))
 	for i, m := range messages {
-		cs := &circuitState{idx: i, msg: m, at: m.Src, dims: n.order(m.Src, m.Dst)}
+		cs := &circuitState{idx: i, msg: m, at: m.Src, path: paths[i]}
 		states[i] = cs
 		eng.At(event.Time(m.Start), func(t event.Time) { advance(cs, t) })
 	}
@@ -241,6 +267,6 @@ func (n *Network) Run(messages []Message) (Result, error) {
 // Latency returns the uncontended end-to-end latency of one message under
 // the hop model: δ·h header walk + λ + τ·m streaming.
 func (n *Network) Latency(m Message) float64 {
-	h := n.cube.Distance(m.Src, m.Dst)
+	h := n.topo.Distance(m.Src, m.Dst)
 	return n.prm.Delta*float64(h) + n.prm.Lambda + n.prm.Tau*float64(m.Bytes)
 }

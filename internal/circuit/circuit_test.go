@@ -68,7 +68,7 @@ func TestUncontendedLatencyMatchesModel(t *testing.T) {
 			t.Errorf("%d→%d: finish %v, want %v", m.Src, m.Dst,
 				res.Completions[0].Finish, want)
 		}
-		h := n.cube.Distance(m.Src, m.Dst)
+		h := n.topo.Distance(m.Src, m.Dst)
 		wantModel := prm.Delta*float64(h) + prm.Lambda + prm.Tau*float64(m.Bytes)
 		if !almost(want, wantModel, 1e-9) {
 			t.Errorf("Latency disagrees with model: %v vs %v", want, wantModel)
@@ -251,5 +251,76 @@ func TestXORStepAtHopLevel(t *testing.T) {
 					mask, i, c.Finish, want)
 			}
 		}
+	}
+}
+
+// Dimension-ordered routing without wraparound acquires links in a
+// fixed global order, so mesh batches always complete under hop-level
+// hold-and-wait.
+func TestMeshBatchesComplete(t *testing.T) {
+	prm := model.IPSC860Raw()
+	for _, spec := range []string{"mesh-3x3", "mesh-4x2x2"} {
+		net := topology.MustParseSpec(spec)
+		n := New(net, prm, nil)
+		rng := rand.New(rand.NewSource(7))
+		var msgs []Message
+		for i := 0; i < 30; i++ {
+			msgs = append(msgs, Message{
+				Src:   rng.Intn(net.Nodes()),
+				Dst:   rng.Intn(net.Nodes()),
+				Bytes: 64,
+				Start: float64(rng.Intn(100)),
+			})
+		}
+		res, err := n.Run(msgs)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if res.Deadlocked {
+			t.Errorf("%s: dimension-ordered mesh batch deadlocked", spec)
+		}
+	}
+	// An explicit bit order on a non-hypercube is rejected.
+	tor := topology.MustParseSpec("torus-3x3")
+	if _, err := New(tor, prm, ECubeOrder).Run([]Message{{Src: 0, Dst: 4}}); err == nil {
+		t.Error("explicit routing order on a torus must fail")
+	}
+}
+
+// Torus wraparound reintroduces the circular-wait hazard even under
+// dimension-ordered routing — the classical reason k-ary n-cubes need
+// virtual channels. Four same-direction circuits around a 4-ring each
+// hold one link and wait for the next; the hop-level walker must report
+// the deadlock, while the same traffic completes when injections are
+// staggered enough to drain.
+func TestTorusWrapCycleDeadlocks(t *testing.T) {
+	prm := model.IPSC860Raw()
+	ring := topology.MustParseSpec("torus-4")
+	cycle := []Message{
+		{Src: 0, Dst: 2, Bytes: 64},
+		{Src: 1, Dst: 3, Bytes: 64},
+		{Src: 2, Dst: 0, Bytes: 64},
+		{Src: 3, Dst: 1, Bytes: 64},
+	}
+	res, err := New(ring, prm, nil).Run(cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("simultaneous wrap cycle should deadlock under hold-and-wait")
+	}
+	// Staggered injection lets each circuit complete before the next
+	// needs its links.
+	staggered := make([]Message, len(cycle))
+	copy(staggered, cycle)
+	for i := range staggered {
+		staggered[i].Start = float64(i) * 10000
+	}
+	res, err = New(ring, prm, nil).Run(staggered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked {
+		t.Fatal("staggered wrap traffic must complete")
 	}
 }

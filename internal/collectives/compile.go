@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitutil"
 	"repro/internal/simnet"
+	"repro/internal/topology"
 )
 
 // Compile lowers one collective on a d-cube with block size m and the
@@ -129,8 +130,15 @@ func compileAllGather(d, m, p int) simnet.Program {
 // simulator and returns the virtual-time result. Unlike Simulate it moves
 // no payload bytes and spawns no goroutines — the fast path for sweeps;
 // use Simulate when the data movement itself should be machine-checked.
+// The binomial-tree addressing is defined on label bits, so the network
+// must be a hypercube.
 func Cost(k Kind, net *simnet.Network, m, root int) (simnet.Result, error) {
-	progs, err := Compile(k, net.Cube().Dim(), m, root)
+	cube, ok := net.Topo().(*topology.Hypercube)
+	if !ok {
+		return simnet.Result{}, fmt.Errorf("collectives: tree collectives need a hypercube, not %s",
+			net.Topo().Name())
+	}
+	progs, err := Compile(k, cube.Dim(), m, root)
 	if err != nil {
 		return simnet.Result{}, err
 	}

@@ -29,13 +29,14 @@ import (
 	"repro/internal/topology"
 )
 
-// System is a configured hypercube machine: dimension plus performance
-// parameters. It is safe for concurrent use.
+// System is a configured machine: an interconnect topology (hypercube,
+// torus or mesh) plus performance parameters. It is safe for concurrent
+// use.
 type System struct {
-	dim  int
+	dim  int // topology dimension count (the cube dimension on a hypercube)
 	prm  model.Params
 	opt  *optimize.Optimizer
-	cube *topology.Hypercube
+	topo topology.Network
 
 	// pc, when set, answers partition selection from the shared plan
 	// cache (hull-segment lookup) instead of this System's private
@@ -51,7 +52,22 @@ func NewSystem(d int, prm model.Params) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{dim: d, prm: prm, opt: optimize.New(prm), cube: cube}, nil
+	return NewSystemOn(cube, prm)
+}
+
+// NewSystemOn returns a system over any topology — the entry point for
+// torus and mesh machines, e.g.
+//
+//	topo, _ := topology.ParseSpec("torus-4x4x4")
+//	sys, _ := core.NewSystemOn(topo, model.IPSC860())
+func NewSystemOn(topo topology.Network, prm model.Params) (*System, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	if topo.Nodes() > 1<<20 {
+		return nil, fmt.Errorf("core: %s exceeds the system limit of 2^20 nodes", topo.Name())
+	}
+	return &System{dim: topo.NumDims(), prm: prm, opt: optimize.New(prm), topo: topo}, nil
 }
 
 // MustNewSystem is NewSystem, panicking on error.
@@ -63,11 +79,15 @@ func MustNewSystem(d int, prm model.Params) *System {
 	return s
 }
 
-// Dim returns the cube dimension.
+// Dim returns the number of topology dimensions (the cube dimension on a
+// hypercube).
 func (s *System) Dim() int { return s.dim }
 
-// Nodes returns the node count 2^d.
-func (s *System) Nodes() int { return s.cube.Nodes() }
+// Topology returns the system's interconnect.
+func (s *System) Topology() topology.Network { return s.topo }
+
+// Nodes returns the node count.
+func (s *System) Nodes() int { return s.topo.Nodes() }
 
 // Params returns the machine parameters.
 func (s *System) Params() model.Params { return s.prm }
@@ -102,9 +122,9 @@ func (s *System) UsePlanCache(pc *plancache.Cache, machine string) error {
 // plan cache when attached, else from the private optimizer.
 func (s *System) bestPartition(block int) (partition.Partition, error) {
 	if s.pc != nil {
-		return s.pc.Lookup(s.pcMachine, s.dim, block)
+		return s.pc.LookupFor(s.pcMachine, s.topo, block)
 	}
-	c, err := s.opt.Best(s.dim, block)
+	c, err := s.opt.BestOn(s.topo, block)
 	if err != nil {
 		return nil, err
 	}
@@ -168,11 +188,11 @@ func (s *System) exchange(block int, D partition.Partition, timeout time.Duratio
 	if err != nil {
 		return Result{}, err
 	}
-	pred, _ := s.prm.Multiphase(block, s.dim, D)
-	if s.dim == 0 {
-		pred = 0
+	pred, _, err := s.prm.MultiphaseOn(s.topo, block, plan.Partition())
+	if err != nil {
+		return Result{}, err
 	}
-	fab := fabric.NewSim(simnet.New(s.cube, s.prm))
+	fab := fabric.NewSim(simnet.New(s.topo, s.prm))
 	if err := plan.RunOn(fab, timeout); err != nil {
 		return Result{}, fmt.Errorf("core: exchange failed: %w", err)
 	}
@@ -204,9 +224,9 @@ func (s *System) Plan(block int, D partition.Partition) (*exchange.Plan, error) 
 
 func (s *System) newPlan(block int, D partition.Partition) (*exchange.Plan, error) {
 	if s.dim == 0 {
-		return exchange.NewPlan(0, block, nil)
+		return exchange.NewPlanOn(s.topo, block, nil)
 	}
-	return exchange.NewPlan(s.dim, block, D)
+	return exchange.NewPlanOn(s.topo, block, D)
 }
 
 // Predict returns the analytic multiphase time for an explicit partition.
@@ -214,9 +234,9 @@ func (s *System) Predict(block int, D partition.Partition) (float64, error) {
 	if s.dim == 0 {
 		return 0, nil
 	}
-	if !D.Canonical().IsValid(s.dim) {
-		return 0, fmt.Errorf("core: %v is not a partition of %d", D, s.dim)
+	t, _, err := s.prm.MultiphaseOn(s.topo, block, D)
+	if err != nil {
+		return 0, fmt.Errorf("core: %v is not a grouping of %s: %w", D, s.topo.Name(), err)
 	}
-	t, _ := s.prm.Multiphase(block, s.dim, D)
 	return t, nil
 }

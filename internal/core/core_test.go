@@ -5,7 +5,10 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/optimize"
 	"repro/internal/partition"
+	"repro/internal/plancache"
+	"repro/internal/topology"
 )
 
 func TestNewSystemValidation(t *testing.T) {
@@ -146,5 +149,77 @@ func TestErrorPaths(t *testing.T) {
 	}
 	if _, err := s.BestPartition(-1); err == nil {
 		t.Error("negative block must fail in BestPartition")
+	}
+}
+
+// A torus System must run verified auto-tuned exchanges end-to-end: the
+// optimizer picks the grouping, the simulated fabric moves and checks
+// real payloads, and the discrete-event replay prices the schedule.
+func TestSystemOnTorus(t *testing.T) {
+	topo, err := topology.ParseSpec("torus-4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemOn(topo, model.IPSC860())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Nodes() != 16 || sys.Dim() != 2 || sys.Topology().Name() != "torus-4x4" {
+		t.Fatalf("system basics: %d nodes, %d dims", sys.Nodes(), sys.Dim())
+	}
+	res, err := sys.CompleteExchange(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DataVerified || res.SimulatedMicros <= 0 {
+		t.Fatalf("torus exchange: %+v", res)
+	}
+	best, err := optimize.New(model.IPSC860()).BestOn(topo, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partition.Equal(best.Part) {
+		t.Errorf("system used %v, optimizer wants %v", res.Partition, best.Part)
+	}
+	// Explicit groupings run too, and order matters on request.
+	for _, D := range []partition.Partition{{2}, {1, 1}} {
+		r, err := sys.ExchangeWith(16, D)
+		if err != nil {
+			t.Fatalf("%v: %v", D, err)
+		}
+		if !r.DataVerified {
+			t.Errorf("%v: not verified", D)
+		}
+	}
+}
+
+// A torus System attached to a shared plan cache must resolve its
+// partitions by hull lookup under the torus key.
+func TestTorusSystemUsesPlanCache(t *testing.T) {
+	topo, err := topology.ParseSpec("torus-3x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemOn(topo, model.Hypothetical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := plancache.New(plancache.Config{SweepHi: 64})
+	if err := sys.UsePlanCache(pc, "hypo"); err != nil {
+		t.Fatal(err)
+	}
+	part, err := sys.BestPartition(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pc.LookupOn("hypo", "torus-3x3", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Equal(want) {
+		t.Errorf("system %v, cache %v", part, want)
+	}
+	if s := pc.Stats(); s.Lines != 1 || s.Builds != 1 {
+		t.Errorf("cache stats after torus lookups: %+v", s)
 	}
 }

@@ -17,11 +17,12 @@ package exchange
 
 import "fmt"
 
-// Buffer is one node's block storage for a complete exchange: 2^d blocks
-// of m bytes. Before the exchange, block t holds the data this node sends
-// to node t; afterwards block s holds the data received from node s.
+// Buffer is one node's block storage for a complete exchange: one block
+// of m bytes per node. Before the exchange, block t holds the data this
+// node sends to node t; afterwards block s holds the data received from
+// node s.
 type Buffer struct {
-	d, m int
+	n, m int
 	data []byte
 }
 
@@ -31,20 +32,26 @@ func NewBuffer(d, m int) (*Buffer, error) {
 	if d < 0 || d > 24 {
 		return nil, fmt.Errorf("exchange: dimension %d out of range [0,24]", d)
 	}
+	return NewBufferN(1<<uint(d), m)
+}
+
+// NewBufferN allocates a buffer of n blocks of m bytes — the general
+// form for non-power-of-two topologies.
+func NewBufferN(n, m int) (*Buffer, error) {
+	if n < 1 || n > 1<<24 {
+		return nil, fmt.Errorf("exchange: block count %d out of range [1,2^24]", n)
+	}
 	if m < 0 {
 		return nil, fmt.Errorf("exchange: negative block size %d", m)
 	}
-	return &Buffer{d: d, m: m, data: make([]byte, m<<uint(d))}, nil
+	return &Buffer{n: n, m: m, data: make([]byte, n*m)}, nil
 }
-
-// Dim returns the cube dimension the buffer is sized for.
-func (b *Buffer) Dim() int { return b.d }
 
 // BlockSize returns m, the bytes per block.
 func (b *Buffer) BlockSize() int { return b.m }
 
-// Blocks returns the number of blocks, 2^d.
-func (b *Buffer) Blocks() int { return 1 << uint(b.d) }
+// Blocks returns the number of blocks.
+func (b *Buffer) Blocks() int { return b.n }
 
 // Block returns the t-th block as a mutable slice view.
 func (b *Buffer) Block(t int) []byte {
@@ -144,16 +151,25 @@ func AppendFieldPositions(dst []int, d, lo, w, val int) []int {
 	if lo < 0 || w < 0 || lo+w > d {
 		panic(fmt.Sprintf("exchange: field [%d,%d) out of a %d-cube label", lo, lo+w, d))
 	}
+	return AppendDigitPositions(dst, 1<<uint(d), 1<<uint(lo), 1<<uint(w), val)
+}
+
+// AppendDigitPositions is the mixed-radix generalization of
+// AppendFieldPositions: it appends, in increasing order, the labels
+// t ∈ [0, n) whose digit field of the given stride and span equals val —
+// (t/stride) mod span == val. There are n/span of them, forming one
+// effective block of m·n/span bytes. Contents of dst are discarded and
+// its storage reused.
+func AppendDigitPositions(dst []int, n, stride, span, val int) []int {
 	dst = dst[:0]
-	if val < 0 || val >= 1<<uint(w) {
+	if val < 0 || val >= span {
 		return dst // no label carries this field value
 	}
-	mid := val << uint(lo)
-	loCount := 1 << uint(lo)
-	hiCount := 1 << uint(d-lo-w)
-	for hi := 0; hi < hiCount; hi++ {
-		base := hi<<uint(lo+w) | mid
-		for t := base; t < base+loCount; t++ {
+	mid := val * stride
+	outer := n / (stride * span)
+	for hi := 0; hi < outer; hi++ {
+		base := hi*stride*span + mid
+		for t := base; t < base+stride; t++ {
 			dst = append(dst, t)
 		}
 	}

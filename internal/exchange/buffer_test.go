@@ -19,7 +19,7 @@ func TestNewBufferValidation(t *testing.T) {
 		t.Error("negative block size must fail")
 	}
 	b, err := NewBuffer(3, 16)
-	if err != nil || b.Blocks() != 8 || b.BlockSize() != 16 || b.Dim() != 3 {
+	if err != nil || b.Blocks() != 8 || b.BlockSize() != 16 {
 		t.Fatalf("NewBuffer: %+v %v", b, err)
 	}
 	if len(b.Bytes()) != 128 {

@@ -3,6 +3,7 @@ package exchange
 import (
 	"fmt"
 
+	"repro/internal/bitutil"
 	"repro/internal/simnet"
 )
 
@@ -10,51 +11,95 @@ import (
 // simnet programs a live fabric.Sim run of Plan.Execute would record,
 // derived deterministically from the phase layout — no goroutines, no
 // mailboxes, no payload bytes. Because every node runs the same op
-// sequence up to XOR-relabeling of partners, the compiled form stores one
-// shared op table and computes each node's partner on the fly, so even a
-// million-node plan costs O(ops per node) memory instead of O(2^d · ops).
+// sequence up to relabeling of partners (XOR on radix-2 fields, cyclic
+// shift on mixed-radix ones), the compiled form stores one shared op
+// table and computes each node's partner on the fly, so even a
+// million-node plan costs O(ops per node) memory instead of O(n · ops).
 //
 // CompiledPlan implements simnet.Source; fabric.Sim's recorded traces are
 // the oracle the compiler is tested against (op-for-op equality).
 type CompiledPlan struct {
-	d, m int
+	m    int
 	n    int
+	topo string
 	rows []compiledOp
 }
 
-// compiledOp is one row of the shared op table. For exchange rows, node
-// p's partner is p XOR mask (mask = j·2^lo never being zero, a compiled
-// exchange is never a self-exchange).
+// compiledOp is one row of the shared op table. For bit-aligned XOR
+// exchange rows, node p's partner is p XOR mask (mask = j·2^lo never
+// being zero, a compiled exchange is never a self-exchange). All other
+// communication rows locate the partner through the phase's digit field:
+// f = (p/stride) mod span, shifted by ±shift (XOR'd for non-bit-aligned
+// radix-2 fields).
 type compiledOp struct {
-	kind  simnet.OpKind
-	mask  int
-	bytes int
+	kind   simnet.OpKind
+	mask   int // fast path: peer = p ^ mask (OpExchange, mask > 0)
+	shift  int // field shift j; receive rows use −j
+	stride int
+	span   int
+	xor    bool // field combines by XOR instead of cyclic shift
+	bytes  int
 }
 
-// Compile lowers the plan to its per-node simnet programs: for each phase
-// a barrier (the posting of FORCED receives, §7.3), the 2^di − 1 subcube
-// pairwise exchanges of one effective block each, and — except when the
-// phase spans the whole cube — the ρ·m·2^d shuffle charge, mirroring
-// Execute exactly.
+// Compile lowers the plan to its per-node simnet programs, mirroring
+// Execute exactly: for each phase a barrier (the posting of FORCED
+// receives, §7.3), then the phase's steps, and — except when the phase
+// spans the whole machine — the ρ·m·n shuffle charge. XOR phases run
+// Span−1 pairwise exchanges of one effective block each; cyclic phases
+// post their Span−1 receives up front and run Span−1 send/wait pairs.
 func (p *Plan) Compile() *CompiledPlan {
-	c := &CompiledPlan{d: p.d, m: p.m, n: p.Nodes()}
+	c := &CompiledPlan{m: p.m, n: p.Nodes(), topo: p.topo.Name()}
 	for _, ph := range p.phases {
 		c.rows = append(c.rows, compiledOp{kind: simnet.OpBarrier})
-		for j := 1; j <= ph.steps(); j++ {
-			c.rows = append(c.rows, compiledOp{
-				kind:  simnet.OpExchange,
-				mask:  j << uint(ph.Lo),
-				bytes: ph.EffBytes,
-			})
+		if ph.XOR {
+			for j := 1; j <= ph.steps(); j++ {
+				row := compiledOp{
+					kind:   simnet.OpExchange,
+					shift:  j,
+					stride: ph.Stride,
+					span:   ph.Span,
+					xor:    true,
+					bytes:  ph.EffBytes,
+				}
+				if bitutil.IsPow2(ph.Stride) {
+					row.mask = j * ph.Stride
+				}
+				c.rows = append(c.rows, row)
+			}
+		} else {
+			for j := 1; j <= ph.steps(); j++ {
+				c.rows = append(c.rows, compiledOp{
+					kind:   simnet.OpPostRecv,
+					shift:  j,
+					stride: ph.Stride,
+					span:   ph.Span,
+				})
+			}
+			for j := 1; j <= ph.steps(); j++ {
+				c.rows = append(c.rows,
+					compiledOp{
+						kind:   simnet.OpSend,
+						shift:  j,
+						stride: ph.Stride,
+						span:   ph.Span,
+						bytes:  ph.EffBytes,
+					},
+					compiledOp{
+						kind:   simnet.OpWaitRecv,
+						shift:  j,
+						stride: ph.Stride,
+						span:   ph.Span,
+					})
+			}
 		}
-		if ph.SubcubeDim != p.d {
-			c.rows = append(c.rows, compiledOp{kind: simnet.OpShuffle, bytes: p.m << uint(p.d)})
+		if ph.EffBlocks != 1 {
+			c.rows = append(c.rows, compiledOp{kind: simnet.OpShuffle, bytes: p.m * c.n})
 		}
 	}
 	return c
 }
 
-// NumNodes returns 2^d.
+// NumNodes returns the topology's node count.
 func (c *CompiledPlan) NumNodes() int { return c.n }
 
 // NumOps returns the program length, identical for every node.
@@ -63,12 +108,32 @@ func (c *CompiledPlan) NumOps(int) int { return len(c.rows) }
 // Ops returns the total op count over all nodes.
 func (c *CompiledPlan) Ops() int { return c.n * len(c.rows) }
 
+// peer computes node p's communication partner for a generic row.
+func (r compiledOp) peer(p int) int {
+	f := (p / r.stride) % r.span
+	var g int
+	switch {
+	case r.xor:
+		g = f ^ r.shift
+	case r.kind == simnet.OpSend:
+		g = (f + r.shift) % r.span
+	default: // receive rows pair with the sender shifted the other way
+		g = (f - r.shift + r.span) % r.span
+	}
+	return p + (g-f)*r.stride
+}
+
 // Op returns node p's i-th op.
 func (c *CompiledPlan) Op(p, i int) simnet.Op {
 	r := c.rows[i]
 	switch r.kind {
 	case simnet.OpExchange:
-		return simnet.Op{Kind: simnet.OpExchange, Peer: p ^ r.mask, Bytes: r.bytes}
+		if r.mask != 0 {
+			return simnet.Op{Kind: simnet.OpExchange, Peer: p ^ r.mask, Bytes: r.bytes}
+		}
+		return simnet.Op{Kind: simnet.OpExchange, Peer: r.peer(p), Bytes: r.bytes}
+	case simnet.OpSend, simnet.OpPostRecv, simnet.OpWaitRecv:
+		return simnet.Op{Kind: r.kind, Peer: r.peer(p), Bytes: r.bytes}
 	case simnet.OpShuffle:
 		return simnet.Op{Kind: simnet.OpShuffle, Bytes: r.bytes}
 	default:
@@ -78,7 +143,7 @@ func (c *CompiledPlan) Op(p, i int) simnet.Op {
 
 // Programs materializes the per-node programs — the form fabric.Sim
 // records and the equivalence tests compare against. Intended for tests
-// and small dimensions; costing at scale should pass the CompiledPlan
+// and small topologies; costing at scale should pass the CompiledPlan
 // itself to simnet.Network.RunSource.
 func (c *CompiledPlan) Programs() []simnet.Program {
 	out := make([]simnet.Program, c.n)
@@ -98,9 +163,9 @@ func (c *CompiledPlan) Programs() []simnet.Program {
 // the right tool for optimizer enumeration and figure sweeps; use
 // Simulate when the data movement itself should be machine-checked.
 func (p *Plan) Cost(net *simnet.Network) (simnet.Result, error) {
-	if net.Cube().Dim() != p.d {
-		return simnet.Result{}, fmt.Errorf("exchange: plan d=%d on %d-cube network",
-			p.d, net.Cube().Dim())
+	if net.Topo().Name() != p.topo.Name() {
+		return simnet.Result{}, fmt.Errorf("exchange: plan for %s on %s network",
+			p.topo.Name(), net.Topo().Name())
 	}
 	return net.RunSource(p.Compile())
 }

@@ -24,9 +24,9 @@ func expectedEvents(p *Plan, node int) []fabric.Event {
 				Node: node, Op: "exchange", Peer: ph.partner(node, j), Bytes: ph.EffBytes,
 			})
 		}
-		if ph.SubcubeDim != p.d {
+		if ph.EffBlocks != 1 {
 			out = append(out, fabric.Event{
-				Node: node, Op: "shuffle", Peer: -1, Bytes: p.m << uint(p.d),
+				Node: node, Op: "shuffle", Peer: -1, Bytes: p.m * p.Nodes(),
 			})
 		}
 	}

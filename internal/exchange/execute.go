@@ -13,44 +13,78 @@ import (
 // return block s holds the data received from node s.
 //
 // This is the paper's Multiphase procedure (§5.2), written once against
-// the fabric interface: each step j of a phase exchanges one effective
-// block (the gathered superblock) with partner p ⊕ (j·2^lo); incoming
-// superblocks are scattered back into the same positions. Every phase is
-// preceded by a global synchronization (the posting of FORCED receives,
-// §7.3) and — except when the phase spans the whole cube — followed by
-// the shuffle charge ρ·m·2^d for the data permutation the gather/scatter
-// performs.
+// the fabric interface and generalized to mixed-radix dimension fields.
+// Each phase is preceded by a global synchronization (the posting of
+// FORCED receives, §7.3) and — except when the phase spans the whole
+// machine — followed by the shuffle charge ρ·m·n for the data
+// permutation the gather/scatter performs. A step of an XOR phase
+// exchanges one effective block (the gathered superblock) with partner
+// f ⊕ j; a step of a cyclic phase sends the superblock for field f+j and
+// receives the one from field f−j (mod Span), with all receives posted
+// up front as on the iPSC-860 (§7.1).
 func (p *Plan) Execute(nd fabric.Node, buf *Buffer) error {
 	if nd.N() != p.Nodes() {
 		return fmt.Errorf("exchange: plan for %d nodes on fabric of %d", p.Nodes(), nd.N())
 	}
-	if buf.Dim() != p.d || buf.BlockSize() != p.m {
-		return fmt.Errorf("exchange: buffer (d=%d,m=%d) does not match plan (d=%d,m=%d)",
-			buf.Dim(), buf.BlockSize(), p.d, p.m)
+	if buf.Blocks() != p.Nodes() || buf.BlockSize() != p.m {
+		return fmt.Errorf("exchange: buffer (n=%d,m=%d) does not match plan (n=%d,m=%d)",
+			buf.Blocks(), buf.BlockSize(), p.Nodes(), p.m)
 	}
 	me := nd.ID()
-	shuffleBytes := p.m << uint(p.d)
+	shuffleBytes := p.m * p.Nodes()
 	// The superblock scratch circulates through Exchange's ownership
 	// hand-off: each step gathers into the buffer received on the
 	// previous step, so the whole plan allocates O(1) superblocks per
 	// node instead of one per step. positions storage is reused the same
 	// way.
-	var scratch []byte
+	var scratch, staging []byte
 	var positions []int
 	for _, ph := range p.phases {
 		nd.Barrier()
-		for j := 1; j <= ph.steps(); j++ {
-			q := ph.partner(me, j)
-			positions = p.appendSendPositions(positions, ph, q)
-			out := buf.GatherInto(scratch, positions)
-			in := nd.Exchange(q, out)
-			if err := buf.Scatter(positions, in); err != nil {
-				return fmt.Errorf("exchange: node %d phase lo=%d step %d: %w",
-					me, ph.Lo, j, err)
+		if ph.XOR {
+			for j := 1; j <= ph.steps(); j++ {
+				q := ph.partner(me, j)
+				positions = p.appendFieldPositions(positions, ph, q)
+				out := buf.GatherInto(scratch, positions)
+				in := nd.Exchange(q, out)
+				if err := buf.Scatter(positions, in); err != nil {
+					return fmt.Errorf("exchange: node %d phase lo=%d step %d: %w",
+						me, ph.Lo, j, err)
+				}
+				scratch = in
 			}
-			scratch = in
+		} else {
+			for j := 1; j <= ph.steps(); j++ {
+				nd.PostRecv(ph.recvPeer(me, j))
+			}
+			// Unlike the XOR schedule, a cyclic step's send and receive
+			// touch different position groups: group f+j leaves in step j
+			// but is overwritten by the receive of step Span−j, which can
+			// come first. Stage every outgoing superblock before any
+			// incoming data lands in the buffer.
+			need := ph.steps() * ph.EffBytes
+			if cap(staging) < need {
+				staging = make([]byte, 0, need)
+			}
+			staging = staging[:0]
+			for j := 1; j <= ph.steps(); j++ {
+				positions = p.appendFieldPositions(positions, ph, ph.sendPeer(me, j))
+				for _, t := range positions {
+					staging = append(staging, buf.Block(t)...)
+				}
+			}
+			for j := 1; j <= ph.steps(); j++ {
+				to, from := ph.sendPeer(me, j), ph.recvPeer(me, j)
+				nd.Send(to, staging[(j-1)*ph.EffBytes:j*ph.EffBytes]) // Send copies
+				in := nd.Recv(from)
+				positions = p.appendFieldPositions(positions, ph, from)
+				if err := buf.Scatter(positions, in); err != nil {
+					return fmt.Errorf("exchange: node %d phase lo=%d step %d: %w",
+						me, ph.Lo, j, err)
+				}
+			}
 		}
-		if ph.SubcubeDim != p.d {
+		if ph.EffBlocks != 1 {
 			nd.Shuffle(shuffleBytes)
 		}
 	}
@@ -65,7 +99,7 @@ func (p *Plan) RunOn(fab fabric.Fabric, timeout time.Duration) error {
 		return fmt.Errorf("exchange: plan for %d nodes on fabric of %d", p.Nodes(), fab.N())
 	}
 	return fab.Run(func(nd fabric.Node) error {
-		buf, err := NewBuffer(p.d, p.m)
+		buf, err := NewBufferN(p.Nodes(), p.m)
 		if err != nil {
 			return err
 		}
@@ -90,11 +124,11 @@ func (p *Plan) RunData(timeout time.Duration) error {
 // Simulate runs the plan on a simulated fabric over the given network and
 // returns the discrete-event result. The run both moves real data (the
 // postcondition is verified) and costs the schedule in virtual time; the
-// network's cube dimension must match the plan.
+// network's topology must match the plan's.
 func (p *Plan) Simulate(net *simnet.Network) (simnet.Result, error) {
-	if net.Cube().Dim() != p.d {
-		return simnet.Result{}, fmt.Errorf("exchange: plan d=%d on %d-cube network",
-			p.d, net.Cube().Dim())
+	if net.Topo().Name() != p.topo.Name() {
+		return simnet.Result{}, fmt.Errorf("exchange: plan for %s on %s network",
+			p.topo.Name(), net.Topo().Name())
 	}
 	fab := fabric.NewSim(net)
 	if err := p.RunOn(fab, fabric.DefaultSimTimeout); err != nil {

@@ -107,7 +107,7 @@ func TestPlanAccessors(t *testing.T) {
 	if p.Partition()[0] == 99 {
 		t.Error("Partition must return a copy")
 	}
-	if p.String() != "multiphase{2,3} d=5 m=10" {
+	if p.String() != "multiphase{2,3} hypercube-5 m=10" {
 		t.Errorf("String = %q", p.String())
 	}
 }

@@ -1,0 +1,192 @@
+package exchange
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// groupingsOf enumerates every ordered composition of k — the candidate
+// dimension groupings of a k-dimensional topology.
+func groupingsOf(k int) []partition.Partition {
+	if k == 0 {
+		return []partition.Partition{nil}
+	}
+	var out []partition.Partition
+	for first := 1; first <= k; first++ {
+		for _, rest := range groupingsOf(k - first) {
+			out = append(out, append(partition.Partition{first}, rest...))
+		}
+	}
+	return out
+}
+
+// Every grouping of every tested topology must move real data correctly
+// on the goroutine runtime fabric: block s of node q ends up holding
+// exactly what s sent to q.
+func TestGeneralPlanDataMovement(t *testing.T) {
+	for _, spec := range []string{"torus-3", "torus-4x4", "torus-3x2x2", "mesh-3x3", "mesh-2x2x2"} {
+		topo := topology.MustParseSpec(spec)
+		for _, G := range groupingsOf(topo.NumDims()) {
+			plan, err := NewPlanOn(topo, 8, G)
+			if err != nil {
+				t.Fatalf("%s %v: %v", spec, G, err)
+			}
+			if err := plan.RunData(time.Minute); err != nil {
+				t.Errorf("%s %v: %v", spec, G, err)
+			}
+		}
+	}
+}
+
+// Cross-backend equivalence on a non-hypercube machine: the same plan
+// run on the goroutine runtime fabric and on the simulated fabric must
+// both satisfy the complete-exchange postcondition, and the simulated
+// run must report a plausible cost.
+func TestTorusCrossBackendEquivalence(t *testing.T) {
+	topo := topology.MustParseSpec("torus-4x4x4")
+	prm := model.IPSC860()
+	for _, G := range []partition.Partition{{3}, {1, 2}, {2, 1}, {1, 1, 1}} {
+		plan, err := NewPlanOn(topo, 16, G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Runtime backend: real goroutines, real channels.
+		if err := plan.RunData(time.Minute); err != nil {
+			t.Fatalf("runtime backend %v: %v", G, err)
+		}
+		// Simulated backend: real data plus discrete-event costing.
+		res, err := plan.Simulate(simnet.New(topo, prm))
+		if err != nil {
+			t.Fatalf("sim backend %v: %v", G, err)
+		}
+		if res.Makespan <= 0 {
+			t.Errorf("%v: non-positive makespan %v", G, res.Makespan)
+		}
+		if res.DroppedForced != 0 {
+			t.Errorf("%v: %d FORCED messages arrived before their receive was posted",
+				G, res.DroppedForced)
+		}
+	}
+}
+
+// Compiled-vs-recorded-trace equivalence on torus and mesh: the trace
+// compiler must produce, op for op, exactly the per-node programs a live
+// simulated-fabric run records, and replaying either must give the same
+// simulated cost.
+func TestCompiledMatchesRecordedTraceOnGrids(t *testing.T) {
+	prm := model.IPSC860()
+	for _, tc := range []struct {
+		spec string
+		G    partition.Partition
+		m    int
+	}{
+		{"torus-4x4x4", partition.Partition{3}, 8},
+		{"torus-4x4x4", partition.Partition{1, 2}, 8},
+		{"torus-4x4x4", partition.Partition{1, 1, 1}, 8},
+		{"torus-3x2x2", partition.Partition{2, 1}, 4},
+		{"mesh-3x3", partition.Partition{1, 1}, 4},
+		{"mesh-4x2", partition.Partition{2}, 0},
+	} {
+		topo := topology.MustParseSpec(tc.spec)
+		plan, err := NewPlanOn(topo, tc.m, tc.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := simnet.New(topo, prm)
+		fab := fabric.NewSim(net)
+		if err := plan.RunOn(fab, fabric.DefaultSimTimeout); err != nil {
+			t.Fatalf("%s %v: %v", tc.spec, tc.G, err)
+		}
+		recorded := fab.Traces()
+		compiled := plan.Compile()
+		if compiled.NumNodes() != len(recorded) {
+			t.Fatalf("%s %v: %d compiled nodes, %d recorded", tc.spec, tc.G, compiled.NumNodes(), len(recorded))
+		}
+		for p := range recorded {
+			if got, want := compiled.NumOps(p), len(recorded[p]); got != want {
+				t.Fatalf("%s %v node %d: %d compiled ops, %d recorded", tc.spec, tc.G, p, got, want)
+			}
+			for i := range recorded[p] {
+				if got, want := compiled.Op(p, i), recorded[p][i]; got != want {
+					t.Fatalf("%s %v node %d op %d: compiled %+v, recorded %+v",
+						tc.spec, tc.G, p, i, got, want)
+				}
+			}
+		}
+		live, err := fab.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		costed, err := plan.Cost(simnet.New(topo, prm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if live.Makespan != costed.Makespan || live.Messages != costed.Messages {
+			t.Errorf("%s %v: recorded replay (%v µs, %d msgs) != compiled replay (%v µs, %d msgs)",
+				tc.spec, tc.G, live.Makespan, live.Messages, costed.Makespan, costed.Messages)
+		}
+	}
+}
+
+// A torus whose radices are all 2 must lay out exactly like the
+// hypercube of the same size: XOR phases, identical compiled programs.
+func TestAllRadix2TorusMatchesHypercube(t *testing.T) {
+	cube := topology.MustNew(3)
+	tor := topology.MustParseSpec("torus-2x2x2")
+	for _, G := range []partition.Partition{{3}, {2, 1}, {1, 1, 1}} {
+		pc, err := NewPlanOn(cube, 8, G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := NewPlanOn(tor, 8, G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, ct := pc.Compile(), pt.Compile()
+		if cc.NumNodes() != ct.NumNodes() || cc.NumOps(0) != ct.NumOps(0) {
+			t.Fatalf("%v: layout mismatch", G)
+		}
+		for p := 0; p < cc.NumNodes(); p++ {
+			for i := 0; i < cc.NumOps(p); i++ {
+				if cc.Op(p, i) != ct.Op(p, i) {
+					t.Fatalf("%v node %d op %d: cube %+v, torus %+v", G, p, i, cc.Op(p, i), ct.Op(p, i))
+				}
+			}
+		}
+	}
+}
+
+// The generalized step schedule must stay a permutation per step, and
+// XOR steps must remain edge-contention-free under dimension-ordered
+// routing (the paper's §4.2 property, preserved on the radix-2 fields of
+// mixed tori).
+func TestGeneralStepsArePermutations(t *testing.T) {
+	for _, spec := range []string{"torus-4x4", "torus-3x2x2", "mesh-3x3"} {
+		topo := topology.MustParseSpec(spec)
+		for _, G := range groupingsOf(topo.NumDims()) {
+			plan, err := NewPlanOn(topo, 1, G)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, step := range plan.Steps() {
+				seenSrc := make(map[int]bool)
+				seenDst := make(map[int]bool)
+				for _, tr := range step {
+					if seenSrc[tr.Src] || seenDst[tr.Dst] {
+						t.Fatalf("%s %v step %d: not a permutation", spec, G, k)
+					}
+					seenSrc[tr.Src], seenDst[tr.Dst] = true, true
+				}
+				if len(step) != topo.Nodes() {
+					t.Fatalf("%s %v step %d: %d transfers for %d nodes", spec, G, k, len(step), topo.Nodes())
+				}
+			}
+		}
+	}
+}

@@ -69,7 +69,11 @@ func E2WorkedExample() (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := plan.Cost(simnet.New(topology.MustNew(d), prm))
+	cube, err := topology.New(d)
+	if err != nil {
+		return nil, err
+	}
+	res, err := plan.Cost(simnet.New(cube, prm))
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +88,7 @@ func E2WorkedExample() (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	seRes, err := se.Cost(simnet.New(topology.MustNew(d), prm))
+	seRes, err := se.Cost(simnet.New(cube, prm))
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +148,11 @@ func FigureOn(prm model.Params, machine string, d int) (*report.Figure, error) {
 		XLabel: "block(B)",
 		YLabel: "µs",
 	}
-	net := simnet.New(topology.MustNew(d), prm)
+	cube, err := topology.New(d)
+	if err != nil {
+		return nil, err
+	}
+	net := simnet.New(cube, prm)
 	for _, D := range FigureCurves(d) {
 		s := report.Series{Name: D.String(), X: sweep}
 		for _, m := range sweep {
@@ -198,7 +206,11 @@ func MeasuredVsPredictedOn(prm model.Params, d int) (*report.Table, error) {
 	t := report.NewTable(
 		fmt.Sprintf("§8 measured (±5%% jitter) vs predicted, d=%d", d),
 		"partition", "rel RMS (%)", "max dev (%)")
-	net := simnet.New(topology.MustNew(d), prm)
+	cube, err := topology.New(d)
+	if err != nil {
+		return nil, err
+	}
+	net := simnet.New(cube, prm)
 	net.SetJitter(0.05, 1991)
 	for _, D := range FigureCurves(d) {
 		var ss, maxDev float64
@@ -249,7 +261,11 @@ func E7SyncOverhead() (*report.Table, error) {
 		{"unsynced (serializes)", model.IPSC860NoSync()},
 		{"ideal (theory)", model.IPSC860Raw()},
 	} {
-		net := simnet.New(topology.MustNew(1), cfg.prm)
+		cube, err := topology.New(1)
+		if err != nil {
+			return nil, err
+		}
+		net := simnet.New(cube, cfg.prm)
 		progs := []simnet.Program{
 			{simnet.Exchange(1, 100)},
 			{simnet.Exchange(0, 100)},
@@ -271,7 +287,10 @@ func E8Contention(dmax int) (*report.Table, error) {
 		"E8 (§2/§4.2): edge contention under e-cube routing",
 		"d", "multiphase steps", "contended", "naive max edge load")
 	for d := 1; d <= dmax; d++ {
-		h := topology.MustNew(d)
+		h, err := topology.New(d)
+		if err != nil {
+			return nil, err
+		}
 		steps, contended := 0, 0
 		for _, D := range partition.All(d) {
 			plan, err := exchange.NewPlan(d, 1, D)
@@ -312,7 +331,11 @@ func Headline() (*report.Table, error) {
 	t := report.NewTable(
 		"Figure 6 headline: d=7, block 40B (paper: SE=OCS=0.037s, {3,4}=0.016s)",
 		"algorithm", "model(µs)", "simulated(µs)")
-	net := simnet.New(topology.MustNew(d), prm)
+	cube, err := topology.New(d)
+	if err != nil {
+		return nil, err
+	}
+	net := simnet.New(cube, prm)
 	for _, row := range []struct {
 		name string
 		D    partition.Partition

@@ -27,7 +27,7 @@ import (
 type Sim struct {
 	net *simnet.Network
 	n   int
-	d   int
+	d   int // topology diameter, the global-sync weight (§7.3)
 
 	boxes  []*mailbox
 	bar    *runtime.Barrier
@@ -43,13 +43,13 @@ type Sim struct {
 	dead bool
 }
 
-// NewSim returns a simulated fabric over the given network's hypercube.
+// NewSim returns a simulated fabric over the given network's topology.
 func NewSim(net *simnet.Network) *Sim {
-	n := net.Cube().Nodes()
+	n := net.Topo().Nodes()
 	s := &Sim{
 		net:    net,
 		n:      n,
-		d:      net.Cube().Dim(),
+		d:      net.Topo().Diameter(),
 		boxes:  make([]*mailbox, n),
 		bar:    runtime.NewBarrier(n),
 		clocks: make([]float64, n),
@@ -148,7 +148,7 @@ func (nd *simNode) Send(dst int, data []byte) {
 	nd.record(simnet.Send(dst, len(data), simnet.Forced))
 	arrive := nd.clock
 	if dst != nd.id {
-		h := nd.f.net.Cube().Distance(nd.id, dst)
+		h := nd.f.net.Topo().Distance(nd.id, dst)
 		nd.clock += nd.f.net.Params().RawMessageTime(len(data), h)
 		arrive = nd.clock
 	}
@@ -203,7 +203,7 @@ func (nd *simNode) Exchange(peer int, data []byte) []byte {
 	if e.t > start {
 		start = e.t
 	}
-	h := nd.f.net.Cube().Distance(nd.id, peer)
+	h := nd.f.net.Topo().Distance(nd.id, peer)
 	nd.clock = start + nd.f.net.Params().ExchangeTime(len(data), h)
 	return e.data
 }

@@ -1,0 +1,211 @@
+package model
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// This file generalizes the §4.3/§7.4 closed forms from the binary
+// hypercube to any topology.Network. A phase over a dimension group of
+// span S (the product of the group's radices) runs S−1 steps moving
+// superblocks of m·n/S bytes. On an all-radix-2 group the steps are the
+// XOR pairwise schedule and the total routed distance over the steps is
+// w·2^(w−1), exactly eq. (3); on mixed-radix groups the steps are cyclic
+// field shifts and the distance term is the sum over steps of the
+// worst-case routed distance within a sub-block, computed once per
+// (topology, field) and memoized.
+
+// shiftDistKey memoizes phaseDistTotal per (topology name, field).
+type shiftDistKey struct {
+	name  string
+	lo, w int
+}
+
+var shiftDistMemo sync.Map // shiftDistKey -> float64
+
+// exactShiftDistSpan bounds the field span for which the worst-case
+// shift distances are computed by exact O(span²) enumeration. Larger
+// fields use the O(Σ radices) per-dimension closed form below — a
+// serving tier must never run an enumeration quadratic in an
+// attacker-chosen span (a single /v1/plan for a big torus would
+// otherwise pin a CPU for hours).
+const exactShiftDistSpan = 4096
+
+// phaseDistTotal returns the total routed distance charged to one phase
+// over the dimension field [lo, lo+w): Σ_j max_f dist(f, f+j) for cyclic
+// phases, w·2^(w−1) for XOR phases (where every step's distance is
+// uniform, popcount(j)). Beyond exactShiftDistSpan the cyclic term is
+// the per-dimension worst-case closed form: adding j to a field shifts
+// digit i by j_i plus at most one carry, so the step's distance is at
+// most Σ_i M_i(j_i) with M_i(v) the worst per-dimension digit distance
+// over the carry cases; summed over j, each digit value occurs span/r_i
+// times, giving Σ_i (span/r_i)·Σ_v M_i(v) − Σ_i M_i(0).
+func phaseDistTotal(net topology.Network, lo, w int) float64 {
+	dims := net.Dims()
+	xor := true
+	span := 1
+	for i := lo; i < lo+w; i++ {
+		span *= dims[i]
+		if dims[i] != 2 {
+			xor = false
+		}
+	}
+	if xor {
+		return float64(w) * float64(span/2)
+	}
+	key := shiftDistKey{name: net.Name(), lo: lo, w: w}
+	if v, ok := shiftDistMemo.Load(key); ok {
+		return v.(float64)
+	}
+	var total float64
+	if span <= exactShiftDistSpan {
+		// Distances between nodes differing only inside the field are
+		// field-local, so the sub-block anchored at label 0 is
+		// representative: node(f) = f·stride.
+		stride := net.Stride(lo)
+		for j := 1; j < span; j++ {
+			maxDist := 0
+			for f := 0; f < span; f++ {
+				if d := net.Distance(f*stride, ((f+j)%span)*stride); d > maxDist {
+					maxDist = d
+				}
+			}
+			total += float64(maxDist)
+		}
+	} else {
+		// Torus fields wrap; any other shape is priced with the
+		// open-boundary max(w, r−w), the pessimistic upper bound.
+		_, wrap := net.(*topology.Torus)
+		for i := lo; i < lo+w; i++ {
+			r := dims[i]
+			sum, zero := 0, 0
+			for v := 0; v < r; v++ {
+				m := digitShiftMax(r, v, wrap)
+				sum += m
+				if v == 0 {
+					zero = m
+				}
+			}
+			total += float64(span/r)*float64(sum) - float64(zero)
+		}
+	}
+	shiftDistMemo.Store(key, total)
+	return total
+}
+
+// digitShiftMax returns the worst-case routed distance of one dimension
+// when its digit shifts by v with an optional incoming carry: the new
+// digit is (a+v+c) mod r for c ∈ {0,1}, so the digit difference is
+// w = (v+c) mod r — distance min(w, r−w) on a torus, and on a mesh
+// either w or r−w depending on whether the addition wrapped, both
+// reachable, so the max of the two.
+func digitShiftMax(r, v int, wrap bool) int {
+	best := 0
+	for c := 0; c <= 1; c++ {
+		w := (v + c) % r
+		var d int
+		if w == 0 {
+			d = 0
+		} else if wrap {
+			d = min(w, r-w)
+		} else {
+			d = max(w, r-w)
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// PhaseCostOn returns the modeled time in µs of one partial exchange
+// over the dimension field [lo, lo+w) of the given topology with block
+// size m — the mixed-radix generalization of PhaseCost:
+//
+//	(S−1)·(λ_eff + τ_eff·m·n/S) + δ_eff·dist + ρ·n·m + Γ·diameter
+//
+// where S is the field's span, dist the phase's total routed distance
+// (see phaseDistTotal), the shuffle term is omitted when the phase spans
+// the whole machine, and the per-phase global synchronization is charged
+// when enabled, weighted by the topology's diameter (§7.3; the
+// hypercube's diameter is its dimension, recovering eq. 3 exactly). An
+// out-of-range field is an error, never a zero cost — a zero would win
+// any minimization it leaked into.
+func (p Params) PhaseCostOn(net topology.Network, m, lo, w int) (float64, error) {
+	if w <= 0 {
+		return 0, fmt.Errorf("model: nonpositive phase width %d", w)
+	}
+	span, err := topology.SpanSize(net, lo, w)
+	if err != nil {
+		return 0, err
+	}
+	n := net.Nodes()
+	mi := float64(m) * float64(n/span)
+	steps := float64(span - 1)
+	t := steps*(p.EffLambda()+p.EffTau()*mi) + p.EffDelta()*phaseDistTotal(net, lo, w)
+	if span != n {
+		t += p.Rho * float64(m) * float64(n)
+	}
+	if p.GlobalSyncPerPhase {
+		t += p.GlobalSync(net.Diameter())
+	}
+	return t, nil
+}
+
+// MultiphaseOn returns the modeled total time in µs of the multiphase
+// complete exchange with dimension grouping D on any topology with block
+// size m, every phase using the circuit-switched schedule inside its
+// sub-blocks. On a hypercube this agrees exactly with Multiphase. The
+// per-phase breakdown is also returned.
+func (p Params) MultiphaseOn(net topology.Network, m int, D partition.Partition) (float64, []PhaseBreakdown, error) {
+	if net.NumDims() == 0 {
+		if len(D) != 0 {
+			return 0, nil, fmt.Errorf("model: nonempty grouping %v for single-node topology", D)
+		}
+		return 0, nil, nil
+	}
+	if h, ok := net.(*topology.Hypercube); ok {
+		// Radix-2 fast path: eq. (3) directly, no field layout to derive.
+		// Keeps the serving tier's hot Get as cheap as before the
+		// topology generalization.
+		d := h.Dim()
+		sum := 0
+		for _, di := range D {
+			if di <= 0 {
+				return 0, nil, fmt.Errorf("model: nonpositive phase group %d", di)
+			}
+			sum += di
+		}
+		if sum != d {
+			return 0, nil, fmt.Errorf("model: phase groups sum to %d, want %d dimensions", sum, d)
+		}
+		t, phases := p.Multiphase(m, d, D)
+		return t, phases, nil
+	}
+	fields, err := topology.PhaseFields(net, D)
+	if err != nil {
+		return 0, nil, err
+	}
+	n := net.Nodes()
+	total := 0.0
+	phases := make([]PhaseBreakdown, 0, len(D))
+	for i, f := range fields {
+		lo, w := f[0], f[1]
+		span, _ := topology.SpanSize(net, lo, w)
+		t, err := p.PhaseCostOn(net, m, lo, w)
+		if err != nil {
+			return 0, nil, err
+		}
+		total += t
+		phases = append(phases, PhaseBreakdown{
+			SubcubeDim: D[i],
+			EffBlock:   m * (n / span),
+			Alg:        PhaseCS,
+			Time:       t,
+		})
+	}
+	return total, phases, nil
+}

@@ -92,8 +92,12 @@ const (
 	MaxGoroutineDim = 10
 )
 
-// Choice is the optimizer's answer for one (d, m) query.
+// Choice is the optimizer's answer for one (topology, m) query.
 type Choice struct {
+	// Topo is the topology's registry name ("hypercube-7", "torus-4x4x4").
+	Topo string
+	// D is the number of topology dimensions (the cube dimension on a
+	// hypercube).
 	D         int
 	Block     int
 	Part      partition.Partition
@@ -101,9 +105,15 @@ type Choice struct {
 	Backend   Backend
 }
 
-// Optimizer enumerates partitions for one machine parameter set and caches
-// results per (d, m). It is safe for concurrent use; concurrent queries
-// for the same uncached key share a single evaluation.
+// key identifies one cached choice.
+type key struct {
+	topo string
+	m    int
+}
+
+// Optimizer enumerates dimension groupings for one machine parameter set
+// and caches results per (topology, m). It is safe for concurrent use;
+// concurrent queries for the same uncached key share a single evaluation.
 type Optimizer struct {
 	params  model.Params
 	backend Backend
@@ -111,8 +121,8 @@ type Optimizer struct {
 	evals   atomic.Int64 // evaluateAll invocations, for stampede tests
 
 	mu     sync.Mutex
-	cache  map[[2]int]Choice
-	flight map[[2]int]*inflight
+	cache  map[key]Choice
+	flight map[key]*inflight
 }
 
 // inflight is one evaluation in progress; latecomers for the same key
@@ -126,7 +136,7 @@ type inflight struct {
 // New returns an optimizer over the given machine parameters using the
 // analytic backend.
 func New(p model.Params) *Optimizer {
-	return &Optimizer{params: p, backend: Analytic, cache: make(map[[2]int]Choice)}
+	return &Optimizer{params: p, backend: Analytic, cache: make(map[key]Choice)}
 }
 
 // NewSimulated returns an optimizer that costs candidates by simulation
@@ -134,7 +144,7 @@ func New(p model.Params) *Optimizer {
 // MaxSimulatedDim are accepted; enumeration runs on a worker pool bounded
 // by GOMAXPROCS.
 func NewSimulated(p model.Params) *Optimizer {
-	return &Optimizer{params: p, backend: Simulated, cache: make(map[[2]int]Choice)}
+	return &Optimizer{params: p, backend: Simulated, cache: make(map[key]Choice)}
 }
 
 // SetCosting selects the Simulated backend's costing path (no-op for the
@@ -160,12 +170,41 @@ func (o *Optimizer) Best(d, m int) (Choice, error) {
 	if d < 0 || d > 20 {
 		return Choice{}, fmt.Errorf("optimize: dimension %d out of range [0,20]", d)
 	}
+	cube, err := topology.New(d)
+	if err != nil {
+		return Choice{}, err
+	}
+	return o.BestOn(cube, m)
+}
+
+// MaxMixedRadixDims bounds the dimension count of topologies with
+// unequal radices: those enumerate all 2^(k−1) ordered compositions, so
+// the candidate count — unlike the uniform case's p(k), 627 at k=20 —
+// grows exponentially in k. 17 dimensions cap the enumeration at 2^16
+// candidates. Serving tiers enforce a tighter bound at request
+// validation (plancache.ResolveTopology); this one is the library-level
+// backstop.
+const MaxMixedRadixDims = 17
+
+// BestOn returns the fastest dimension grouping for a complete exchange
+// of block size m on any topology. Results are cached per (topology, m);
+// the enumeration is over the p(k) groupings of the k dimensions when
+// all radices are equal (order cannot matter) and over all 2^(k−1)
+// ordered compositions otherwise.
+func (o *Optimizer) BestOn(net topology.Network, m int) (Choice, error) {
+	if net.Nodes() > 1<<20 {
+		return Choice{}, fmt.Errorf("optimize: %s exceeds the enumeration limit of 2^20 nodes", net.Name())
+	}
+	if !uniformRadices(net) && net.NumDims() > MaxMixedRadixDims {
+		return Choice{}, fmt.Errorf("optimize: %s has %d unequal-radix dimensions; composition enumeration is limited to %d",
+			net.Name(), net.NumDims(), MaxMixedRadixDims)
+	}
 	if m < 0 {
 		return Choice{}, fmt.Errorf("optimize: negative block size %d", m)
 	}
-	key := [2]int{d, m}
+	k := key{topo: net.Name(), m: m}
 	o.mu.Lock()
-	if c, ok := o.cache[key]; ok {
+	if c, ok := o.cache[k]; ok {
 		// Cached results stay reachable regardless of the current
 		// costing's dimension limit (both costings produce identical
 		// choices, so a hit is always valid).
@@ -175,21 +214,21 @@ func (o *Optimizer) Best(d, m int) (Choice, error) {
 	o.mu.Unlock()
 	costing := Costing(o.costing.Load())
 	if o.backend == Simulated {
-		if d > MaxSimulatedDim {
-			return Choice{}, fmt.Errorf("optimize: simulated backend limited to d ≤ %d, got %d",
-				MaxSimulatedDim, d)
+		if net.Nodes() > 1<<MaxSimulatedDim {
+			return Choice{}, fmt.Errorf("optimize: simulated backend limited to %d nodes, got %s",
+				1<<MaxSimulatedDim, net.Name())
 		}
-		if costing == CostingGoroutine && d > MaxGoroutineDim {
-			return Choice{}, fmt.Errorf("optimize: goroutine-costed simulated backend limited to d ≤ %d, got %d (use the compiled costing path)",
-				MaxGoroutineDim, d)
+		if costing == CostingGoroutine && net.Nodes() > 1<<MaxGoroutineDim {
+			return Choice{}, fmt.Errorf("optimize: goroutine-costed simulated backend limited to %d nodes, got %s (use the compiled costing path)",
+				1<<MaxGoroutineDim, net.Name())
 		}
 	}
 	o.mu.Lock()
-	if c, ok := o.cache[key]; ok {
+	if c, ok := o.cache[k]; ok {
 		o.mu.Unlock()
 		return c, nil
 	}
-	if f, ok := o.flight[key]; ok {
+	if f, ok := o.flight[k]; ok {
 		// Another goroutine is already enumerating this key: share its
 		// result instead of stampeding.
 		o.mu.Unlock()
@@ -198,33 +237,73 @@ func (o *Optimizer) Best(d, m int) (Choice, error) {
 	}
 	f := &inflight{done: make(chan struct{})}
 	if o.flight == nil {
-		o.flight = make(map[[2]int]*inflight)
+		o.flight = make(map[key]*inflight)
 	}
-	o.flight[key] = f
+	o.flight[k] = f
 	o.mu.Unlock()
 
-	f.c, f.err = o.evaluateAll(d, m, costing)
+	f.c, f.err = o.evaluateAll(net, m, costing)
 	o.mu.Lock()
 	if f.err == nil {
-		o.cache[key] = f.c
+		o.cache[k] = f.c
 	}
-	delete(o.flight, key)
+	delete(o.flight, k)
 	o.mu.Unlock()
 	close(f.done)
 	return f.c, f.err
 }
 
-// evaluateAll costs every partition of d and returns the winner (ties go
-// to the candidate with fewer phases, then to enumeration order, as
+// uniformRadices reports whether every dimension has the same radix, in
+// which case a group's radix multiset depends only on its size and
+// phase order cannot change the cost.
+func uniformRadices(net topology.Network) bool {
+	dims := net.Dims()
+	for _, r := range dims {
+		if r != dims[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// groupings enumerates the candidate dimension groupings of a topology:
+// the partitions of k when every radix is equal (the hypercube's p(d)
+// partitions, §6) and all ordered compositions of k otherwise.
+func groupings(net topology.Network) []partition.Partition {
+	k := net.NumDims()
+	if uniformRadices(net) {
+		return partition.All(k)
+	}
+	var out []partition.Partition
+	cur := make([]int, 0, k)
+	var rec func(remaining int)
+	rec = func(remaining int) {
+		if remaining == 0 {
+			out = append(out, append(partition.Partition(nil), cur...))
+			return
+		}
+		for part := remaining; part >= 1; part-- {
+			cur = append(cur, part)
+			rec(remaining - part)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(k)
+	return out
+}
+
+// evaluateAll costs every grouping and returns the winner (ties go to
+// the candidate with fewer phases, then to enumeration order, as
 // before). Candidates are evaluated on a worker pool bounded by
 // GOMAXPROCS and the reduction runs in enumeration order, so the result
 // is deterministic.
-func (o *Optimizer) evaluateAll(d, m int, costing Costing) (Choice, error) {
+func (o *Optimizer) evaluateAll(topo topology.Network, m int, costing Costing) (Choice, error) {
 	o.evals.Add(1)
-	if d == 0 {
-		return Choice{D: 0, Block: m, Part: nil, TimeMicro: 0, Backend: o.backend}, nil
+	k := topo.NumDims()
+	if k == 0 {
+		return Choice{Topo: topo.Name(), D: 0, Block: m, Part: nil, TimeMicro: 0, Backend: o.backend}, nil
 	}
-	parts := partition.All(d)
+	parts := groupings(topo)
 	times := make([]float64, len(parts))
 	errs := make([]error, len(parts))
 
@@ -249,20 +328,20 @@ func (o *Optimizer) evaluateAll(d, m int, costing Costing) (Choice, error) {
 			defer wg.Done()
 			var net *simnet.Network
 			if o.backend == Simulated {
-				net = simnet.New(topology.MustNew(d), o.params)
+				net = simnet.New(topo, o.params)
 			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(parts) {
 					return
 				}
-				times[i], errs[i] = o.evaluate(net, d, m, parts[i], costing)
+				times[i], errs[i] = o.evaluate(net, topo, m, parts[i], costing)
 			}
 		}()
 	}
 	wg.Wait()
 
-	best := Choice{D: d, Block: m, Backend: o.backend}
+	best := Choice{Topo: topo.Name(), D: k, Block: m, Backend: o.backend}
 	first := true
 	for i, D := range parts {
 		if errs[i] != nil {
@@ -278,13 +357,13 @@ func (o *Optimizer) evaluateAll(d, m int, costing Costing) (Choice, error) {
 	return best, nil
 }
 
-// evaluate costs one candidate partition.
-func (o *Optimizer) evaluate(net *simnet.Network, d, m int, D partition.Partition, costing Costing) (float64, error) {
+// evaluate costs one candidate grouping.
+func (o *Optimizer) evaluate(net *simnet.Network, topo topology.Network, m int, D partition.Partition, costing Costing) (float64, error) {
 	if o.backend == Analytic {
-		t, _ := o.params.Multiphase(m, d, D)
-		return t, nil
+		t, _, err := o.params.MultiphaseOn(topo, m, D)
+		return t, err
 	}
-	plan, err := exchange.NewPlan(d, m, D)
+	plan, err := exchange.NewPlanOn(topo, m, D)
 	if err != nil {
 		return 0, err
 	}
@@ -317,13 +396,25 @@ func (o *Optimizer) Plan(d, m int) (*exchange.Plan, error) {
 // range, the artifact the paper suggests computing once and storing "for
 // repeated future use" (§6).
 type Table struct {
+	// Topo is the topology's registry name; D its dimension count.
+	Topo     string
 	D        int
 	Segments []model.HullSegment
 }
 
 // BuildTable sweeps block sizes [mLo, mHi] with the given step and returns
-// the hull-of-optimality table for dimension d.
+// the hull-of-optimality table for a d-cube.
 func (o *Optimizer) BuildTable(d, mLo, mHi, step int) (Table, error) {
+	cube, err := topology.New(d)
+	if err != nil {
+		return Table{}, err
+	}
+	return o.BuildTableOn(cube, mLo, mHi, step)
+}
+
+// BuildTableOn sweeps block sizes [mLo, mHi] with the given step and
+// returns the hull-of-optimality table for any topology.
+func (o *Optimizer) BuildTableOn(net topology.Network, mLo, mHi, step int) (Table, error) {
 	if mLo < 0 || mHi < mLo {
 		return Table{}, fmt.Errorf("optimize: bad sweep [%d,%d]", mLo, mHi)
 	}
@@ -332,7 +423,7 @@ func (o *Optimizer) BuildTable(d, mLo, mHi, step int) (Table, error) {
 	}
 	var segs []model.HullSegment
 	for m := mLo; m <= mHi; m += step {
-		c, err := o.Best(d, m)
+		c, err := o.BestOn(net, m)
 		if err != nil {
 			return Table{}, err
 		}
@@ -342,7 +433,7 @@ func (o *Optimizer) BuildTable(d, mLo, mHi, step int) (Table, error) {
 		}
 		segs = append(segs, model.HullSegment{Part: c.Part, MinBlock: m, MaxBlock: m})
 	}
-	return Table{D: d, Segments: segs}, nil
+	return Table{Topo: net.Name(), D: net.NumDims(), Segments: segs}, nil
 }
 
 // Lookup returns the optimal partition for block size m from the table

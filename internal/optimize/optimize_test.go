@@ -6,8 +6,11 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/exchange"
 	"repro/internal/model"
 	"repro/internal/partition"
+	"repro/internal/simnet"
+	"repro/internal/topology"
 )
 
 func TestBestValidation(t *testing.T) {
@@ -293,5 +296,137 @@ func TestParamsAccessor(t *testing.T) {
 	prm := model.Hypothetical()
 	if New(prm).Params().Lambda != prm.Lambda {
 		t.Error("Params accessor")
+	}
+}
+
+// BestOn with a torus must return the true minimum over all ordered
+// compositions of the dimensions, costed by the generalized model.
+func TestBestOnTorusIsTrueMinimum(t *testing.T) {
+	prm := model.IPSC860()
+	o := New(prm)
+	net := topology.MustParseSpec("torus-4x4x4")
+	for _, m := range []int{0, 8, 40, 200} {
+		got, err := o.BestOn(net, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Topo != "torus-4x4x4" || got.D != 3 {
+			t.Fatalf("choice metadata: %+v", got)
+		}
+		bestTime := math.Inf(1)
+		for _, G := range partition.All(3) { // uniform radices: partitions suffice
+			tt, _, err := prm.MultiphaseOn(net, m, G)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tt < bestTime {
+				bestTime = tt
+			}
+		}
+		if got.TimeMicro != bestTime {
+			t.Errorf("m=%d: BestOn %v µs, enumeration minimum %v µs", m, got.TimeMicro, bestTime)
+		}
+	}
+}
+
+// Mixed radices force the full composition enumeration: the winner must
+// beat (or tie) every ordered composition, including order-reversed
+// pairs that differ in cost.
+func TestBestOnMixedRadixComposition(t *testing.T) {
+	prm := model.IPSC860()
+	o := New(prm)
+	net := topology.MustParseSpec("torus-8x2x2")
+	got, err := o.BestOn(net, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, G := range []partition.Partition{{3}, {1, 2}, {2, 1}, {1, 1, 1}} {
+		tt, _, err := prm.MultiphaseOn(net, 40, G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tt < got.TimeMicro {
+			t.Errorf("composition %v (%v µs) beats BestOn's %v (%v µs)",
+				G, tt, got.Part, got.TimeMicro)
+		}
+	}
+}
+
+// Hypercube and torus lines must cache independently even at equal node
+// counts.
+func TestBestCachesPerTopology(t *testing.T) {
+	o := New(model.Hypothetical())
+	cube, err := o.Best(4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor, err := o.BestOn(topology.MustParseSpec("torus-4x4"), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.Topo == tor.Topo {
+		t.Errorf("distinct topologies share key %q", cube.Topo)
+	}
+	if o.Evaluations() != 2 {
+		t.Errorf("expected 2 enumerations, got %d", o.Evaluations())
+	}
+	// Hits on both keys.
+	if _, err := o.Best(4, 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.BestOn(topology.MustParseSpec("torus-4x4"), 40); err != nil {
+		t.Fatal(err)
+	}
+	if o.Evaluations() != 2 {
+		t.Errorf("cache hits re-ran the enumeration: %d", o.Evaluations())
+	}
+}
+
+// BuildTableOn must produce a hull whose every segment is the optimizer's
+// winner on a torus.
+func TestBuildTableOnTorus(t *testing.T) {
+	o := New(model.IPSC860())
+	net := topology.MustParseSpec("torus-3x3")
+	tbl, err := o.BuildTableOn(net, 0, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Topo != "torus-3x3" || tbl.D != 2 || len(tbl.Segments) == 0 {
+		t.Fatalf("table: %+v", tbl)
+	}
+	for m := 0; m <= 64; m += 7 {
+		want, err := o.BestOn(net, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tbl.Lookup(m).Equal(want.Part) {
+			t.Errorf("m=%d: table %v, BestOn %v", m, tbl.Lookup(m), want.Part)
+		}
+	}
+}
+
+// The simulated backend must cost torus candidates through the compiled
+// trace replay.
+func TestSimulatedBackendOnTorus(t *testing.T) {
+	o := NewSimulated(model.IPSC860())
+	net := topology.MustParseSpec("torus-4x4")
+	got, err := o.BestOn(net, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TimeMicro <= 0 || got.Backend != Simulated {
+		t.Fatalf("simulated torus choice: %+v", got)
+	}
+	// The winner's simulated cost must match costing the plan directly.
+	plan, err := exchange.NewPlanOn(net, 40, got.Part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Cost(simnet.New(net, model.IPSC860()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != got.TimeMicro {
+		t.Errorf("BestOn %v µs, direct Cost %v µs", got.TimeMicro, res.Makespan)
 	}
 }

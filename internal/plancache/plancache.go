@@ -37,6 +37,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/optimize"
 	"repro/internal/partition"
+	"repro/internal/topology"
 )
 
 // DefaultSweepHi is the upper block-size bound of the hull sweep a line
@@ -98,11 +99,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Plan is one served answer: the optimal partition for (Machine, D,
-// Block) together with its modeled time and per-phase breakdown, plus
-// the hull segment the block size resolved through.
+// Plan is one served answer: the optimal partition for (Machine,
+// Topology, Block) together with its modeled time and per-phase
+// breakdown, plus the hull segment the block size resolved through.
 type Plan struct {
-	Machine   string
+	Machine string
+	// Topo is the topology registry name the plan answers for; D is its
+	// dimension count (the cube dimension on a hypercube).
+	Topo      string
 	D         int
 	Block     int
 	Part      partition.Partition
@@ -137,15 +141,17 @@ type Stats struct {
 	Segments int `json:"segments"`
 }
 
-// lineKey identifies one cache line.
+// lineKey identifies one cache line: the machine's parameter set and the
+// network shape the hull was enumerated for.
 type lineKey struct {
 	machine string
-	d       int
+	topo    string
 }
 
 // line is one resident hull table.
 type line struct {
 	key              lineKey
+	net              topology.Network
 	table            optimize.Table
 	sweepLo, sweepHi int
 	sweepStep        int
@@ -234,9 +240,69 @@ func (c *Cache) resolve(machine string) (string, model.Params, error) {
 func (c *Cache) shardFor(key lineKey) *shard {
 	h := fnv.New32a()
 	h.Write([]byte(key.machine))
-	h.Write([]byte{byte(key.d), byte(key.d >> 8)})
+	h.Write([]byte{0})
+	h.Write([]byte(key.topo))
 	return c.shards[h.Sum32()%uint32(len(c.shards))]
 }
+
+// MaxTopologyNodes bounds the networks a cache will build hulls for —
+// the optimizer's own enumeration limit, enforced here at request
+// validation time so an oversized topology is a caller error, not a
+// build failure.
+const MaxTopologyNodes = 1 << 20
+
+// ResolveTopology validates a topology registry spec for serving:
+// parse errors and oversized networks come back as request-validation
+// errors (the service layer maps them to 400).
+func ResolveTopology(spec string) (topology.Network, error) {
+	net, err := topology.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkServable(net); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// MaxMixedRadixDims bounds unequal-radix topologies at request
+// validation: their optimizer enumeration is over 2^(k−1) ordered
+// compositions, re-run for each of the ~SweepHi block sizes of a hull
+// build, so the node-count bound alone would let one request schedule
+// an exponential amount of work. 12 dimensions cap a build at
+// 2^11 · sweep candidates. Uniform-radix shapes (hypercubes, square
+// tori) enumerate only p(k) partitions and are not restricted.
+const MaxMixedRadixDims = 12
+
+// checkServable enforces the enumeration-cost bounds on every request
+// path — including the dimension-based Get, which never goes through a
+// spec string — so an oversized topology is always a caller error,
+// never a BuildError-classified (500-mapped) hull failure.
+func checkServable(net topology.Network) error {
+	if net.Nodes() > MaxTopologyNodes {
+		return fmt.Errorf("plancache: %s exceeds the serving limit of %d nodes",
+			net.Name(), MaxTopologyNodes)
+	}
+	if _, ok := net.(*topology.Hypercube); ok {
+		return nil // uniform radix 2 by construction; keep the hot Get allocation-free
+	}
+	dims := net.Dims()
+	uniform := true
+	for _, r := range dims {
+		if r != dims[0] {
+			uniform = false
+			break
+		}
+	}
+	if !uniform && len(dims) > MaxMixedRadixDims {
+		return fmt.Errorf("plancache: %s has %d unequal-radix dimensions, over the serving limit of %d",
+			net.Name(), len(dims), MaxMixedRadixDims)
+	}
+	return nil
+}
+
+// hypercubeSpec names the d-cube line the dimension-based API uses.
+func hypercubeSpec(d int) string { return fmt.Sprintf("hypercube-%d", d) }
 
 // optimizer returns (creating once) the per-machine optimizer.
 func (c *Cache) optimizer(name string, p model.Params) *optimize.Optimizer {
@@ -250,76 +316,155 @@ func (c *Cache) optimizer(name string, p model.Params) *optimize.Optimizer {
 	return o
 }
 
-// Get answers one (machine, d, m) query with the full plan detail.
+// Get answers one (machine, d, m) hypercube query with the full plan
+// detail. This is the serving hot path: the shared hypercube instance
+// resolves without parsing or allocation.
 func (c *Cache) Get(machine string, d, m int) (Plan, error) {
 	name, prm, err := c.resolve(machine)
 	if err != nil {
 		return Plan{}, err
 	}
-	if m < 0 {
-		return Plan{}, fmt.Errorf("plancache: negative block size %d", m)
-	}
-	ln, _, err := c.lineFor(name, prm, d)
+	net, err := topology.New(d)
 	if err != nil {
 		return Plan{}, err
 	}
-	return c.answer(name, prm, ln, d, m), nil
+	return c.getOn(name, prm, net, m)
 }
 
-// Lookup is the fast path: the optimal partition for (machine, d, m)
-// with no per-request breakdown. The returned slice is shared with the
-// cache line and must be treated as read-only.
-func (c *Cache) Lookup(machine string, d, m int) (partition.Partition, error) {
+// GetOn answers one (machine, topology, m) query with the full plan
+// detail; topo is a topology registry spec such as "torus-4x4x4".
+func (c *Cache) GetOn(machine, topo string, m int) (Plan, error) {
+	net, err := ResolveTopology(topo)
+	if err != nil {
+		return Plan{}, err
+	}
+	return c.GetFor(machine, net, m)
+}
+
+// GetFor is GetOn with an already-resolved topology — the form the
+// service layer uses so a request's spec is parsed exactly once.
+func (c *Cache) GetFor(machine string, net topology.Network, m int) (Plan, error) {
 	name, prm, err := c.resolve(machine)
 	if err != nil {
+		return Plan{}, err
+	}
+	return c.getOn(name, prm, net, m)
+}
+
+func (c *Cache) getOn(name string, prm model.Params, net topology.Network, m int) (Plan, error) {
+	if err := checkServable(net); err != nil {
+		return Plan{}, err
+	}
+	if m < 0 {
+		return Plan{}, fmt.Errorf("plancache: negative block size %d", m)
+	}
+	ln, _, err := c.lineFor(name, prm, net)
+	if err != nil {
+		return Plan{}, err
+	}
+	return c.answer(name, prm, ln, m)
+}
+
+// Lookup is the fast path: the optimal partition for (machine, d, m) on
+// a d-cube with no per-request breakdown. The returned slice is shared
+// with the cache line and must be treated as read-only.
+func (c *Cache) Lookup(machine string, d, m int) (partition.Partition, error) {
+	return c.LookupOn(machine, hypercubeSpec(d), m)
+}
+
+// LookupOn is Lookup for any topology registry spec.
+func (c *Cache) LookupOn(machine, topo string, m int) (partition.Partition, error) {
+	net, err := ResolveTopology(topo)
+	if err != nil {
+		return nil, err
+	}
+	return c.LookupFor(machine, net, m)
+}
+
+// LookupFor is LookupOn with an already-resolved topology — the form
+// core.System uses so its own topology handle is never re-parsed.
+func (c *Cache) LookupFor(machine string, net topology.Network, m int) (partition.Partition, error) {
+	name, prm, err := c.resolve(machine)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkServable(net); err != nil {
 		return nil, err
 	}
 	if m < 0 {
 		return nil, fmt.Errorf("plancache: negative block size %d", m)
 	}
-	ln, _, err := c.lineFor(name, prm, d)
+	ln, _, err := c.lineFor(name, prm, net)
 	if err != nil {
 		return nil, err
 	}
 	return ln.table.Lookup(m), nil
 }
 
-// Hull returns the resident hull table for (machine, d), building the
-// line if needed.
+// Hull returns the resident hull table for (machine, d) on a d-cube,
+// building the line if needed.
 func (c *Cache) Hull(machine string, d int) (optimize.Table, error) {
+	return c.HullOn(machine, hypercubeSpec(d))
+}
+
+// HullOn is Hull for any topology registry spec.
+func (c *Cache) HullOn(machine, topo string) (optimize.Table, error) {
+	net, err := ResolveTopology(topo)
+	if err != nil {
+		return optimize.Table{}, err
+	}
+	return c.HullFor(machine, net)
+}
+
+// HullFor is HullOn with an already-resolved topology.
+func (c *Cache) HullFor(machine string, net topology.Network) (optimize.Table, error) {
 	name, prm, err := c.resolve(machine)
 	if err != nil {
 		return optimize.Table{}, err
 	}
-	ln, _, err := c.lineFor(name, prm, d)
+	if err := checkServable(net); err != nil {
+		return optimize.Table{}, err
+	}
+	ln, _, err := c.lineFor(name, prm, net)
 	if err != nil {
 		return optimize.Table{}, err
 	}
 	return ln.table, nil
 }
 
-// Warm pre-builds the line for (machine, d), so the first query pays no
-// enumeration. It reports whether a build actually ran (false when the
-// line was already resident or another caller's build was joined).
+// Warm pre-builds the line for (machine, d) on a d-cube, so the first
+// query pays no enumeration. It reports whether a build actually ran
+// (false when the line was already resident or another caller's build
+// was joined).
 func (c *Cache) Warm(machine string, d int) (built bool, err error) {
+	return c.WarmOn(machine, hypercubeSpec(d))
+}
+
+// WarmOn is Warm for any topology registry spec.
+func (c *Cache) WarmOn(machine, topo string) (built bool, err error) {
 	name, prm, err := c.resolve(machine)
 	if err != nil {
 		return false, err
 	}
-	_, built, err = c.lineFor(name, prm, d)
+	net, err := ResolveTopology(topo)
+	if err != nil {
+		return false, err
+	}
+	_, built, err = c.lineFor(name, prm, net)
 	return built, err
 }
 
 // answer resolves m through a resident line.
-func (c *Cache) answer(name string, prm model.Params, ln *line, d, m int) Plan {
+func (c *Cache) answer(name string, prm model.Params, ln *line, m int) (Plan, error) {
 	seg, inRange := ln.table.LookupSegment(m)
-	t, phases := prm.Multiphase(m, d, seg.Part)
-	if d == 0 {
-		t, phases = 0, nil
+	t, phases, err := prm.MultiphaseOn(ln.net, m, seg.Part)
+	if err != nil {
+		return Plan{}, fmt.Errorf("plancache: pricing %s/%s m=%d: %w", name, ln.key.topo, m, err)
 	}
 	return Plan{
 		Machine:   name,
-		D:         d,
+		Topo:      ln.key.topo,
+		D:         ln.net.NumDims(),
 		Block:     m,
 		Part:      seg.Part,
 		TimeMicro: t,
@@ -327,14 +472,14 @@ func (c *Cache) answer(name string, prm model.Params, ln *line, d, m int) Plan {
 		SegMin:    seg.MinBlock,
 		SegMax:    seg.MaxBlock,
 		InRange:   inRange,
-	}
+	}, nil
 }
 
-// lineFor returns the resident line for (name, d), building it under a
-// per-key singleflight on a miss. built is true only for the caller
-// that ran the build itself (not for hits or joined waiters).
-func (c *Cache) lineFor(name string, prm model.Params, d int) (ln *line, built bool, err error) {
-	key := lineKey{machine: name, d: d}
+// lineFor returns the resident line for (name, topology), building it
+// under a per-key singleflight on a miss. built is true only for the
+// caller that ran the build itself (not for hits or joined waiters).
+func (c *Cache) lineFor(name string, prm model.Params, net topology.Network) (ln *line, built bool, err error) {
+	key := lineKey{machine: name, topo: net.Name()}
 	sh := c.shardFor(key)
 
 	sh.mu.Lock()
@@ -356,7 +501,7 @@ func (c *Cache) lineFor(name string, prm model.Params, d int) (ln *line, built b
 	c.misses.Add(1)
 	c.inflight.Add(1)
 
-	f.line, f.err = c.build(name, prm, d)
+	f.line, f.err = c.build(name, prm, net)
 
 	sh.mu.Lock()
 	if f.err == nil {
@@ -375,25 +520,26 @@ func (c *Cache) lineFor(name string, prm model.Params, d int) (ln *line, built b
 // to 500 and the latter to 400.
 type BuildError struct {
 	Machine string
-	D       int
+	Topo    string
 	Err     error
 }
 
 func (e *BuildError) Error() string {
-	return fmt.Sprintf("plancache: building %s/d=%d: %v", e.Machine, e.D, e.Err)
+	return fmt.Sprintf("plancache: building %s/%s: %v", e.Machine, e.Topo, e.Err)
 }
 
 func (e *BuildError) Unwrap() error { return e.Err }
 
 // build runs the hull sweep for one line.
-func (c *Cache) build(name string, prm model.Params, d int) (*line, error) {
+func (c *Cache) build(name string, prm model.Params, net topology.Network) (*line, error) {
 	opt := c.optimizer(name, prm)
-	tbl, err := opt.BuildTable(d, 0, c.cfg.SweepHi, c.cfg.SweepStep)
+	tbl, err := opt.BuildTableOn(net, 0, c.cfg.SweepHi, c.cfg.SweepStep)
 	if err != nil {
-		return nil, &BuildError{Machine: name, D: d, Err: err}
+		return nil, &BuildError{Machine: name, Topo: net.Name(), Err: err}
 	}
 	return &line{
-		key:       lineKey{machine: name, d: d},
+		key:       lineKey{machine: name, topo: net.Name()},
+		net:       net,
 		table:     tbl,
 		sweepLo:   0,
 		sweepHi:   c.cfg.SweepHi,

@@ -12,6 +12,13 @@ import (
 	"repro/internal/partition"
 )
 
+// SnapshotVersion is the wire-format version Snapshot writes and Restore
+// requires. Version 1 keyed lines on (machine, d) with the hypercube
+// assumed; version 2 keys them on (machine, topology), so a pre-bump
+// snapshot must be rejected as stale rather than restored under the
+// wrong key space.
+const SnapshotVersion = 2
+
 // snapSegment is the JSON form of one hull segment.
 type snapSegment struct {
 	Partition []int `json:"partition"`
@@ -24,8 +31,12 @@ type snapSegment struct {
 // different constants rejects it as stale rather than serving wrong
 // plans.
 type snapLine struct {
-	Machine   string        `json:"machine"`
-	Params    model.Params  `json:"params"`
+	Machine string       `json:"machine"`
+	Params  model.Params `json:"params"`
+	// Topology is the network registry spec the hull was enumerated for
+	// ("hypercube-7", "torus-4x4x4"); D is its dimension count, kept for
+	// human readability.
+	Topology  string        `json:"topology"`
 	D         int           `json:"d"`
 	SweepLo   int           `json:"sweep_lo"`
 	SweepHi   int           `json:"sweep_hi"`
@@ -43,7 +54,7 @@ type snapshot struct {
 // Counters are not serialized: a restored cache starts cold on stats but
 // warm on content.
 func (c *Cache) Snapshot(w io.Writer) error {
-	snap := snapshot{Version: 1}
+	snap := snapshot{Version: SnapshotVersion}
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		for el := sh.lru.Front(); el != nil; el = el.Next() {
@@ -55,7 +66,8 @@ func (c *Cache) Snapshot(w io.Writer) error {
 			sl := snapLine{
 				Machine:   ln.key.machine,
 				Params:    prm,
-				D:         ln.key.d,
+				Topology:  ln.key.topo,
+				D:         ln.net.NumDims(),
 				SweepLo:   ln.sweepLo,
 				SweepHi:   ln.sweepHi,
 				SweepStep: ln.sweepStep,
@@ -76,23 +88,25 @@ func (c *Cache) Snapshot(w io.Writer) error {
 	return enc.Encode(snap)
 }
 
-// Restore loads lines written by Snapshot into the cache. Lines whose
-// machine is unknown to this cache's registry, whose recorded parameters
-// differ from the registry's (a recalibrated machine), or whose sweep
-// does not match this cache's configured sweep (a line built at a
-// different resolution or range would shadow the promised answers) are
-// skipped as stale; malformed lines are an error. It returns how many
-// lines were accepted and how many were skipped; when the snapshot holds
-// more lines than the cache's capacity, accepted lines beyond it are
-// LRU-evicted during the restore (Stats().Lines reports what stayed
-// resident).
+// Restore loads lines written by Snapshot into the cache. A snapshot
+// from a different schema version — including the pre-topology version 1
+// — is rejected outright as stale. Lines whose machine is unknown to
+// this cache's registry, whose recorded parameters differ from the
+// registry's (a recalibrated machine), or whose sweep does not match
+// this cache's configured sweep (a line built at a different resolution
+// or range would shadow the promised answers) are skipped as stale;
+// malformed lines are an error. It returns how many lines were accepted
+// and how many were skipped; when the snapshot holds more lines than the
+// cache's capacity, accepted lines beyond it are LRU-evicted during the
+// restore (Stats().Lines reports what stayed resident).
 func (c *Cache) Restore(r io.Reader) (restored, skipped int, err error) {
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return 0, 0, fmt.Errorf("plancache: decoding snapshot: %w", err)
 	}
-	if snap.Version != 1 {
-		return 0, 0, fmt.Errorf("plancache: unsupported snapshot version %d", snap.Version)
+	if snap.Version != SnapshotVersion {
+		return 0, 0, fmt.Errorf("plancache: stale snapshot version %d (want %d; rebuild or delete the snapshot)",
+			snap.Version, SnapshotVersion)
 	}
 	// Insert in reverse so the snapshot's MRU-first order is preserved
 	// by the front-insertion LRU.
@@ -122,15 +136,22 @@ func (c *Cache) Restore(r io.Reader) (restored, skipped int, err error) {
 
 // restoreLine validates and rebuilds one line.
 func restoreLine(sl snapLine) (*line, error) {
-	if sl.D < 0 {
-		return nil, fmt.Errorf("plancache: snapshot line %s has negative dimension %d", sl.Machine, sl.D)
+	net, err := ResolveTopology(sl.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("plancache: snapshot line for machine %s: %w", sl.Machine, err)
 	}
-	tbl := optimize.Table{D: sl.D}
+	k := net.NumDims()
+	tbl := optimize.Table{Topo: net.Name(), D: k}
 	prevMax := -1
 	for _, seg := range sl.Segments {
 		D := partition.Partition(append([]int(nil), seg.Partition...))
-		if sl.D > 0 && !D.Canonical().IsValid(sl.D) {
-			return nil, fmt.Errorf("plancache: snapshot partition %v invalid for d=%d", D, sl.D)
+		if sum := D.Sum(); sum != k || (k > 0 && len(D) == 0) {
+			return nil, fmt.Errorf("plancache: snapshot grouping %v invalid for %s", D, net.Name())
+		}
+		for _, di := range D {
+			if di <= 0 {
+				return nil, fmt.Errorf("plancache: snapshot grouping %v invalid for %s", D, net.Name())
+			}
 		}
 		if seg.MinBlock > seg.MaxBlock || seg.MinBlock <= prevMax {
 			return nil, fmt.Errorf("plancache: snapshot segment range [%d,%d] out of order",
@@ -144,7 +165,8 @@ func restoreLine(sl snapLine) (*line, error) {
 		})
 	}
 	return &line{
-		key:       lineKey{machine: sl.Machine, d: sl.D},
+		key:       lineKey{machine: sl.Machine, topo: net.Name()},
+		net:       net,
 		table:     tbl,
 		sweepLo:   sl.SweepLo,
 		sweepHi:   sl.SweepHi,

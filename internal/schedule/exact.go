@@ -11,12 +11,12 @@ import (
 // intended for small instances only (≤ maxTransfers transfers), where it
 // serves as the optimality yardstick for the greedy Build — quantifying
 // the §9 open problem's difficulty.
-func BuildExact(h *topology.Hypercube, transfers []topology.Transfer, maxTransfers int) (*Schedule, error) {
+func BuildExact(h topology.Network, transfers []topology.Transfer, maxTransfers int) (*Schedule, error) {
 	work := make([]topology.Transfer, 0, len(transfers))
 	for _, tr := range transfers {
 		if !h.Contains(tr.Src) || !h.Contains(tr.Dst) {
-			return nil, fmt.Errorf("schedule: transfer %d→%d outside %d-cube",
-				tr.Src, tr.Dst, h.Dim())
+			return nil, fmt.Errorf("schedule: transfer %d→%d outside %s",
+				tr.Src, tr.Dst, h.Name())
 		}
 		if tr.Src != tr.Dst {
 			work = append(work, tr)
@@ -27,7 +27,7 @@ func BuildExact(h *topology.Hypercube, transfers []topology.Transfer, maxTransfe
 			maxTransfers, len(work))
 	}
 	if len(work) == 0 {
-		return &Schedule{Cube: h}, nil
+		return &Schedule{Net: h}, nil
 	}
 
 	// Precompute each transfer's directed edge set.
@@ -57,7 +57,7 @@ func BuildExact(h *topology.Hypercube, transfers []topology.Transfer, maxTransfe
 			steps[i] = newStepRes()
 		}
 		if solve(work, edgeSets, assign, steps, 0) {
-			s := &Schedule{Cube: h, Steps: make([][]topology.Transfer, k)}
+			s := &Schedule{Net: h, Steps: make([][]topology.Transfer, k)}
 			for i, st := range assign {
 				s.Steps[st] = append(s.Steps[st], work[i])
 			}
@@ -69,7 +69,7 @@ func BuildExact(h *topology.Hypercube, transfers []topology.Transfer, maxTransfe
 
 // lowerBound: a node sending (or receiving) c transfers needs ≥ c steps;
 // an edge used by c transfers needs ≥ c steps.
-func lowerBound(h *topology.Hypercube, work []topology.Transfer) int {
+func lowerBound(h topology.Network, work []topology.Transfer) int {
 	srcCount := map[int]int{}
 	dstCount := map[int]int{}
 	edgeCount := map[topology.Edge]int{}

@@ -29,7 +29,7 @@ import (
 // Schedule is an ordered list of steps; the transfers of one step run
 // simultaneously.
 type Schedule struct {
-	Cube  *topology.Hypercube
+	Net   topology.Network
 	Steps [][]topology.Transfer
 }
 
@@ -51,12 +51,12 @@ func (s *Schedule) NumTransfers() int {
 // and circuit constraints hold. Self-transfers are dropped. The input
 // order does not affect the result (transfers are canonically sorted
 // before packing), so schedules are deterministic.
-func Build(h *topology.Hypercube, transfers []topology.Transfer) (*Schedule, error) {
+func Build(h topology.Network, transfers []topology.Transfer) (*Schedule, error) {
 	work := make([]topology.Transfer, 0, len(transfers))
 	for _, tr := range transfers {
 		if !h.Contains(tr.Src) || !h.Contains(tr.Dst) {
-			return nil, fmt.Errorf("schedule: transfer %d→%d outside %d-cube",
-				tr.Src, tr.Dst, h.Dim())
+			return nil, fmt.Errorf("schedule: transfer %d→%d outside %s",
+				tr.Src, tr.Dst, h.Name())
 		}
 		if tr.Src != tr.Dst {
 			work = append(work, tr)
@@ -74,7 +74,7 @@ func Build(h *topology.Hypercube, transfers []topology.Transfer) (*Schedule, err
 		return work[i].Dst < work[j].Dst
 	})
 
-	s := &Schedule{Cube: h}
+	s := &Schedule{Net: h}
 	type stepState struct {
 		sending   map[int]bool
 		receiving map[int]bool
@@ -156,7 +156,7 @@ func (s *Schedule) Verify(requested []topology.Transfer) error {
 				return fmt.Errorf("schedule: transfer %d→%d scheduled too often", tr.Src, tr.Dst)
 			}
 		}
-		r, err := s.Cube.AnalyzeStep(step)
+		r, err := topology.Analyze(s.Net, step)
 		if err != nil {
 			return err
 		}
@@ -181,7 +181,7 @@ func (s *Schedule) Model(prm model.Params, m int) float64 {
 	for _, step := range s.Steps {
 		maxDist := 0
 		for _, tr := range step {
-			if d := s.Cube.Distance(tr.Src, tr.Dst); d > maxDist {
+			if d := s.Net.Distance(tr.Src, tr.Dst); d > maxDist {
 				maxDist = d
 			}
 		}
@@ -196,7 +196,7 @@ func (s *Schedule) Model(prm model.Params, m int) float64 {
 // step order. Step boundaries are enforced with barriers so the
 // simulation mirrors the analytic model's lockstep assumption.
 func (s *Schedule) Programs(m int) []simnet.Program {
-	n := s.Cube.Nodes()
+	n := s.Net.Nodes()
 	progs := make([]simnet.Program, n)
 	// Pre-post every receive.
 	for _, step := range s.Steps {
@@ -221,13 +221,13 @@ func (s *Schedule) Programs(m int) []simnet.Program {
 
 // Simulate runs the schedule's programs on a simulated network.
 func (s *Schedule) Simulate(prm model.Params, m int) (simnet.Result, error) {
-	net := simnet.New(s.Cube, prm)
+	net := simnet.New(s.Net, prm)
 	return net.Run(s.Programs(m))
 }
 
 // CompleteGraph returns the complete-exchange requirement: every ordered
 // pair (src ≠ dst) once.
-func CompleteGraph(h *topology.Hypercube) []topology.Transfer {
+func CompleteGraph(h topology.Network) []topology.Transfer {
 	n := h.Nodes()
 	out := make([]topology.Transfer, 0, n*(n-1))
 	for s := 0; s < n; s++ {

@@ -227,3 +227,41 @@ func TestModelMonotoneInMessageSize(t *testing.T) {
 		t.Error("model must grow with message size")
 	}
 }
+
+// The greedy scheduler must pack and verify schedules on non-hypercube
+// topologies end-to-end, including simulation.
+func TestBuildOnTorus(t *testing.T) {
+	net := topology.MustParseSpec("torus-3x3")
+	req := CompleteGraph(net)
+	s, err := Build(net, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(req); err != nil {
+		t.Fatalf("torus schedule fails verification: %v", err)
+	}
+	res, err := s.Simulate(model.IPSC860(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("non-positive makespan")
+	}
+	if got := s.Model(model.IPSC860(), 16); got <= 0 {
+		t.Error("non-positive model time")
+	}
+}
+
+// The exact solver must agree with the one-port lower bound on a small
+// mesh instance.
+func TestBuildExactOnMesh(t *testing.T) {
+	net := topology.MustParseSpec("mesh-2x2")
+	req := []topology.Transfer{{Src: 0, Dst: 3}, {Src: 3, Dst: 0}, {Src: 1, Dst: 2}}
+	s, err := BuildExact(net, req, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(req); err != nil {
+		t.Fatal(err)
+	}
+}

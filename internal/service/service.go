@@ -197,6 +197,7 @@ type segmentJSON struct {
 // PlanResponse is the /v1/plan wire format.
 type PlanResponse struct {
 	Machine     string      `json:"machine"`
+	Topology    string      `json:"topology"`
 	D           int         `json:"d"`
 	M           int         `json:"m"`
 	Partition   []int       `json:"partition"`
@@ -209,6 +210,7 @@ type PlanResponse struct {
 func planResponse(p plancache.Plan) PlanResponse {
 	resp := PlanResponse{
 		Machine:     p.Machine,
+		Topology:    p.Topo,
 		D:           p.D,
 		M:           p.Block,
 		Partition:   append([]int{}, p.Part...),
@@ -240,11 +242,11 @@ func phasesJSON(phases []model.PhaseBreakdown) []phaseJSON {
 // --- handlers; each returns the HTTP status it wrote ---
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) int {
-	machine, d, m, errCode := s.planQuery(w, r)
+	machine, topo, m, errCode := s.planQuery(w, r)
 	if errCode != 0 {
 		return errCode
 	}
-	p, err := s.cache.Get(machine, d, m)
+	p, err := s.cache.GetFor(machine, topo, m)
 	if err != nil {
 		return writeCacheError(w, err)
 	}
@@ -260,6 +262,38 @@ func (s *Server) checkPlanDim(d int) error {
 	return nil
 }
 
+// resolveTopo turns a request's topology/d pair into a resolved network
+// within the server's serving bound: an explicit topology field wins,
+// otherwise d selects the hypercube. The bound caps both the node count
+// (2^PlanMaxDim — a hull build's cost scales with it) and, for the
+// hypercube path, d itself. Handlers pass the returned Network straight
+// to the cache's *For entry points, so a request's spec is parsed
+// exactly once.
+func (s *Server) resolveTopo(topo string, d string) (topology.Network, error) {
+	if topo == "" {
+		if d == "" {
+			return nil, fmt.Errorf("missing required parameter %q (or %q)", "d", "topology")
+		}
+		dv, err := queryInt(d, "d")
+		if err != nil {
+			return nil, err
+		}
+		if err := s.checkPlanDim(dv); err != nil {
+			return nil, err
+		}
+		return topology.New(dv)
+	}
+	net, err := plancache.ResolveTopology(topo)
+	if err != nil {
+		return nil, err
+	}
+	if net.Nodes() > 1<<s.cfg.PlanMaxDim {
+		return nil, fmt.Errorf("topology %s has %d nodes, over this server's bound of %d",
+			net.Name(), net.Nodes(), 1<<s.cfg.PlanMaxDim)
+	}
+	return net, nil
+}
+
 // writeCacheError maps a plancache error to a status: build failures
 // are server-side (500), everything else is request validation (400).
 func writeCacheError(w http.ResponseWriter, err error) int {
@@ -270,26 +304,23 @@ func writeCacheError(w http.ResponseWriter, err error) int {
 	return writeError(w, http.StatusBadRequest, err.Error())
 }
 
-// planQuery parses machine/d/m from the URL query; on failure it writes
-// the error response and returns its code (0 on success).
-func (s *Server) planQuery(w http.ResponseWriter, r *http.Request) (machine string, d, m, errCode int) {
+// planQuery parses machine/topology/d/m from the URL query; on failure
+// it writes the error response and returns its code (0 on success).
+func (s *Server) planQuery(w http.ResponseWriter, r *http.Request) (machine string, topo topology.Network, m, errCode int) {
 	q := r.URL.Query()
 	machine = q.Get("machine")
 	if machine == "" {
 		machine = s.cfg.DefaultMachine
 	}
-	d, err := queryInt(q.Get("d"), "d")
+	topo, err := s.resolveTopo(q.Get("topology"), q.Get("d"))
 	if err != nil {
-		return "", 0, 0, writeError(w, http.StatusBadRequest, err.Error())
-	}
-	if err := s.checkPlanDim(d); err != nil {
-		return "", 0, 0, writeError(w, http.StatusBadRequest, err.Error())
+		return "", nil, 0, writeError(w, http.StatusBadRequest, err.Error())
 	}
 	m, err = queryInt(q.Get("m"), "m")
 	if err != nil {
-		return "", 0, 0, writeError(w, http.StatusBadRequest, err.Error())
+		return "", nil, 0, writeError(w, http.StatusBadRequest, err.Error())
 	}
-	return machine, d, m, 0
+	return machine, topo, m, 0
 }
 
 func queryInt(raw, name string) (int, error) {
@@ -303,9 +334,11 @@ func queryInt(raw, name string) (int, error) {
 	return v, nil
 }
 
-// CostRequest is the /v1/cost wire format.
+// CostRequest is the /v1/cost wire format. Topology names a registry
+// spec ("torus-4x4x4"); when empty, D selects the hypercube.
 type CostRequest struct {
 	Machine   string `json:"machine"`
+	Topology  string `json:"topology"`
 	D         int    `json:"d"`
 	M         int    `json:"m"`
 	Partition []int  `json:"partition"`
@@ -315,6 +348,7 @@ type CostRequest struct {
 // closed-form prediction and the compiled-trace discrete-event replay.
 type CostResponse struct {
 	Machine         string      `json:"machine"`
+	Topology        string      `json:"topology"`
 	D               int         `json:"d"`
 	M               int         `json:"m"`
 	Partition       []int       `json:"partition"`
@@ -337,30 +371,41 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
 	req.Machine = machine
-	if req.D > s.cfg.CostMaxDim {
+	var topo topology.Network
+	if req.Topology != "" {
+		topo, err = plancache.ResolveTopology(req.Topology)
+	} else {
+		if req.D < 0 || req.D > s.cfg.CostMaxDim {
+			return writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("d=%d out of this server's simulation bound [0,%d]", req.D, s.cfg.CostMaxDim))
+		}
+		topo, err = topology.New(req.D)
+	}
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if topo.Nodes() > 1<<s.cfg.CostMaxDim {
 		return writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("d=%d exceeds this server's simulation bound d ≤ %d", req.D, s.cfg.CostMaxDim))
+			fmt.Sprintf("topology %s has %d nodes, over this server's simulation bound of %d",
+				topo.Name(), topo.Nodes(), 1<<s.cfg.CostMaxDim))
 	}
 	D := partition.Partition(req.Partition)
-	plan, err := exchange.NewPlan(req.D, req.M, D)
+	plan, err := exchange.NewPlanOn(topo, req.M, D)
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
-	cube, err := topology.New(req.D)
-	if err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error())
-	}
-	res, err := plan.Cost(simnet.New(cube, prm))
+	res, err := plan.Cost(simnet.New(topo, prm))
 	if err != nil {
 		return writeError(w, http.StatusInternalServerError, err.Error())
 	}
-	pred, phases := prm.Multiphase(req.M, req.D, D)
-	if req.D == 0 {
-		pred, phases = 0, nil
+	pred, phases, err := prm.MultiphaseOn(topo, req.M, D)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
 	}
 	return writeJSON(w, http.StatusOK, CostResponse{
 		Machine:         req.Machine,
-		D:               req.D,
+		Topology:        topo.Name(),
+		D:               topo.NumDims(),
 		M:               req.M,
 		Partition:       append([]int{}, D...),
 		PredictedUS:     pred,
@@ -373,6 +418,7 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) int {
 // HullResponse is the /v1/hull wire format.
 type HullResponse struct {
 	Machine  string        `json:"machine"`
+	Topology string        `json:"topology"`
 	D        int           `json:"d"`
 	Segments []segmentJSON `json:"segments"`
 }
@@ -387,18 +433,15 @@ func (s *Server) handleHull(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
-	d, err := queryInt(q.Get("d"), "d")
+	topo, err := s.resolveTopo(q.Get("topology"), q.Get("d"))
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
-	if err := s.checkPlanDim(d); err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error())
-	}
-	tbl, err := s.cache.Hull(name, d)
+	tbl, err := s.cache.HullFor(name, topo)
 	if err != nil {
 		return writeCacheError(w, err)
 	}
-	resp := HullResponse{Machine: name, D: tbl.D}
+	resp := HullResponse{Machine: name, Topology: tbl.Topo, D: tbl.D}
 	for _, seg := range tbl.Segments {
 		resp.Segments = append(resp.Segments, segmentJSON{
 			Partition: append([]int{}, seg.Part...),
@@ -414,11 +457,13 @@ type BatchRequest struct {
 	Queries []BatchQuery `json:"queries"`
 }
 
-// BatchQuery is one (machine, d, m) plan query.
+// BatchQuery is one (machine, topology, m) plan query; an empty
+// Topology selects the D-cube.
 type BatchQuery struct {
-	Machine string `json:"machine"`
-	D       int    `json:"d"`
-	M       int    `json:"m"`
+	Machine  string `json:"machine"`
+	Topology string `json:"topology"`
+	D        int    `json:"d"`
+	M        int    `json:"m"`
 }
 
 // BatchItem is one batch result: a plan or a per-query error, never
@@ -465,11 +510,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 				if machine == "" {
 					machine = s.cfg.DefaultMachine
 				}
-				if err := s.checkPlanDim(qy.D); err != nil {
+				topo, err := s.resolveTopo(qy.Topology, strconv.Itoa(qy.D))
+				if err != nil {
 					results[i] = BatchItem{Error: err.Error()}
 					continue
 				}
-				p, err := s.cache.Get(machine, qy.D, qy.M)
+				p, err := s.cache.GetFor(machine, topo, qy.M)
 				if err != nil {
 					results[i] = BatchItem{Error: err.Error()}
 					continue

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/partition"
+	"repro/internal/plancache"
+	"repro/internal/topology"
+)
+
+// /v1/plan with a topology field must serve the optimizer's winner for
+// that shape, echo the canonical spec, and answer later hits from cache.
+func TestPlanEndpointTorus(t *testing.T) {
+	ts := newTestServer(t)
+	ref := optimize.New(model.IPSC860())
+	net := topology.MustParseSpec("torus-4x4x4")
+	for _, m := range []int{0, 40, 400} {
+		var got PlanResponse
+		getJSON(t, fmt.Sprintf("%s/v1/plan?machine=ipsc860&topology=torus-4x4x4&m=%d", ts.URL, m),
+			http.StatusOK, &got)
+		want, err := ref.BestOn(net, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Topology != "torus-4x4x4" || got.D != 3 {
+			t.Errorf("m=%d: echoed topology %q d=%d", m, got.Topology, got.D)
+		}
+		if !partition.Partition(got.Partition).Equal(want.Part) {
+			t.Errorf("m=%d: served %v, optimizer %v", m, got.Partition, want.Part)
+		}
+		if got.PredictedUS != want.TimeMicro {
+			t.Errorf("m=%d: served %v µs, optimizer %v µs", m, got.PredictedUS, want.TimeMicro)
+		}
+	}
+	// The hypercube path must keep answering (and declare its topology).
+	var cube PlanResponse
+	getJSON(t, ts.URL+"/v1/plan?d=6&m=40", http.StatusOK, &cube)
+	if cube.Topology != "hypercube-6" {
+		t.Errorf("hypercube plan topology = %q", cube.Topology)
+	}
+}
+
+func TestPlanEndpointTopologyValidation(t *testing.T) {
+	ts := newTestServer(t)
+	for _, q := range []string{
+		"topology=torus-0x4&m=1",       // bad radix
+		"topology=ring-9&m=1",          // unknown shape
+		"topology=torus-4x4",           // missing m
+		"m=1",                          // neither topology nor d
+		"topology=torus-9999x9999&m=1", // over the serving bound
+	} {
+		getJSON(t, ts.URL+"/v1/plan?"+q, http.StatusBadRequest, nil)
+	}
+}
+
+// /v1/cost with a topology must price an explicit grouping both ways.
+func TestCostEndpointTorus(t *testing.T) {
+	ts := newTestServer(t)
+	var got CostResponse
+	postJSON(t, ts.URL+"/v1/cost", CostRequest{
+		Machine:   "ipsc860",
+		Topology:  "torus-4x4",
+		M:         32,
+		Partition: []int{1, 1},
+	}, http.StatusOK, &got)
+	if got.Topology != "torus-4x4" || got.SimulatedUS <= 0 || got.PredictedUS <= 0 {
+		t.Errorf("torus cost response: %+v", got)
+	}
+	// A grouping that does not cover the dimensions is a 400.
+	postJSON(t, ts.URL+"/v1/cost", CostRequest{
+		Topology: "torus-4x4", M: 32, Partition: []int{3},
+	}, http.StatusBadRequest, nil)
+	// An oversized torus is a 400 (simulation bound), not a 500.
+	postJSON(t, ts.URL+"/v1/cost", CostRequest{
+		Topology: "torus-128x128", M: 1, Partition: []int{2},
+	}, http.StatusBadRequest, nil)
+}
+
+// /v1/hull and /v1/batch must accept topology fields.
+func TestHullAndBatchTorus(t *testing.T) {
+	ts := newTestServer(t)
+	var hull HullResponse
+	getJSON(t, ts.URL+"/v1/hull?machine=hypo&topology=torus-3x3", http.StatusOK, &hull)
+	if hull.Topology != "torus-3x3" || len(hull.Segments) == 0 {
+		t.Errorf("hull: %+v", hull)
+	}
+
+	var batch BatchResponse
+	postJSON(t, ts.URL+"/v1/batch", BatchRequest{Queries: []BatchQuery{
+		{Machine: "hypo", Topology: "torus-3x3", M: 24},
+		{Machine: "hypo", D: 4, M: 24},
+		{Machine: "hypo", Topology: "moebius-3", M: 24},
+	}}, http.StatusOK, &batch)
+	if len(batch.Results) != 3 {
+		t.Fatalf("%d batch results", len(batch.Results))
+	}
+	if batch.Results[0].Plan == nil || batch.Results[0].Plan.Topology != "torus-3x3" {
+		t.Errorf("batch torus item: %+v", batch.Results[0])
+	}
+	if batch.Results[1].Plan == nil || batch.Results[1].Plan.Topology != "hypercube-4" {
+		t.Errorf("batch cube item: %+v", batch.Results[1])
+	}
+	if batch.Results[2].Error == "" {
+		t.Error("bad topology in batch must carry a per-item error")
+	}
+}
+
+// The PlanMaxDim bound must apply to non-hypercube topologies through
+// their node count.
+func TestPlanMaxDimBoundsTopologyNodes(t *testing.T) {
+	srv, err := New(Config{Cache: plancache.New(plancache.Config{}), PlanMaxDim: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	// 4x4x4 = 64 nodes = 2^6: exactly at the bound, allowed.
+	getJSON(t, ts.URL+"/v1/plan?machine=hypo&topology=torus-4x4x4&m=1", http.StatusOK, nil)
+	// 128 nodes: over the bound.
+	getJSON(t, ts.URL+"/v1/plan?machine=hypo&topology=torus-8x4x4&m=1", http.StatusBadRequest, nil)
+}

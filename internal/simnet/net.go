@@ -10,9 +10,13 @@ import (
 	"repro/internal/topology"
 )
 
-// Network is a simulated circuit-switched hypercube.
+// Network is a simulated circuit-switched machine over any
+// topology.Network — hypercube, torus or mesh. Routing, link contention
+// and distances come from the topology; the hypercube keeps its
+// bit-trick fast paths in the replay core.
 type Network struct {
-	cube       *topology.Hypercube
+	topo       topology.Network
+	hyper      *topology.Hypercube // non-nil when topo is the radix-2 fast path
 	params     model.Params
 	trace      bool
 	budget     uint64
@@ -69,14 +73,18 @@ type Interval struct {
 	End   float64
 }
 
-// New returns a network over the given hypercube with the given machine
+// New returns a network over the given topology with the given machine
 // parameters.
-func New(h *topology.Hypercube, p model.Params) *Network {
-	return &Network{cube: h, params: p}
+func New(t topology.Network, p model.Params) *Network {
+	h, _ := t.(*topology.Hypercube)
+	return &Network{topo: t, hyper: h, params: p}
 }
 
-// Cube returns the underlying hypercube.
-func (n *Network) Cube() *topology.Hypercube { return n.cube }
+// Topo returns the underlying topology.
+func (n *Network) Topo() topology.Network { return n.topo }
+
+// Nodes returns the node count of the underlying topology.
+func (n *Network) Nodes() int { return n.topo.Nodes() }
 
 // Params returns the machine parameters.
 func (n *Network) Params() model.Params { return n.params }
@@ -136,11 +144,17 @@ func (s programsSource) Op(p, i int) Op   { return s[p][i] }
 // allocates nothing per event once set up (inbox slots and edge hold
 // rings grow amortized on first use).
 type runState struct {
-	net *Network
-	eng *event.Engine
-	src Source
-	n   int // nodes
-	d   int // cube dimension
+	net   *Network
+	eng   *event.Engine
+	src   Source
+	topo  topology.Network
+	n     int  // nodes
+	d     int  // hypercube dimension (fast path only)
+	hyper bool // radix-2 bit-trick routing active
+	deg   int  // directed-link slots per node (== d on the hypercube)
+	syncD int  // topology diameter, the global-sync weight (§7.3)
+
+	routeBuf []int // generic-path route scratch, reused across hops
 
 	pc      []int32   // program counter per node
 	lens    []int32   // program length per node (NumOps, cached)
@@ -156,7 +170,8 @@ type runState struct {
 	exBytes []int
 	exReady []float64
 
-	// edges[u*d+i] is the directed link from node u across dimension i.
+	// edges is the directed-link array, indexed by topology.LinkSlot
+	// (u*d+i on the hypercube: node u's link across dimension i).
 	edges []edgeState
 
 	// Message channels, one per ordered (src,dst) pair actually used,
@@ -273,9 +288,9 @@ type barrierState struct {
 // every exchange must have a matching exchange on the peer, and every
 // send must eventually be received or the run reports a deadlock error.
 func (n *Network) Run(programs []Program) (Result, error) {
-	if len(programs) != n.cube.Nodes() {
+	if len(programs) != n.topo.Nodes() {
 		return Result{}, fmt.Errorf("simnet: %d programs for %d nodes",
-			len(programs), n.cube.Nodes())
+			len(programs), n.topo.Nodes())
 	}
 	return n.runSource(programsSource(programs))
 }
@@ -283,21 +298,29 @@ func (n *Network) Run(programs []Program) (Result, error) {
 // RunSource executes a compiled program source — the allocation-free
 // costing path used by exchange.Plan.Cost and collectives.Cost.
 func (n *Network) RunSource(src Source) (Result, error) {
-	if src.NumNodes() != n.cube.Nodes() {
+	if src.NumNodes() != n.topo.Nodes() {
 		return Result{}, fmt.Errorf("simnet: source of %d programs for %d nodes",
-			src.NumNodes(), n.cube.Nodes())
+			src.NumNodes(), n.topo.Nodes())
 	}
 	return n.runSource(src)
 }
 
 func (n *Network) runSource(src Source) (Result, error) {
-	nodes := n.cube.Nodes()
+	nodes := n.topo.Nodes()
+	d := 0
+	if n.hyper != nil {
+		d = n.hyper.Dim()
+	}
 	st := &runState{
-		net: n,
-		eng: event.New(),
-		src: src,
-		n:   nodes,
-		d:   n.cube.Dim(),
+		net:   n,
+		eng:   event.New(),
+		src:   src,
+		topo:  n.topo,
+		n:     nodes,
+		d:     d,
+		hyper: n.hyper != nil,
+		deg:   n.topo.Degree(),
+		syncD: n.topo.Diameter(),
 
 		pc:      make([]int32, nodes),
 		lens:    make([]int32, nodes),
@@ -307,7 +330,7 @@ func (n *Network) runSource(src Source) (Result, error) {
 		exPeer:  make([]int32, nodes),
 		exBytes: make([]int, nodes),
 		exReady: make([]float64, nodes),
-		edges:   make([]edgeState, nodes*n.cube.Dim()),
+		edges:   make([]edgeState, nodes*n.topo.Degree()),
 		outIdx:  make([][]chanRef, nodes),
 		res:     Result{NodeFinish: make([]float64, nodes)},
 

@@ -1,9 +1,10 @@
 // Package simnet is a deterministic discrete-event simulator of a
-// circuit-switched hypercube in the style of the Intel iPSC-860 (paper §2,
-// §7). It models:
+// circuit-switched machine in the style of the Intel iPSC-860 (paper §2,
+// §7), over any topology.Network — hypercube, torus or mesh. It models:
 //
-//   - e-cube (dimension-ordered) circuit routing: a message holds every
-//     directed link on its path for its entire duration;
+//   - dimension-ordered (e-cube on the hypercube) circuit routing: a
+//     message holds every directed link on its path for its entire
+//     duration;
 //   - edge contention: circuits wanting a busy link wait (the paper's
 //     measurements show edge contention is "disastrous"; node pass-through
 //     contention is free and is only recorded);

@@ -17,19 +17,39 @@ func (st *runState) jitter(dur float64) float64 {
 	return dur * (1 + f*(2*st.rng.Float64()-1))
 }
 
+// dist returns the routed distance between two nodes: the Hamming
+// bit-trick on the hypercube, the topology's Distance elsewhere.
+func (st *runState) dist(a, b int) int {
+	if st.hyper {
+		return bits.OnesCount(uint(a ^ b))
+	}
+	return st.topo.Distance(a, b)
+}
+
 // circuitFreeAt returns the earliest time ≥ t at which every directed
-// link of the e-cube route src→dst is free. The route is walked by
-// flipping differing label bits lowest-first; edges[u*d+i] is the link
-// from node u across dimension i, so no edge list is materialized.
+// link of the dimension-ordered route src→dst is free. On the hypercube
+// the route is walked by flipping differing label bits lowest-first
+// (edges[u*d+i] is the link from node u across dimension i), so no edge
+// list is materialized; other topologies walk a reused route scratch.
 func (st *runState) circuitFreeAt(src, dst int, t float64) float64 {
-	cur, diff := src, src^dst
-	for diff != 0 {
-		i := bits.TrailingZeros(uint(diff))
-		if e := &st.edges[cur*st.d+i]; e.busyUntil > t {
+	if st.hyper {
+		cur, diff := src, src^dst
+		for diff != 0 {
+			i := bits.TrailingZeros(uint(diff))
+			if e := &st.edges[cur*st.d+i]; e.busyUntil > t {
+				t = e.busyUntil
+			}
+			cur ^= 1 << uint(i)
+			diff &= diff - 1
+		}
+		return t
+	}
+	st.routeBuf = st.topo.AppendRoute(st.routeBuf, src, dst)
+	for i := 0; i+1 < len(st.routeBuf); i++ {
+		slot := st.topo.LinkSlot(st.routeBuf[i], st.routeBuf[i+1])
+		if e := &st.edges[slot]; e.busyUntil > t {
 			t = e.busyUntil
 		}
-		cur ^= 1 << uint(i)
-		diff &= diff - 1
 	}
 	return t
 }
@@ -41,16 +61,27 @@ func (st *runState) circuitFreeAt(src, dst int, t float64) float64 {
 // event per link — the old per-hold events dominated large replays.
 func (st *runState) holdCircuit(src, dst int, finish float64) {
 	now := float64(st.eng.Now())
-	cur, diff := src, src^dst
-	for diff != 0 {
-		i := bits.TrailingZeros(uint(diff))
-		e := &st.edges[cur*st.d+i]
+	if st.hyper {
+		cur, diff := src, src^dst
+		for diff != 0 {
+			i := bits.TrailingZeros(uint(diff))
+			e := &st.edges[cur*st.d+i]
+			e.busyUntil = finish
+			if q := e.hold(now, finish); q > e.maxQueue {
+				e.maxQueue = q
+			}
+			cur ^= 1 << uint(i)
+			diff &= diff - 1
+		}
+		return
+	}
+	st.routeBuf = st.topo.AppendRoute(st.routeBuf, src, dst)
+	for i := 0; i+1 < len(st.routeBuf); i++ {
+		e := &st.edges[st.topo.LinkSlot(st.routeBuf[i], st.routeBuf[i+1])]
 		e.busyUntil = finish
 		if q := e.hold(now, finish); q > e.maxQueue {
 			e.maxQueue = q
 		}
-		cur ^= 1 << uint(i)
-		diff &= diff - 1
 	}
 }
 
@@ -91,7 +122,7 @@ func (st *runState) enterBarrier(p int) {
 		st.park()
 		return
 	}
-	release := b.maxTime + st.net.params.GlobalSync(st.d)
+	release := b.maxTime + st.net.params.GlobalSync(st.syncD)
 	st.res.Barriers++
 	waiters := b.waiters
 	// Resetting to [:0] reuses the backing array; nothing re-enters the
@@ -142,7 +173,7 @@ func (st *runState) enterExchange(p int, op Op) {
 		return
 	}
 
-	h := bits.OnesCount(uint(p ^ q))
+	h := st.dist(p, q)
 	both := st.ready[p]
 	if firstReady > both {
 		both = firstReady
@@ -204,7 +235,7 @@ func (st *runState) doSend(p int, op Op) {
 		return
 	}
 	prm := st.net.params
-	h := bits.OnesCount(uint(p ^ q))
+	h := st.dist(p, q)
 	var dur float64
 	if op.Type == Unforced {
 		dur = prm.UnforcedMessageTime(op.Bytes, h)

@@ -427,8 +427,8 @@ func TestMsgTypeAndOpKindStrings(t *testing.T) {
 func TestCubeAndParamsAccessors(t *testing.T) {
 	p := model.IPSC860()
 	n := mkNet(4, p)
-	if n.Cube().Dim() != 4 {
-		t.Error("Cube accessor")
+	if n.Topo().NumDims() != 4 || n.Nodes() != 16 {
+		t.Error("Topo accessor")
 	}
 	if n.Params().Lambda != p.Lambda {
 		t.Error("Params accessor")

@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"testing"
+)
+
+// routeDim returns the dimension a single hop crosses on net, or -1 if
+// the nodes are not adjacent in exactly one dimension.
+func routeDim(net Network, from, to int) int {
+	dim := -1
+	k := net.NumDims()
+	dims := net.Dims()
+	for i := 0; i < k; i++ {
+		stride := net.Stride(i)
+		af := (from / stride) % dims[i]
+		at := (to / stride) % dims[i]
+		if af == at {
+			continue
+		}
+		if dim != -1 {
+			return -1
+		}
+		dim = i
+	}
+	return dim
+}
+
+// FuzzRoute drives dimension-ordered routing on all three topology
+// shapes with fuzzer-chosen endpoints and checks the routing contract:
+// the route starts at src and ends at dst, every consecutive pair is one
+// hop apart, the dimensions are corrected in monotone (non-decreasing)
+// order, and the hop count equals Distance.
+func FuzzRoute(f *testing.F) {
+	f.Add(uint8(0), 0, 0)
+	f.Add(uint8(1), 3, 61)
+	f.Add(uint8(2), 7, 12)
+	f.Add(uint8(5), 100, 2)
+	f.Fuzz(func(t *testing.T, which uint8, src, dst int) {
+		nets := []Network{
+			MustNew(6),
+			MustParseSpec("torus-4x4x4"),
+			MustParseSpec("mesh-5x3"),
+			MustParseSpec("torus-3x2x2"),
+			MustParseSpec("mesh-2x2"),
+			MustParseSpec("torus-7"),
+		}
+		net := nets[int(which)%len(nets)]
+		n := net.Nodes()
+		src, dst = ((src%n)+n)%n, ((dst%n)+n)%n
+
+		route, err := net.Route(src, dst)
+		if err != nil {
+			t.Fatalf("%s: route %d→%d: %v", net.Name(), src, dst, err)
+		}
+		if len(route) == 0 || route[0] != src || route[len(route)-1] != dst {
+			t.Fatalf("%s: route %d→%d endpoints wrong: %v", net.Name(), src, dst, route)
+		}
+		if hops, dist := len(route)-1, net.Distance(src, dst); hops != dist {
+			t.Fatalf("%s: route %d→%d has %d hops, Distance says %d", net.Name(), src, dst, hops, dist)
+		}
+		prevDim := -1
+		for i := 0; i+1 < len(route); i++ {
+			from, to := route[i], route[i+1]
+			if net.Distance(from, to) != 1 {
+				t.Fatalf("%s: hop %d→%d is not a link", net.Name(), from, to)
+			}
+			found := false
+			for _, nb := range net.Neighbors(from) {
+				if nb == to {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: hop %d→%d not among Neighbors(%d) = %v",
+					net.Name(), from, to, from, net.Neighbors(from))
+			}
+			dim := routeDim(net, from, to)
+			if dim < 0 {
+				t.Fatalf("%s: hop %d→%d crosses multiple dimensions", net.Name(), from, to)
+			}
+			if dim < prevDim {
+				t.Fatalf("%s: route %d→%d corrects dim %d after dim %d (not dimension-ordered)",
+					net.Name(), src, dst, dim, prevDim)
+			}
+			prevDim = dim
+			// The allocation-free form and LinkSlot must agree with the
+			// validated route.
+			if slot := net.LinkSlot(from, to); slot < 0 || slot >= net.Nodes()*net.Degree() {
+				t.Fatalf("%s: LinkSlot(%d,%d) = %d out of range", net.Name(), from, to, slot)
+			}
+		}
+		buf := net.AppendRoute(make([]int, 0, 8), src, dst)
+		if len(buf) != len(route) {
+			t.Fatalf("%s: AppendRoute length %d, Route length %d", net.Name(), len(buf), len(route))
+		}
+		for i := range buf {
+			if buf[i] != route[i] {
+				t.Fatalf("%s: AppendRoute disagrees with Route at %d: %v vs %v",
+					net.Name(), i, buf, route)
+			}
+		}
+	})
+}

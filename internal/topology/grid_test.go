@@ -1,0 +1,278 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestGridConstructionErrors(t *testing.T) {
+	if _, err := NewTorus(); err == nil {
+		t.Error("zero-dimension torus must fail")
+	}
+	if _, err := NewTorus(4, 1); err == nil {
+		t.Error("radix 1 must fail")
+	}
+	if _, err := NewMesh(0, 4); err == nil {
+		t.Error("radix 0 must fail")
+	}
+	if _, err := NewTorus(1<<13, 1<<13); err == nil {
+		t.Error("oversized torus must fail")
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	for _, spec := range []string{"hypercube-0", "hypercube-7", "torus-4x4x4", "torus-3", "mesh-5x3", "mesh-2x2x2"} {
+		net, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if net.Name() != spec {
+			t.Errorf("ParseSpec(%q).Name() = %q", spec, net.Name())
+		}
+		again, err := ParseSpec(net.Name())
+		if err != nil || again.Name() != spec {
+			t.Errorf("%s does not round-trip: %v", spec, err)
+		}
+	}
+	// Aliases and case-insensitivity.
+	if net, err := ParseSpec(" Cube-3 "); err != nil || net.Name() != "hypercube-3" {
+		t.Errorf("cube alias: %v", err)
+	}
+	for _, bad := range []string{"", "torus", "torus-", "torus-4y4", "ring-9", "hypercube-x", "mesh-4x-2", "hypercube-31"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) must fail", bad)
+		}
+	}
+}
+
+func TestGridBasics(t *testing.T) {
+	tor := MustParseSpec("torus-4x4x4")
+	if tor.Nodes() != 64 || tor.NumDims() != 3 || tor.Diameter() != 6 {
+		t.Fatalf("torus-4x4x4 basics wrong: %d nodes, %d dims, diameter %d",
+			tor.Nodes(), tor.NumDims(), tor.Diameter())
+	}
+	if tor.Stride(0) != 1 || tor.Stride(1) != 4 || tor.Stride(2) != 16 {
+		t.Error("strides wrong")
+	}
+	if tor.TotalLinks() != 64*6 {
+		t.Errorf("torus-4x4x4 TotalLinks = %d, want %d", tor.TotalLinks(), 64*6)
+	}
+
+	mesh := MustParseSpec("mesh-3x3")
+	if mesh.Diameter() != 4 {
+		t.Errorf("mesh-3x3 diameter = %d", mesh.Diameter())
+	}
+	// 2·(r−1) directed links per row, 3 rows per dimension, 2 dimensions.
+	if mesh.TotalLinks() != 2*2*3*2 {
+		t.Errorf("mesh-3x3 TotalLinks = %d", mesh.TotalLinks())
+	}
+	// Corner, edge and center degrees.
+	if got := len(mesh.Neighbors(0)); got != 2 {
+		t.Errorf("corner degree %d", got)
+	}
+	if got := len(mesh.Neighbors(1)); got != 3 {
+		t.Errorf("edge degree %d", got)
+	}
+	if got := len(mesh.Neighbors(4)); got != 4 {
+		t.Errorf("center degree %d", got)
+	}
+	// Torus degree is uniform 2k for radices > 2.
+	for p := 0; p < tor.Nodes(); p++ {
+		if got := len(tor.Neighbors(p)); got != 6 {
+			t.Fatalf("torus node %d degree %d", p, got)
+		}
+	}
+	// A radix-2 torus dimension contributes one distinct neighbor.
+	t22 := MustParseSpec("torus-2x2")
+	if got := len(t22.Neighbors(0)); got != 2 {
+		t.Errorf("torus-2x2 degree %d, want 2", got)
+	}
+}
+
+// Distance must be a metric consistent with shortest paths: symmetric,
+// triangle-inequality-respecting, and equal to the route length.
+func TestGridDistanceIsRouteLength(t *testing.T) {
+	for _, spec := range []string{"torus-5x3", "mesh-4x4", "torus-2x3x2"} {
+		net := MustParseSpec(spec)
+		n := net.Nodes()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if net.Distance(a, b) != net.Distance(b, a) {
+					t.Fatalf("%s: asymmetric distance %d,%d", spec, a, b)
+				}
+				r, err := net.Route(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(r)-1 != net.Distance(a, b) {
+					t.Fatalf("%s: route %d→%d length %d, distance %d",
+						spec, a, b, len(r)-1, net.Distance(a, b))
+				}
+			}
+		}
+	}
+}
+
+// Every directed link slot must be unique per directed link, in range,
+// and the usable-slot census must match TotalLinks.
+func TestLinkSlotsUniqueAndCounted(t *testing.T) {
+	for _, spec := range []string{"hypercube-4", "torus-4x4", "torus-2x3", "mesh-3x3", "torus-2x2"} {
+		net := MustParseSpec(spec)
+		seen := make(map[int]bool)
+		for p := 0; p < net.Nodes(); p++ {
+			for _, q := range net.Neighbors(p) {
+				slot := net.LinkSlot(p, q)
+				if slot < 0 || slot >= net.Nodes()*net.Degree() {
+					t.Fatalf("%s: slot %d out of range", spec, slot)
+				}
+				if seen[slot] {
+					t.Fatalf("%s: duplicate slot %d for %d→%d", spec, slot, p, q)
+				}
+				seen[slot] = true
+			}
+		}
+		if len(seen) != net.TotalLinks() {
+			t.Errorf("%s: %d distinct link slots, TotalLinks says %d", spec, len(seen), net.TotalLinks())
+		}
+	}
+}
+
+func TestAveragePathLengthMatchesEnumeration(t *testing.T) {
+	for _, spec := range []string{"hypercube-4", "torus-4x3", "mesh-3x2x2"} {
+		net := MustParseSpec(spec)
+		n := net.Nodes()
+		total, pairs := 0, 0
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a != b {
+					total += net.Distance(a, b)
+					pairs++
+				}
+			}
+		}
+		want := float64(total) / float64(pairs)
+		if got := net.AveragePathLength(); got < want-1e-9 || got > want+1e-9 {
+			t.Errorf("%s: AveragePathLength %v, enumeration %v", spec, got, want)
+		}
+	}
+}
+
+// SubBlocks must partition the node set into spans of agreeing outer
+// digits, generalizing Hypercube.Subcubes.
+func TestSubBlocksPartition(t *testing.T) {
+	net := MustParseSpec("torus-3x2x4")
+	blocks, err := SubBlocks(net, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, _ := SpanSize(net, 1, 2)
+	if span != 8 {
+		t.Fatalf("span = %d", span)
+	}
+	seen := make(map[int]bool)
+	for _, blk := range blocks {
+		if len(blk) != span {
+			t.Fatalf("block size %d, want %d", len(blk), span)
+		}
+		for _, p := range blk {
+			if seen[p] {
+				t.Fatalf("node %d in two blocks", p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != net.Nodes() {
+		t.Fatalf("blocks cover %d of %d nodes", len(seen), net.Nodes())
+	}
+	if _, err := SubBlocks(net, 2, 2); err == nil {
+		t.Error("out-of-range field must fail")
+	}
+}
+
+// PhaseFields on a hypercube must agree with the original bit-range
+// method.
+func TestPhaseFieldsMatchesHypercube(t *testing.T) {
+	h := MustNew(7)
+	for _, groups := range [][]int{{7}, {3, 4}, {1, 2, 4}, {1, 1, 1, 1, 1, 1, 1}} {
+		want, err := h.PhaseFields(groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PhaseFields(h, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %v vs %v", groups, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: %v vs %v", groups, got, want)
+			}
+		}
+	}
+	if _, err := PhaseFields(h, []int{3, 3}); err == nil {
+		t.Error("bad grouping must fail")
+	}
+}
+
+// The generalized contention analyzer must agree with the hypercube
+// method, and cyclic shifts within a torus must stay inside their
+// sub-block.
+func TestAnalyzeOnGrids(t *testing.T) {
+	h := MustNew(4)
+	step := h.XORStep(5)
+	want, err := h.AnalyzeStep(step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Analyze(h, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxEdgeLoad != want.MaxEdgeLoad || len(got.EdgeLoad) != len(want.EdgeLoad) {
+		t.Error("Analyze disagrees with AnalyzeStep")
+	}
+
+	tor := MustParseSpec("torus-4x4")
+	r, err := Analyze(tor, ShiftStep(tor, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxEdgeLoad < 1 {
+		t.Error("shift step must use links")
+	}
+	if n, err := Analyze(tor, NaiveStep(tor, 0)); err != nil || n.MaxEdgeLoad <= r.MaxEdgeLoad {
+		t.Errorf("naive step should contend harder than a shift: %d vs %d (%v)",
+			n.MaxEdgeLoad, r.MaxEdgeLoad, err)
+	}
+}
+
+// Routes between nodes that differ only inside a dimension field must
+// stay inside the field's sub-block — the property the multiphase
+// exchange planner relies on.
+func TestRoutesStayInSubBlock(t *testing.T) {
+	net := MustParseSpec("torus-3x4x2")
+	blocks, err := SubBlocks(net, 1, 1) // the radix-4 middle dimension
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blk := range blocks {
+		members := make(map[int]bool, len(blk))
+		for _, p := range blk {
+			members[p] = true
+		}
+		for _, a := range blk {
+			for _, b := range blk {
+				route, err := net.Route(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range route {
+					if !members[v] {
+						t.Fatalf("route %d→%d leaves its sub-block at %d", a, b, v)
+					}
+				}
+			}
+		}
+	}
+}

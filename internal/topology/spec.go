@@ -1,0 +1,62 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec resolves a topology registry name to a Network:
+//
+//	hypercube-7  (alias cube-7)   binary hypercube, 2^7 nodes
+//	torus-4x4x4                   mixed-radix torus, radices low dim first
+//	mesh-8x8                      open-boundary mesh
+//
+// Names are case-insensitive and whitespace-tolerant; Network.Name()
+// round-trips through ParseSpec. Malformed specs return an error suited
+// to request validation (the service layer maps it to 400).
+func ParseSpec(spec string) (Network, error) {
+	s := strings.ToLower(strings.TrimSpace(spec))
+	kind, arg, ok := strings.Cut(s, "-")
+	if !ok || arg == "" {
+		return nil, specError(spec)
+	}
+	switch kind {
+	case "hypercube", "cube":
+		d, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, specError(spec)
+		}
+		return New(d)
+	case "torus", "mesh":
+		fields := strings.Split(arg, "x")
+		radices := make([]int, 0, len(fields))
+		for _, f := range fields {
+			r, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, specError(spec)
+			}
+			radices = append(radices, r)
+		}
+		if kind == "torus" {
+			return NewTorus(radices...)
+		}
+		return NewMesh(radices...)
+	default:
+		return nil, specError(spec)
+	}
+}
+
+func specError(spec string) error {
+	return fmt.Errorf("topology: bad spec %q (want hypercube-<d>, torus-<r>x<r>x…, or mesh-<r>x<r>x…)", spec)
+}
+
+// MustParseSpec is ParseSpec, panicking on error; for tests and
+// fixed-shape tools only.
+func MustParseSpec(spec string) Network {
+	net, err := ParseSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}

@@ -1,6 +1,11 @@
-// Package topology models the hypercube interconnection network of §2:
-// node labels, links, e-cube routes, subcube decompositions, and the edge/
-// node contention analysis that motivates the circuit-switched schedules.
+// Package topology models circuit-switched interconnection networks:
+// the hypercube of §2 (node labels, links, e-cube routes, subcube
+// decompositions) generalized behind the Network interface to
+// mixed-radix Torus and Mesh machines, plus the edge/node contention
+// analysis that motivates the circuit-switched schedules. Registry
+// specs ("hypercube-7", "torus-4x4x4", "mesh-8x8") resolve through
+// ParseSpec; every shape routes dimension-ordered (see Network for the
+// per-shape deadlock properties under hold-and-wait acquisition).
 package topology
 
 import (
@@ -9,18 +14,81 @@ import (
 	"repro/internal/bitutil"
 )
 
-// Hypercube describes a d-dimensional binary hypercube with 2^d nodes.
+// Hypercube describes a d-dimensional binary hypercube with 2^d nodes —
+// the all-radix-2 special case of Network, with bit-trick fast paths for
+// routing and distance.
 type Hypercube struct {
-	dim int
-	n   int
+	dim  int
+	n    int
+	name string
 }
 
-// New returns a hypercube of dimension d (0 ≤ d ≤ 30).
+// Hypercube is the radix-2 Network; Torus and Mesh are the mixed-radix
+// ones.
+var (
+	_ Network = (*Hypercube)(nil)
+	_ Network = (*Torus)(nil)
+	_ Network = (*Mesh)(nil)
+)
+
+// cubes shares one immutable instance per dimension, so hot request
+// paths (the plan cache's Get) resolve a hypercube without allocating.
+var cubes = func() [31]*Hypercube {
+	var out [31]*Hypercube
+	for d := range out {
+		out[d] = &Hypercube{dim: d, n: 1 << uint(d), name: fmt.Sprintf("hypercube-%d", d)}
+	}
+	return out
+}()
+
+// New returns a hypercube of dimension d (0 ≤ d ≤ 30). Hypercubes are
+// immutable and shared: repeated calls return the same instance.
 func New(d int) (*Hypercube, error) {
 	if d < 0 || d > 30 {
 		return nil, fmt.Errorf("topology: dimension %d out of range [0,30]", d)
 	}
-	return &Hypercube{dim: d, n: 1 << uint(d)}, nil
+	return cubes[d], nil
+}
+
+// Name returns the canonical spec, e.g. "hypercube-7".
+func (h *Hypercube) Name() string { return h.name }
+
+// NumDims returns d: one routing dimension per label bit.
+func (h *Hypercube) NumDims() int { return h.dim }
+
+// Dims returns d radices of 2.
+func (h *Hypercube) Dims() []int {
+	out := make([]int, h.dim)
+	for i := range out {
+		out[i] = 2
+	}
+	return out
+}
+
+// Stride returns 2^i, the label stride of bit i.
+func (h *Hypercube) Stride(i int) int { return 1 << uint(i) }
+
+// Degree returns d, the directed-link slots per node.
+func (h *Hypercube) Degree() int { return h.dim }
+
+// Diameter returns d, the maximum Hamming distance.
+func (h *Hypercube) Diameter() int { return h.dim }
+
+// AppendRoute appends the e-cube route src..dst (both endpoints
+// included) into buf without validation or allocation beyond buf growth.
+func (h *Hypercube) AppendRoute(buf []int, src, dst int) []int {
+	buf = append(buf[:0], src)
+	cur := src
+	for diff := src ^ dst; diff != 0; diff &= diff - 1 {
+		cur ^= diff & -diff
+		buf = append(buf, cur)
+	}
+	return buf
+}
+
+// LinkSlot returns from·d + i for the link crossing dimension i.
+func (h *Hypercube) LinkSlot(from, to int) int {
+	return from*h.dim + bitutil.LowestSetBit(from^to)
 }
 
 // MustNew is New, panicking on error; for tests and fixed-size tools.
