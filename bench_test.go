@@ -660,6 +660,53 @@ func BenchmarkCostingCompiledTorus(b *testing.B) {
 	b.ReportMetric(last, "sim_µs")
 }
 
+// BenchmarkBestOnPruned times the memoized, branch-and-bound-pruned,
+// parallel simulated enumeration from a cold optimizer. The d=16 case is
+// the acceptance datapoint: the seed re-simulated all p(16)=231 candidate
+// plans whole; the pruned path replays the fragments of a handful of
+// survivors (evaluated/pruned/memo_hits metrics report the split — the
+// candidate-replay reduction is evaluated vs evaluated+pruned).
+func BenchmarkBestOnPruned(b *testing.B) {
+	prm := model.IPSC860()
+	for _, d := range []int{12, 16} {
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) {
+			b.ReportAllocs()
+			var st optimize.Stats
+			for i := 0; i < b.N; i++ {
+				opt := optimize.NewSimulated(prm) // fresh caches: one cold enumeration per iteration
+				if _, err := opt.Best(d, 4); err != nil {
+					b.Fatal(err)
+				}
+				st = opt.Stats()
+			}
+			b.ReportMetric(float64(st.Evaluated), "evaluated")
+			b.ReportMetric(float64(st.Pruned), "pruned")
+			b.ReportMetric(float64(st.MemoHits), "memo_hits")
+		})
+	}
+}
+
+// BenchmarkBuildTableMemoized times a cold simulated hull sweep, the
+// plancache line-build unit of work. Sweep points share phase fragments
+// through the memo and warm-start each other's incumbent, so the sweep
+// costs far less than points × one cold Best (the memo_hits metric is
+// the reuse across the whole sweep).
+func BenchmarkBuildTableMemoized(b *testing.B) {
+	prm := model.IPSC860()
+	b.ReportAllocs()
+	var st optimize.Stats
+	for i := 0; i < b.N; i++ {
+		opt := optimize.NewSimulated(prm)
+		if _, err := opt.BuildTable(10, 0, 256, 16); err != nil {
+			b.Fatal(err)
+		}
+		st = opt.Stats()
+	}
+	b.ReportMetric(float64(st.Evaluated), "evaluated")
+	b.ReportMetric(float64(st.Pruned), "pruned")
+	b.ReportMetric(float64(st.MemoHits), "memo_hits")
+}
+
 // BenchmarkPlanCacheHitTorus pins the serving hot path under a topology
 // key: a resident torus line must answer with the same O(1) lookup as
 // the hypercube line.

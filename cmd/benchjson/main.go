@@ -10,11 +10,20 @@
 // "value unit" pair after the iteration count is carried through, so
 // custom metrics (sim_µs, hits/op) survive alongside ns/op, B/op and
 // allocs/op.
+//
+// -require is CI's artifact sanity check: a comma-separated list of
+// benchmark name prefixes that must each match at least one parsed
+// result (sub-benchmark and -N suffixes count as matches), so a renamed
+// or silently skipped benchmark fails the smoke step instead of
+// producing a hollow artifact.
+//
+//	benchjson -require BenchmarkBestOnPruned,BenchmarkBuildTableMemoized < BENCH_raw.txt
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -40,9 +49,17 @@ type Output struct {
 }
 
 func main() {
+	require := flag.String("require", "",
+		"comma-separated benchmark name prefixes that must appear in the input")
+	flag.Parse()
 	out, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if missing := missingRequired(out, *require); len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: required benchmarks missing from input: %s\n",
+			strings.Join(missing, ", "))
 		os.Exit(1)
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -51,6 +68,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// missingRequired returns the -require entries no parsed benchmark name
+// starts with. A prefix must end at a name boundary ('/', '-' or end of
+// name), so requiring BenchmarkFoo is not satisfied by BenchmarkFooBar.
+func missingRequired(out Output, require string) []string {
+	var missing []string
+	for _, want := range strings.Split(require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, b := range out.Benchmarks {
+			rest, ok := strings.CutPrefix(b.Name, want)
+			if ok && (rest == "" || rest[0] == '/' || rest[0] == '-') {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, want)
+		}
+	}
+	return missing
 }
 
 func parse(sc *bufio.Scanner) (Output, error) {

@@ -38,3 +38,23 @@ BenchmarkReplay-8   10   123 ns/op
 		t.Errorf("pkg tracking: %+v", out.Benchmarks[2])
 	}
 }
+
+func TestMissingRequired(t *testing.T) {
+	out := Output{Benchmarks: []Benchmark{
+		{Name: "BenchmarkBestOnPruned/d16-8"},
+		{Name: "BenchmarkBuildTableMemoized-8"},
+		{Name: "BenchmarkFooBar-8"},
+	}}
+	if got := missingRequired(out, ""); got != nil {
+		t.Errorf("empty require: %v", got)
+	}
+	if got := missingRequired(out, "BenchmarkBestOnPruned, BenchmarkBuildTableMemoized"); got != nil {
+		t.Errorf("both present, got missing %v", got)
+	}
+	// A prefix must stop at a name boundary: BenchmarkFoo is not
+	// satisfied by BenchmarkFooBar.
+	got := missingRequired(out, "BenchmarkFoo,BenchmarkBestOnPruned,BenchmarkGone")
+	if len(got) != 2 || got[0] != "BenchmarkFoo" || got[1] != "BenchmarkGone" {
+		t.Errorf("missing = %v, want [BenchmarkFoo BenchmarkGone]", got)
+	}
+}

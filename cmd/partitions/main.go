@@ -27,6 +27,7 @@ func main() {
 	m := flag.Int("m", -1, "with -d: also model each candidate's multiphase time for this block size")
 	machine := flag.String("machine", "ipsc860",
 		"machine model for -m costing: "+strings.Join(model.MachineNames(), " | "))
+	optWorkers := flag.Int("opt-workers", 0, "optimizer candidate-costing workers, clamped to GOMAXPROCS (0 = backend default)")
 	flag.Parse()
 
 	if *d < 0 {
@@ -37,7 +38,7 @@ func main() {
 			fatal(fmt.Errorf("d=%d too large to enumerate", *d))
 		}
 		if *m >= 0 {
-			if err := costed(*d, *m, *machine); err != nil {
+			if err := costed(*d, *m, *machine, *optWorkers); err != nil {
 				fatal(err)
 			}
 			return
@@ -66,7 +67,7 @@ func main() {
 // costed prints every partition of d with its modeled multiphase time
 // for block size m — the §6 enumeration the optimizer runs, made
 // visible. The winner is marked.
-func costed(d, m int, machine string) error {
+func costed(d, m int, machine string, optWorkers int) error {
 	prm, err := model.MachineByName(machine)
 	if err != nil {
 		return err
@@ -77,7 +78,9 @@ func costed(d, m int, machine string) error {
 		"partition", "phases", "modeled (µs)", "")
 	// Ask the optimizer itself which candidate wins, so the mark always
 	// agrees with what mpx and pland serve (tie-breaks included).
-	best, err := optimize.New(prm).Best(d, m)
+	opt := optimize.New(prm)
+	opt.SetWorkers(optWorkers)
+	best, err := opt.Best(d, m)
 	if err != nil {
 		return err
 	}

@@ -51,6 +51,7 @@ type options struct {
 	snapshotPath  string
 	snapshotEvery time.Duration
 	warmupDims    string
+	optWorkers    int
 	logger        *log.Logger
 }
 
@@ -66,6 +67,7 @@ func main() {
 	flag.StringVar(&o.snapshotPath, "snapshot", "", "cache snapshot file (restored at startup, written periodically and on shutdown)")
 	flag.DurationVar(&o.snapshotEvery, "snapshot-every", 5*time.Minute, "periodic snapshot interval (requires -snapshot)")
 	flag.StringVar(&o.warmupDims, "warmup-dims", "", "comma-separated dimensions to pre-build for every machine at startup, e.g. \"5,6,7\"")
+	flag.IntVar(&o.optWorkers, "opt-workers", 0, "optimizer candidate-costing workers, clamped to GOMAXPROCS (0 = backend default)")
 	flag.Parse()
 	o.logger = log.New(os.Stderr, "pland: ", log.LstdFlags)
 
@@ -138,6 +140,7 @@ func newDaemon(o options) (*daemon, error) {
 		SweepHi:          o.sweepHi,
 		SweepStep:        o.sweepStep,
 		NewOptimizer:     newOpt,
+		OptWorkers:       o.optWorkers,
 	})
 	if o.snapshotPath != "" {
 		restored, skipped, err := cache.RestoreFile(o.snapshotPath)

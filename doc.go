@@ -29,6 +29,16 @@
 // the analytic model (model.MultiphaseOn) collapsing to eq. (3) on the
 // hypercube.
 //
+// The optimizer (internal/optimize) keeps that enumeration interactive
+// at scale: per-(field, m) phase costs and compiled trace fragments are
+// memoized across candidates and block-size sweeps, an admissible
+// analytic lower bound (model.PhaseLowerBoundOn) prunes provable losers
+// branch-and-bound style, and surviving candidates are costed in
+// parallel on a bounded worker pool with deterministic tie-breaking —
+// bit-identical results to exhaustive serial enumeration, with
+// evaluated/pruned/memo-hit counters surfaced through Optimizer.Stats
+// and the daemon's /metrics.
+//
 // On top of the optimizer sits the serving subsystem: internal/plancache
 // collapses the unbounded block-size axis onto hull-of-optimality
 // segments in a sharded LRU cache with JSON snapshot/restore,

@@ -50,53 +50,76 @@ type compiledOp struct {
 func (p *Plan) Compile() *CompiledPlan {
 	c := &CompiledPlan{m: p.m, n: p.Nodes(), topo: p.topo.Name()}
 	for _, ph := range p.phases {
-		c.rows = append(c.rows, compiledOp{kind: simnet.OpBarrier})
-		if ph.XOR {
-			for j := 1; j <= ph.steps(); j++ {
-				row := compiledOp{
-					kind:   simnet.OpExchange,
+		c.rows = appendPhaseRows(c.rows, ph, p.m*c.n)
+	}
+	return c
+}
+
+// CompilePhase lowers phase i alone — its barrier, its steps, and its
+// shuffle — to a standalone CompiledPlan over the same topology. The rows
+// are exactly the corresponding slice of Compile's row table, so a
+// single-phase plan's fragment replay is bit-identical to its whole-plan
+// Cost. The optimizer's memoized costing replays one fragment per
+// distinct (field, m) instead of recompiling and replaying every
+// candidate plan whole.
+func (p *Plan) CompilePhase(i int) *CompiledPlan {
+	c := &CompiledPlan{m: p.m, n: p.Nodes(), topo: p.topo.Name()}
+	c.rows = appendPhaseRows(c.rows, p.phases[i], p.m*c.n)
+	return c
+}
+
+// NumPhases returns the number of phases in the plan.
+func (p *Plan) NumPhases() int { return len(p.phases) }
+
+// appendPhaseRows emits one phase's rows: the barrier, the steps, and —
+// except when the phase spans the whole machine — the shuffle charge.
+func appendPhaseRows(rows []compiledOp, ph Phase, shuffleBytes int) []compiledOp {
+	rows = append(rows, compiledOp{kind: simnet.OpBarrier})
+	if ph.XOR {
+		for j := 1; j <= ph.steps(); j++ {
+			row := compiledOp{
+				kind:   simnet.OpExchange,
+				shift:  j,
+				stride: ph.Stride,
+				span:   ph.Span,
+				xor:    true,
+				bytes:  ph.EffBytes,
+			}
+			if bitutil.IsPow2(ph.Stride) {
+				row.mask = j * ph.Stride
+			}
+			rows = append(rows, row)
+		}
+	} else {
+		for j := 1; j <= ph.steps(); j++ {
+			rows = append(rows, compiledOp{
+				kind:   simnet.OpPostRecv,
+				shift:  j,
+				stride: ph.Stride,
+				span:   ph.Span,
+			})
+		}
+		for j := 1; j <= ph.steps(); j++ {
+			rows = append(rows,
+				compiledOp{
+					kind:   simnet.OpSend,
 					shift:  j,
 					stride: ph.Stride,
 					span:   ph.Span,
-					xor:    true,
 					bytes:  ph.EffBytes,
-				}
-				if bitutil.IsPow2(ph.Stride) {
-					row.mask = j * ph.Stride
-				}
-				c.rows = append(c.rows, row)
-			}
-		} else {
-			for j := 1; j <= ph.steps(); j++ {
-				c.rows = append(c.rows, compiledOp{
-					kind:   simnet.OpPostRecv,
+				},
+				compiledOp{
+					kind:   simnet.OpWaitRecv,
 					shift:  j,
 					stride: ph.Stride,
 					span:   ph.Span,
 				})
-			}
-			for j := 1; j <= ph.steps(); j++ {
-				c.rows = append(c.rows,
-					compiledOp{
-						kind:   simnet.OpSend,
-						shift:  j,
-						stride: ph.Stride,
-						span:   ph.Span,
-						bytes:  ph.EffBytes,
-					},
-					compiledOp{
-						kind:   simnet.OpWaitRecv,
-						shift:  j,
-						stride: ph.Stride,
-						span:   ph.Span,
-					})
-			}
-		}
-		if ph.EffBlocks != 1 {
-			c.rows = append(c.rows, compiledOp{kind: simnet.OpShuffle, bytes: p.m * c.n})
 		}
 	}
-	return c
+	if ph.EffBlocks != 1 {
+		rows = append(rows, compiledOp{kind: simnet.OpShuffle, bytes: shuffleBytes})
+	}
+	return rows
 }
 
 // NumNodes returns the topology's node count.

@@ -167,3 +167,64 @@ func TestCostDimensionMismatch(t *testing.T) {
 		t.Error("dimension mismatch must fail")
 	}
 }
+
+// CompilePhase must emit exactly the corresponding slice of Compile's
+// row table: concatenating every phase fragment reproduces the whole
+// plan's rows, and a single-phase plan's fragment replay is bit-identical
+// to its whole-plan Cost.
+func TestCompilePhaseMatchesCompile(t *testing.T) {
+	cases := []struct {
+		spec string
+		m    int
+		D    partition.Partition
+	}{
+		{"hypercube-5", 24, partition.Partition{2, 3}},
+		{"hypercube-4", 8, partition.Partition{1, 1, 2}},
+		{"torus-4x4", 40, partition.Partition{1, 1}},
+		{"torus-8x2x2", 8, partition.Partition{1, 2}},
+		{"mesh-3x3", 16, partition.Partition{2}},
+	}
+	for _, tc := range cases {
+		topo := topology.MustParseSpec(tc.spec)
+		plan, err := NewPlanOn(topo, tc.m, tc.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole := plan.Compile()
+		var stitched []compiledOp
+		for i := 0; i < plan.NumPhases(); i++ {
+			frag := plan.CompilePhase(i)
+			if frag.n != whole.n || frag.m != whole.m || frag.topo != whole.topo {
+				t.Fatalf("%s %v phase %d: fragment header %+v differs from whole plan", tc.spec, tc.D, i, frag)
+			}
+			stitched = append(stitched, frag.rows...)
+		}
+		if len(stitched) != len(whole.rows) {
+			t.Fatalf("%s %v: %d stitched rows, want %d", tc.spec, tc.D, len(stitched), len(whole.rows))
+		}
+		for i := range whole.rows {
+			if stitched[i] != whole.rows[i] {
+				t.Fatalf("%s %v row %d: fragment %+v, whole %+v", tc.spec, tc.D, i, stitched[i], whole.rows[i])
+			}
+		}
+	}
+
+	// Single-phase plan: fragment replay ≡ whole-plan Cost, bit-exact.
+	topo := topology.MustParseSpec("torus-4x4x4")
+	plan, err := NewPlanOn(topo, 40, partition.Partition{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(topo, model.IPSC860())
+	whole, err := plan.Cost(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, err := net.RunSource(plan.CompilePhase(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.Makespan != whole.Makespan {
+		t.Fatalf("single-phase fragment %v µs, whole plan %v µs", frag.Makespan, whole.Makespan)
+	}
+}

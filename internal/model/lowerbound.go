@@ -1,0 +1,112 @@
+package model
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// This file provides the admissible lower bound the optimizer's
+// branch-and-bound pruning rests on. The discrete-event simulator charges
+// every phase a global barrier (unconditionally — the compiled plans post
+// their FORCED receives behind an OpBarrier), then Span−1 steps, then the
+// ρ·m·n shuffle when the phase does not span the whole machine.
+// Contention and rendezvous waiting can only delay a node beyond the
+// serial sum of its own transmissions, so the makespan of one simulated
+// phase is bounded from below by the busiest node's serial work:
+//
+//	XOR field:    (S−1)·(λ_eff + τ_eff·m_i) + δ_eff·w·S/2 — every node's
+//	              exchange durations sum identically (the step-j exchange
+//	              crosses popcount(j) dimensions), so this is the exact
+//	              zero-contention makespan;
+//	cyclic field: (S−1)·(λ + τ·m_i) + δ·max_f Σ_j dist(f, f+j) with the
+//	              RAW message constants — the simulator's FORCED sends
+//	              cost λ + τ·m + δ·h each, with no pairwise sync round.
+//
+// Both are provable lower bounds on the simulated phase makespan, never
+// above it, which is exactly what admissible pruning requires: a
+// candidate whose per-phase bounds already sum past the incumbent's
+// simulated time cannot win.
+
+// shiftLBKey memoizes maxNodeShiftDist per (topology name, field).
+type shiftLBKey struct {
+	name  string
+	lo, w int
+}
+
+var shiftLBMemo sync.Map // shiftLBKey -> float64
+
+// maxNodeShiftDist returns max_f Σ_{j=1}^{span−1} dist(f, (f+j) mod span)
+// over the dimension field [lo, lo+w): the total routed distance of the
+// busiest node's sends across a cyclic phase. Distances between nodes
+// differing only inside the field are sub-block-local, so the sub-block
+// anchored at label 0 is representative. Beyond exactShiftDistSpan the
+// O(span²) maximum is replaced by the f = 0 row sum — weaker, but still
+// admissible (the maximum dominates every single row).
+func maxNodeShiftDist(net topology.Network, lo, w, span int) float64 {
+	key := shiftLBKey{name: net.Name(), lo: lo, w: w}
+	if v, ok := shiftLBMemo.Load(key); ok {
+		return v.(float64)
+	}
+	stride := net.Stride(lo)
+	var total float64
+	if span <= exactShiftDistSpan {
+		for f := 0; f < span; f++ {
+			sum := 0
+			for j := 1; j < span; j++ {
+				sum += net.Distance(f*stride, ((f+j)%span)*stride)
+			}
+			if s := float64(sum); s > total {
+				total = s
+			}
+		}
+	} else {
+		sum := 0
+		for j := 1; j < span; j++ {
+			sum += net.Distance(0, j*stride)
+		}
+		total = float64(sum)
+	}
+	shiftLBMemo.Store(key, total)
+	return total
+}
+
+// PhaseLowerBoundOn returns an admissible lower bound in µs on the
+// simulated makespan of the single phase over the dimension field
+// [lo, lo+w) at block size m: the barrier's GlobalSync(diameter) — the
+// simulator charges it on every phase regardless of GlobalSyncPerPhase —
+// plus the busiest node's serial transmission time, plus the ρ·m·n
+// shuffle when the phase spans less than the whole machine. The bound
+// never exceeds the value exchange fragment replay produces for the same
+// field, so pruning on it never discards a potential winner.
+func (p Params) PhaseLowerBoundOn(net topology.Network, m, lo, w int) (float64, error) {
+	if w <= 0 {
+		return 0, fmt.Errorf("model: nonpositive phase width %d", w)
+	}
+	span, err := topology.SpanSize(net, lo, w)
+	if err != nil {
+		return 0, err
+	}
+	dims := net.Dims()
+	xor := true
+	for i := lo; i < lo+w; i++ {
+		if dims[i] != 2 {
+			xor = false
+		}
+	}
+	n := net.Nodes()
+	mi := float64(m) * float64(n/span)
+	steps := float64(span - 1)
+	var t float64
+	if xor {
+		t = steps*(p.EffLambda()+p.EffTau()*mi) + p.EffDelta()*float64(w)*float64(span/2)
+	} else {
+		t = steps*(p.Lambda+p.Tau*mi) + p.Delta*maxNodeShiftDist(net, lo, w, span)
+	}
+	if span != n {
+		t += p.Rho * float64(m) * float64(n)
+	}
+	t += p.GlobalSync(net.Diameter())
+	return t, nil
+}

@@ -67,6 +67,10 @@ type Config struct {
 	// NewOptimizer builds the per-machine optimizer (default
 	// optimize.New, the analytic backend).
 	NewOptimizer func(model.Params) *optimize.Optimizer
+	// OptWorkers is passed to each optimizer's SetWorkers: the candidate-
+	// costing worker-pool size, clamped to GOMAXPROCS. Zero keeps the
+	// optimizer's own default.
+	OptWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -312,8 +316,25 @@ func (c *Cache) optimizer(name string, p model.Params) *optimize.Optimizer {
 		return o
 	}
 	o := c.cfg.NewOptimizer(p)
+	if c.cfg.OptWorkers > 0 {
+		o.SetWorkers(c.cfg.OptWorkers)
+	}
 	c.opts[name] = o
 	return o
+}
+
+// OptimizerStats aggregates the enumeration counters — evaluations,
+// evaluated/pruned candidates, memo hits/misses — across every
+// per-machine optimizer the cache has created. The service layer exposes
+// the sum on /metrics next to the cache counters.
+func (c *Cache) OptimizerStats() optimize.Stats {
+	c.optMu.Lock()
+	defer c.optMu.Unlock()
+	var sum optimize.Stats
+	for _, o := range c.opts {
+		sum.Add(o.Stats())
+	}
+	return sum
 }
 
 // Get answers one (machine, d, m) hypercube query with the full plan

@@ -559,16 +559,20 @@ type EndpointMetrics struct {
 	MaxUS   int64   `json:"max_us"`
 }
 
-// MetricsResponse is the /metrics wire format: the cache counters next
-// to per-endpoint request/latency counters.
+// MetricsResponse is the /metrics wire format: the cache counters and
+// the aggregated optimizer enumeration counters (candidates evaluated,
+// branch-and-bound pruned, memo hits/misses across every per-machine
+// optimizer) next to per-endpoint request/latency counters.
 type MetricsResponse struct {
 	Cache     plancache.Stats            `json:"cache"`
+	Optimizer optimize.Stats             `json:"optimizer"`
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 	resp := MetricsResponse{
 		Cache:     s.cache.Stats(),
+		Optimizer: s.cache.OptimizerStats(),
 		Endpoints: make(map[string]EndpointMetrics),
 	}
 	s.mu.Lock()

@@ -382,6 +382,14 @@ func TestMetricsCountersMove(t *testing.T) {
 		t.Errorf("cache stats hits=%d misses=%d, want ≥1 hit and exactly 1 miss",
 			got.Cache.Hits, got.Cache.Misses)
 	}
+	// The one line build above ran hull-sweep enumerations; their
+	// optimizer counters must surface on /metrics.
+	if got.Optimizer.Evaluations == 0 || got.Optimizer.Evaluated == 0 {
+		t.Errorf("optimizer stats did not move: %+v", got.Optimizer)
+	}
+	if got.Optimizer.MemoMisses == 0 {
+		t.Errorf("optimizer memo counters did not move: %+v", got.Optimizer)
+	}
 }
 
 func TestMethodNotAllowed(t *testing.T) {

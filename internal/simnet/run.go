@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 
 	"repro/internal/event"
 )
@@ -128,6 +129,17 @@ func (st *runState) enterBarrier(p int) {
 	// Resetting to [:0] reuses the backing array; nothing re-enters the
 	// barrier while we release (advance only schedules events).
 	b.arrived, b.maxTime, b.waiters = 0, 0, b.waiters[:0]
+	// Release in node order, not arrival order. All release events carry
+	// the same timestamp, so the engine breaks their ties by insertion
+	// sequence; sorting pins that sequence to the node id, making a
+	// phase's contention resolution independent of the arrival-order
+	// history of earlier phases. A phase simulated standalone then evolves
+	// identically to the same phase inside a longer plan up to float
+	// tie-breaking: exactly-tied link acquisitions compare absolute times,
+	// so a different start offset can still flip a tie (the optimizer's
+	// memoized fragment costing documents this as its screening-metric
+	// semantics).
+	slices.Sort(waiters)
 	for _, q := range waiters {
 		st.advance(int(q), release)
 	}
