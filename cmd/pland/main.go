@@ -52,6 +52,8 @@ type options struct {
 	snapshotEvery time.Duration
 	warmupDims    string
 	optWorkers    int
+	rebuildTries  int
+	rebuildWait   time.Duration
 	logger        *log.Logger
 }
 
@@ -68,6 +70,8 @@ func main() {
 	flag.DurationVar(&o.snapshotEvery, "snapshot-every", 5*time.Minute, "periodic snapshot interval (requires -snapshot)")
 	flag.StringVar(&o.warmupDims, "warmup-dims", "", "comma-separated dimensions to pre-build for every machine at startup, e.g. \"5,6,7\"")
 	flag.IntVar(&o.optWorkers, "opt-workers", 0, "optimizer candidate-costing workers, clamped to GOMAXPROCS (0 = backend default)")
+	flag.IntVar(&o.rebuildTries, "rebuild-attempts", 0, "background degraded-plan rebuild attempts (0 = service default)")
+	flag.DurationVar(&o.rebuildWait, "rebuild-backoff", 0, "initial backoff between rebuild attempts, doubled per try (0 = service default)")
 	flag.Parse()
 	o.logger = log.New(os.Stderr, "pland: ", log.LstdFlags)
 
@@ -148,7 +152,16 @@ func newDaemon(o options) (*daemon, error) {
 		case errors.Is(err, os.ErrNotExist):
 			o.logger.Printf("no snapshot at %s, starting cold", o.snapshotPath)
 		case err != nil:
-			return nil, fmt.Errorf("restoring snapshot %s: %w", o.snapshotPath, err)
+			// A corrupt or truncated snapshot (a crash mid-write of an
+			// earlier daemon, stray edits) must not keep the daemon down:
+			// move it aside for postmortem and start cold. The next
+			// periodic snapshot writes a fresh one.
+			corrupt := o.snapshotPath + ".corrupt"
+			o.logger.Printf("snapshot %s unreadable (%v); moving it to %s and starting cold",
+				o.snapshotPath, err, corrupt)
+			if mvErr := os.Rename(o.snapshotPath, corrupt); mvErr != nil {
+				return nil, fmt.Errorf("moving corrupt snapshot aside: %w", mvErr)
+			}
 		default:
 			// Resident can be below restored when the snapshot holds
 			// more lines than the configured capacity.
@@ -171,7 +184,14 @@ func newDaemon(o options) (*daemon, error) {
 	// A cache miss on the simulated backend runs a full hull sweep of
 	// Best calls — hundreds of compiled replays per build — so the
 	// serving bound must match the per-request /v1/cost bound.
-	svcCfg := service.Config{Cache: cache, DefaultMachine: defaultMachine, PlanMaxDim: planMaxDim}
+	svcCfg := service.Config{
+		Cache:           cache,
+		DefaultMachine:  defaultMachine,
+		PlanMaxDim:      planMaxDim,
+		RebuildAttempts: o.rebuildTries,
+		RebuildBackoff:  o.rebuildWait,
+		Logger:          o.logger,
+	}
 	svc, err := service.New(svcCfg)
 	if err != nil {
 		return nil, err
@@ -179,8 +199,19 @@ func newDaemon(o options) (*daemon, error) {
 	return &daemon{
 		opts:  o,
 		cache: cache,
-		srv:   &http.Server{Handler: svc.Handler()},
-		log:   o.logger,
+		srv: &http.Server{
+			Handler: svc.Handler(),
+			// A public daemon must not let one stalled peer pin a
+			// connection forever: bound the header read (slowloris), the
+			// whole request read, the response write (covers handler
+			// time — generous, a cold simulated-backend hull build is
+			// minutes of work), and keep-alive idle.
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       1 * time.Minute,
+			WriteTimeout:      10 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		},
+		log: o.logger,
 	}, nil
 }
 

@@ -43,9 +43,21 @@
 // collapses the unbounded block-size axis onto hull-of-optimality
 // segments in a sharded LRU cache with JSON snapshot/restore,
 // internal/service exposes it as an HTTP JSON API (/v1/plan, /v1/cost,
-// /v1/hull, /v1/batch, /healthz, /metrics), and cmd/pland is the daemon
-// that serves auto-tuned exchange plans to the network — the paper's
-// "compute once, store for repeated future use" (§6) as a product.
+// /v1/hull, /v1/batch, /v1/faults, /healthz, /metrics), and cmd/pland is
+// the daemon that serves auto-tuned exchange plans to the network — the
+// paper's "compute once, store for repeated future use" (§6) as a
+// product.
+//
+// The stack is fault-aware end to end: topology.Overlay wraps any
+// Network in a Degraded view (dead links, dead nodes, per-link slowdown
+// factors) with detour routing and a canonical health digest; the cost
+// model, optimizer, simulator (simnet.FaultPlan injects deterministic
+// timed faults) and plan cache all plan around the damage, and the
+// daemon degrades gracefully — POST /v1/faults changes a fabric's fault
+// state, and when re-planning under faults is impossible the
+// last-known-good plan is served flagged degraded while a bounded-
+// backoff background rebuild retries. A zero-fault overlay is exactly
+// transparent: bit-identical plans, costs, and cache keys.
 //
 // Layout:
 //

@@ -1,0 +1,146 @@
+package exchange_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+func overlay(t *testing.T, base topology.Network, fs topology.FaultSet) *topology.Degraded {
+	t.Helper()
+	d, err := topology.Overlay(base, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// Acceptance: a Degraded wrapper with zero faults plans and costs
+// bit-identically to the bare network — pinned on hypercube and torus,
+// on both optimizer backends and both plan-costing paths. Fresh
+// optimizer instances per side keep the comparison honest (the
+// optimizer's cache would otherwise collapse the two calls).
+func TestZeroFaultOverlayBitIdentical(t *testing.T) {
+	p := model.IPSC860()
+	for _, spec := range []string{"hypercube-5", "torus-4x4x4"} {
+		bare := topology.MustParseSpec(spec)
+		wrapped := overlay(t, bare, topology.FaultSet{})
+		for _, m := range []int{0, 16, 100} {
+			// Plan construction and compiled-trace cost.
+			planBare, err := exchange.NewPlanOn(bare, m, defaultGroups(bare))
+			if err != nil {
+				t.Fatal(err)
+			}
+			planWrapped, err := exchange.NewPlanOn(wrapped, m, defaultGroups(wrapped))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resBare, err := planBare.Cost(simnet.New(bare, p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resWrapped, err := planWrapped.Cost(simnet.New(wrapped, p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resBare.Makespan != resWrapped.Makespan {
+				t.Fatalf("%s m=%d: compiled cost %v (bare) != %v (zero-fault overlay)",
+					spec, m, resBare.Makespan, resWrapped.Makespan)
+			}
+
+			// Analytic model.
+			tBare, _, err := p.MultiphaseOn(bare, m, defaultGroups(bare))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tWrapped, _, err := p.MultiphaseOn(wrapped, m, defaultGroups(wrapped))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tBare != tWrapped {
+				t.Fatalf("%s m=%d: analytic cost %v != %v", spec, m, tBare, tWrapped)
+			}
+		}
+
+		// Full optimizer, both backends.
+		for _, backend := range []string{"analytic", "simulated"} {
+			mk := func() *optimize.Optimizer {
+				if backend == "simulated" {
+					return optimize.NewSimulated(p)
+				}
+				return optimize.New(p)
+			}
+			m := 64
+			cBare, err := mk().BestOn(bare, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cWrapped, err := mk().BestOn(wrapped, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cBare.Part.Equal(cWrapped.Part) || cBare.TimeMicro != cWrapped.TimeMicro {
+				t.Fatalf("%s %s: Best = (%v, %v) bare vs (%v, %v) zero-fault overlay",
+					spec, backend, cBare.Part, cBare.TimeMicro, cWrapped.Part, cWrapped.TimeMicro)
+			}
+		}
+	}
+}
+
+// defaultGroups returns the all-ones grouping (one dimension per phase)
+// for any topology — valid on every shape.
+func defaultGroups(net topology.Network) []int {
+	g := make([]int, net.NumDims())
+	for i := range g {
+		g[i] = 1
+	}
+	return g
+}
+
+// Acceptance: a torus with one dead link produces a verified
+// data-correct complete exchange on both fabrics (the Sim fabric moves
+// and checks real payloads; the runtime fabric runs real goroutines).
+func TestOneDeadLinkTorusExchangeBothFabrics(t *testing.T) {
+	p := model.IPSC860()
+	d := overlay(t, topology.MustParseSpec("torus-4x4"), topology.FaultSet{
+		DeadLinks: []topology.Link{{A: 0, B: 1}},
+	})
+	if err := d.Operational(); err != nil {
+		t.Fatal(err)
+	}
+	for _, groups := range [][]int{{1, 1}, {2}} {
+		plan, err := exchange.NewPlanOn(d, 8, groups)
+		if err != nil {
+			t.Fatalf("exchange.NewPlanOn(%v): %v", groups, err)
+		}
+		// Sim fabric: Simulate verifies every payload landed correctly.
+		if _, err := plan.Simulate(simnet.New(d, p)); err != nil {
+			t.Fatalf("Simulate(%v): %v", groups, err)
+		}
+		// Runtime fabric: real goroutines, real data movement.
+		if err := plan.RunData(30 * time.Second); err != nil {
+			t.Fatalf("RunData(%v): %v", groups, err)
+		}
+	}
+}
+
+// A degraded fabric that cannot host a complete exchange fails plan
+// construction with the typed unroutable error.
+func TestPlanOnNonOperationalDegraded(t *testing.T) {
+	dead := overlay(t, topology.MustParseSpec("torus-4x4"), topology.FaultSet{DeadNodes: []int{3}})
+	if _, err := exchange.NewPlanOn(dead, 8, []int{1, 1}); !errors.Is(err, topology.ErrUnroutable) {
+		t.Fatalf("NewPlanOn with dead node: %v, want ErrUnroutable", err)
+	}
+	severed := overlay(t, topology.MustParseSpec("mesh-6"), topology.FaultSet{
+		DeadLinks: []topology.Link{{A: 2, B: 3}},
+	})
+	if _, err := exchange.NewPlanOn(severed, 8, []int{1}); !errors.Is(err, topology.ErrUnroutable) {
+		t.Fatalf("NewPlanOn on severed mesh: %v, want ErrUnroutable", err)
+	}
+}

@@ -56,6 +56,12 @@ func NewPlanOn(topo topology.Network, m int, D partition.Partition) (*Plan, erro
 	if m < 0 {
 		return nil, fmt.Errorf("exchange: negative block size %d", m)
 	}
+	// A complete exchange needs every node alive and the live graph
+	// connected; gating here keeps the replay core's panic-free
+	// contract (fault-aware AppendRoute panics on severed pairs).
+	if err := topology.CheckOperational(topo); err != nil {
+		return nil, fmt.Errorf("exchange: %s cannot host a complete exchange: %w", topo.Name(), err)
+	}
 	k := topo.NumDims()
 	if k == 0 {
 		if len(D) != 0 {

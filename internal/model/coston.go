@@ -64,7 +64,9 @@ func phaseDistTotal(net topology.Network, lo, w int) float64 {
 	if span <= exactShiftDistSpan {
 		// Distances between nodes differing only inside the field are
 		// field-local, so the sub-block anchored at label 0 is
-		// representative: node(f) = f·stride.
+		// representative: node(f) = f·stride. (Faults break this
+		// symmetry; degraded phases are priced by phaseMetricsDegraded,
+		// never here.)
 		stride := net.Stride(lo)
 		for j := 1; j < span; j++ {
 			maxDist := 0
@@ -77,8 +79,13 @@ func phaseDistTotal(net topology.Network, lo, w int) float64 {
 		}
 	} else {
 		// Torus fields wrap; any other shape is priced with the
-		// open-boundary max(w, r−w), the pessimistic upper bound.
-		_, wrap := net.(*topology.Torus)
+		// open-boundary max(w, r−w), the pessimistic upper bound. A
+		// healthy Degraded overlay wraps exactly like its base.
+		baseNet := net
+		if dg, ok := net.(*topology.Degraded); ok {
+			baseNet = dg.Base()
+		}
+		_, wrap := baseNet.(*topology.Torus)
 		for i := lo; i < lo+w; i++ {
 			r := dims[i]
 			sum, zero := 0, 0
@@ -121,6 +128,96 @@ func digitShiftMax(r, v int, wrap bool) int {
 	return best
 }
 
+// degradedPhaseMetrics carries the params-independent per-step worst
+// cases of one phase on one faulty overlay: dist[j-1] is the worst
+// fault-aware routed distance of step j, slow[j-1] the worst per-wire
+// speed factor among step j's routes.
+type degradedPhaseMetrics struct {
+	dist []float64
+	slow []float64
+}
+
+var degradedPhaseMemo sync.Map // shiftDistKey -> *degradedPhaseMetrics
+
+// degradedExactWork bounds the route enumerations (nodes × steps) spent
+// computing exact degraded phase metrics; beyond it the phase is priced
+// by the healthy closed form plus a pessimistic detour surcharge. A
+// serving tier must never run an enumeration quadratic in an
+// attacker-chosen span.
+const degradedExactWork = 1 << 22
+
+// phaseMetricsDegraded computes the per-step metrics of the phase over
+// [lo, lo+w) on a faulty overlay. Faults break the sub-block symmetry
+// the healthy closed forms rely on (the XOR uniform distance and the
+// block-0 representative), so every sub-block is enumerated with the
+// actual step family — XOR pairing f^j on all-radix-2 fields, cyclic
+// shifts f+j elsewhere — through fault-aware routing. Past the work cap
+// the fallback charges the healthy distance total plus a two-hop detour
+// allowance per dead wire per step, at the overlay's worst slow factor.
+func phaseMetricsDegraded(d *topology.Degraded, lo, w int) (*degradedPhaseMetrics, error) {
+	key := shiftDistKey{name: d.Name(), lo: lo, w: w}
+	if v, ok := degradedPhaseMemo.Load(key); ok {
+		return v.(*degradedPhaseMetrics), nil
+	}
+	span, err := topology.SpanSize(d, lo, w)
+	if err != nil {
+		return nil, err
+	}
+	dims := d.Dims()
+	xor := true
+	for i := lo; i < lo+w; i++ {
+		if dims[i] != 2 {
+			xor = false
+		}
+	}
+	pm := &degradedPhaseMetrics{
+		dist: make([]float64, span-1),
+		slow: make([]float64, span-1),
+	}
+	n := d.Nodes()
+	if uint64(n)*uint64(span-1) <= degradedExactWork {
+		blocks, err := topology.SubBlocks(d, lo, w)
+		if err != nil {
+			return nil, err
+		}
+		for j := 1; j < span; j++ {
+			maxDist, maxSlow := 0, 1.0
+			for _, block := range blocks {
+				for f, src := range block {
+					var dst int
+					if xor {
+						dst = block[f^j]
+					} else {
+						dst = block[(f+j)%span]
+					}
+					h, s, err := d.RouteMetrics(src, dst)
+					if err != nil {
+						return nil, err
+					}
+					if h > maxDist {
+						maxDist = h
+					}
+					if s > maxSlow {
+						maxSlow = s
+					}
+				}
+			}
+			pm.dist[j-1] = float64(maxDist)
+			pm.slow[j-1] = maxSlow
+		}
+	} else {
+		total := phaseDistTotal(d.Base(), lo, w)
+		fs := d.Faults()
+		perStep := total/float64(span-1) + 2*float64(len(fs.DeadLinks))
+		for j := range pm.dist {
+			pm.dist[j] = perStep
+			pm.slow[j] = d.MaxSlowFactor()
+		}
+	}
+	degradedPhaseMemo.Store(key, pm)
+	return pm, nil
+}
+
 // PhaseCostOn returns the modeled time in µs of one partial exchange
 // over the dimension field [lo, lo+w) of the given topology with block
 // size m — the mixed-radix generalization of PhaseCost:
@@ -134,6 +231,16 @@ func digitShiftMax(r, v int, wrap bool) int {
 // hypercube's diameter is its dimension, recovering eq. 3 exactly). An
 // out-of-range field is an error, never a zero cost — a zero would win
 // any minimization it leaked into.
+//
+// On a faulty topology.Degraded overlay the phase is priced per step
+// with fault-aware metrics: step j charges
+// (λ_eff + τ_eff·mi + δ_eff·dist_j)·slow_j, where dist_j is the step's
+// worst detoured distance and slow_j the worst speed factor among its
+// routes (the step waits for its slowest node, and a circuit runs at
+// the speed of its slowest wire) — the worst-case upper bound matching
+// the simulator's per-circuit fault scaling. A non-operational overlay
+// (dead node, severed partition) is an error wrapping
+// topology.ErrUnroutable, never a cost.
 func (p Params) PhaseCostOn(net topology.Network, m, lo, w int) (float64, error) {
 	if w <= 0 {
 		return 0, fmt.Errorf("model: nonpositive phase width %d", w)
@@ -144,6 +251,26 @@ func (p Params) PhaseCostOn(net topology.Network, m, lo, w int) (float64, error)
 	}
 	n := net.Nodes()
 	mi := float64(m) * float64(n/span)
+	if dg, ok := net.(*topology.Degraded); ok && !dg.Healthy() {
+		if err := dg.Operational(); err != nil {
+			return 0, err
+		}
+		pm, err := phaseMetricsDegraded(dg, lo, w)
+		if err != nil {
+			return 0, err
+		}
+		t := 0.0
+		for i := range pm.dist {
+			t += (p.EffLambda() + p.EffTau()*mi + p.EffDelta()*pm.dist[i]) * pm.slow[i]
+		}
+		if span != n {
+			t += p.Rho * float64(m) * float64(n)
+		}
+		if p.GlobalSyncPerPhase {
+			t += p.GlobalSync(net.Diameter())
+		}
+		return t, nil
+	}
 	steps := float64(span - 1)
 	t := steps*(p.EffLambda()+p.EffTau()*mi) + p.EffDelta()*phaseDistTotal(net, lo, w)
 	if span != n {
@@ -167,10 +294,11 @@ func (p Params) MultiphaseOn(net topology.Network, m int, D partition.Partition)
 		}
 		return 0, nil, nil
 	}
-	if h, ok := net.(*topology.Hypercube); ok {
-		// Radix-2 fast path: eq. (3) directly, no field layout to derive.
-		// Keeps the serving tier's hot Get as cheap as before the
-		// topology generalization.
+	if h, ok := topology.AsHypercube(net); ok {
+		// Radix-2 fast path: eq. (3) directly, no field layout to derive
+		// (also taken by fault-free Degraded overlays, which behave
+		// identically to their base by construction). Keeps the serving
+		// tier's hot Get as cheap as before the topology generalization.
 		d := h.Dim()
 		sum := 0
 		for _, di := range D {

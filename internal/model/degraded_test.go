@@ -1,0 +1,115 @@
+package model
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func degradedNet(t *testing.T, spec string, fs topology.FaultSet) *topology.Degraded {
+	t.Helper()
+	d, err := topology.Overlay(topology.MustParseSpec(spec), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// Degraded phase costs dominate the healthy closed forms: slow wires
+// scale the steps that cross them, dead wires stretch routes by their
+// detours, and a healthy overlay prices exactly like the bare network.
+func TestPhaseCostOnDegradedDominatesHealthy(t *testing.T) {
+	p := IPSC860()
+	bare := topology.MustParseSpec("torus-4x4")
+	healthyCost := func(lo, w int) float64 {
+		c, err := p.PhaseCostOn(bare, 64, lo, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	zero := degradedNet(t, "torus-4x4", topology.FaultSet{})
+	slow := degradedNet(t, "torus-4x4", topology.FaultSet{
+		SlowLinks: []topology.SlowLink{{Link: topology.Link{A: 0, B: 1}, Factor: 3}},
+	})
+	dead := degradedNet(t, "torus-4x4", topology.FaultSet{
+		DeadLinks: []topology.Link{{A: 0, B: 1}},
+	})
+	for _, f := range [][2]int{{0, 1}, {1, 1}, {0, 2}} {
+		lo, w := f[0], f[1]
+		h := healthyCost(lo, w)
+		z, err := p.PhaseCostOn(zero, 64, lo, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if z != h {
+			t.Fatalf("field [%d,%d): zero-fault overlay cost %v != bare %v", lo, lo+w, z, h)
+		}
+		s, err := p.PhaseCostOn(slow, 64, lo, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := p.PhaseCostOn(dead, 64, lo, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The slow wire sits in dimension 0 (nodes 0 and 1); fields that
+		// route over it must cost strictly more, none may cost less.
+		if s < h || d < h {
+			t.Fatalf("field [%d,%d): degraded costs (slow %v, dead %v) below healthy %v", lo, lo+w, s, d, h)
+		}
+		if lo == 0 && (s <= h || d <= h) {
+			t.Fatalf("field [%d,%d) crosses the fault but costs (slow %v, dead %v) ≤ healthy %v",
+				lo, lo+w, s, d, h)
+		}
+	}
+}
+
+// A non-operational overlay is an error wrapping ErrUnroutable, never a
+// cost.
+func TestPhaseCostOnNonOperational(t *testing.T) {
+	p := IPSC860()
+	dead := degradedNet(t, "torus-4x4", topology.FaultSet{DeadNodes: []int{3}})
+	if _, err := p.PhaseCostOn(dead, 64, 0, 1); !errors.Is(err, topology.ErrUnroutable) {
+		t.Fatalf("PhaseCostOn with dead node: %v, want ErrUnroutable", err)
+	}
+	if _, _, err := p.MultiphaseOn(dead, 64, []int{1, 1}); !errors.Is(err, topology.ErrUnroutable) {
+		t.Fatalf("MultiphaseOn with dead node: %v, want ErrUnroutable", err)
+	}
+}
+
+// The admissible lower bound stays below the degraded phase cost —
+// detours and slow factors only push the cost up, so the healthy-form
+// bound keeps its pruning guarantee on faulty overlays.
+func TestLowerBoundAdmissibleOnDegraded(t *testing.T) {
+	p := IPSC860()
+	slow := degradedNet(t, "torus-4x4", topology.FaultSet{
+		SlowLinks: []topology.SlowLink{{Link: topology.Link{A: 0, B: 1}, Factor: 7}},
+		DeadLinks: []topology.Link{{A: 4, B: 8}},
+	})
+	for _, f := range [][2]int{{0, 1}, {1, 1}, {0, 2}} {
+		lo, w := f[0], f[1]
+		for _, m := range []int{0, 16, 256} {
+			lb, err := p.PhaseLowerBoundOn(slow, m, lo, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cost, err := p.PhaseCostOn(slow, m, lo, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			syncAdjust := 0.0
+			if !p.GlobalSyncPerPhase {
+				// The bound charges the simulator's unconditional
+				// per-phase barrier; the analytic cost only charges it
+				// when GlobalSyncPerPhase is set.
+				syncAdjust = p.GlobalSync(slow.Diameter())
+			}
+			if lb-syncAdjust > cost {
+				t.Fatalf("field [%d,%d) m=%d: lower bound %v above degraded cost %v",
+					lo, lo+w, m, lb, cost)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package optimize
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+func mustOverlayOpt(t *testing.T, spec string, fs topology.FaultSet) *topology.Degraded {
+	t.Helper()
+	d, err := topology.Overlay(topology.MustParseSpec(spec), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// The optimizer re-plans under degradation: when a wire the single-phase
+// schedule leans on turns slow, the winning grouping changes. Pinned at
+// torus-4x4, m=256: healthy traffic prefers the single phase {2}; with
+// wire 0-1 running 5× slow, splitting into per-dimension phases {1,1}
+// confines the slow wire's factor to fewer, smaller steps and wins.
+func TestBestOnReplansAroundSlowLink(t *testing.T) {
+	p := model.IPSC860()
+	const m = 256
+	bare, err := New(p).BestOn(topology.MustParseSpec("torus-4x4"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := mustOverlayOpt(t, "torus-4x4", topology.FaultSet{
+		SlowLinks: []topology.SlowLink{{Link: topology.Link{A: 0, B: 1}, Factor: 5}},
+	})
+	deg, err := New(p).BestOn(slow, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bare.Part.Equal([]int{2}) {
+		t.Fatalf("healthy winner = %v, expected {2} (test premise)", bare.Part)
+	}
+	if deg.Part.Equal(bare.Part) {
+		t.Fatalf("optimizer kept %v under a 5× slow wire; expected a different grouping", deg.Part)
+	}
+	if deg.TimeMicro <= bare.TimeMicro {
+		t.Fatalf("degraded cost %v not above healthy %v", deg.TimeMicro, bare.TimeMicro)
+	}
+}
+
+// Same re-planning with a dead wire: at m=76 the healthy torus-4x4
+// prefers {1,1}, but the dead wire's detours penalize the two-phase
+// schedule more than the single phase, flipping the winner to {2}.
+func TestBestOnReplansAroundDeadLink(t *testing.T) {
+	p := model.IPSC860()
+	const m = 76
+	bare, err := New(p).BestOn(topology.MustParseSpec("torus-4x4"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := mustOverlayOpt(t, "torus-4x4", topology.FaultSet{
+		DeadLinks: []topology.Link{{A: 0, B: 1}},
+	})
+	deg, err := New(p).BestOn(dead, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bare.Part.Equal([]int{1, 1}) {
+		t.Fatalf("healthy winner = %v, expected {1,1} (test premise)", bare.Part)
+	}
+	if deg.Part.Equal(bare.Part) {
+		t.Fatalf("optimizer kept %v around a dead wire; expected a different grouping", deg.Part)
+	}
+}
+
+// A degraded fabric that cannot host a complete exchange fails the
+// optimization with the typed unroutable error on both backends.
+func TestBestOnNonOperational(t *testing.T) {
+	p := model.IPSC860()
+	dead := mustOverlayOpt(t, "torus-4x4", topology.FaultSet{DeadNodes: []int{3}})
+	if _, err := New(p).BestOn(dead, 8); !errors.Is(err, topology.ErrUnroutable) {
+		t.Fatalf("analytic BestOn with dead node: %v, want ErrUnroutable", err)
+	}
+	if _, err := NewSimulated(p).BestOn(dead, 8); !errors.Is(err, topology.ErrUnroutable) {
+		t.Fatalf("simulated BestOn with dead node: %v, want ErrUnroutable", err)
+	}
+}
+
+// The simulated backend also prices faulty overlays (compiled traces
+// replay through fault-aware routing and slow wires), and its winner's
+// TimeMicro reflects the degradation.
+func TestSimulatedBackendOnDegraded(t *testing.T) {
+	p := model.IPSC860()
+	const m = 64
+	bare, err := NewSimulated(p).BestOn(topology.MustParseSpec("torus-4x4"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := mustOverlayOpt(t, "torus-4x4", topology.FaultSet{
+		SlowLinks: []topology.SlowLink{{Link: topology.Link{A: 0, B: 1}, Factor: 4}},
+	})
+	deg, err := NewSimulated(p).BestOn(slow, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.TimeMicro <= bare.TimeMicro {
+		t.Fatalf("simulated degraded cost %v not above healthy %v", deg.TimeMicro, bare.TimeMicro)
+	}
+}

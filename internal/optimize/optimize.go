@@ -399,6 +399,13 @@ func (o *Optimizer) bestOn(net topology.Network, m int, hint partition.Partition
 	if m < 0 {
 		return Choice{}, fmt.Errorf("optimize: negative block size %d", m)
 	}
+	// A non-operational degraded fabric (dead node, severed partition)
+	// cannot host any complete exchange: fail the optimization up front
+	// with the typed unroutable error instead of letting fault-aware
+	// routing panic inside costing.
+	if err := topology.CheckOperational(net); err != nil {
+		return Choice{}, fmt.Errorf("optimize: %w", err)
+	}
 	k := key{topo: net.Name(), m: m}
 	o.mu.Lock()
 	if c, ok := o.cache[k]; ok {
@@ -738,7 +745,7 @@ func (o *Optimizer) candidateBound(topo topology.Network, m int, fields [][2]int
 // compiled fragment replay per distinct (field, m) on the simulated path.
 func (o *Optimizer) candidateCost(net *simnet.Network, topo topology.Network, m int, D partition.Partition, fields [][2]int) (float64, error) {
 	if o.backend == Analytic {
-		h, _ := topo.(*topology.Hypercube)
+		h, _ := topology.AsHypercube(topo)
 		total := 0.0
 		for _, f := range fields {
 			lo, w := f[0], f[1]

@@ -586,6 +586,47 @@ func (c *Cache) insertLocked(sh *shard, ln *line) {
 	}
 }
 
+// WarmFor is WarmOn with an already-resolved topology — the form the
+// service layer's fault paths use, where the network is a degraded
+// overlay it has already built rather than a registry spec.
+func (c *Cache) WarmFor(machine string, net topology.Network) (built bool, err error) {
+	name, prm, err := c.resolve(machine)
+	if err != nil {
+		return false, err
+	}
+	if err := checkServable(net); err != nil {
+		return false, err
+	}
+	_, built, err = c.lineFor(name, prm, net)
+	return built, err
+}
+
+// InvalidateWhere drops every resident line whose (machine, topology
+// name) matches pred and returns how many were removed. In-flight
+// builds are not cancelled — a build that completes after its key was
+// invalidated re-inserts, so callers racing fault updates should
+// invalidate after the fault state changes, which this serving tier's
+// fault handler does. The service layer uses it to retire plans keyed
+// under a superseded health digest when a fabric's fault set changes.
+func (c *Cache) InvalidateWhere(pred func(machine, topo string) bool) int {
+	removed := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; {
+			next := el.Next()
+			ln := el.Value.(*line)
+			if pred(ln.key.machine, ln.key.topo) {
+				sh.lru.Remove(el)
+				delete(sh.lines, ln.key)
+				removed++
+			}
+			el = next
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
 // Stats returns a counter snapshot.
 func (c *Cache) Stats() Stats {
 	s := Stats{

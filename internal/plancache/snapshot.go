@@ -10,6 +10,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/optimize"
 	"repro/internal/partition"
+	"repro/internal/topology"
 )
 
 // SnapshotVersion is the wire-format version Snapshot writes and Restore
@@ -52,7 +53,10 @@ type snapshot struct {
 
 // Snapshot writes every resident line as JSON, most recently used first.
 // Counters are not serialized: a restored cache starts cold on stats but
-// warm on content.
+// warm on content. Lines built for degraded overlays (a fault digest in
+// the topology name) are skipped: fault state is ephemeral runtime
+// state, and a restart should come up planning for healthy fabrics, not
+// resurrect last week's failures.
 func (c *Cache) Snapshot(w io.Writer) error {
 	snap := snapshot{Version: SnapshotVersion}
 	for _, sh := range c.shards {
@@ -61,6 +65,9 @@ func (c *Cache) Snapshot(w io.Writer) error {
 			ln := el.Value.(*line)
 			prm, ok := c.cfg.Machines[ln.key.machine]
 			if !ok {
+				continue
+			}
+			if _, digest := topology.SplitSpec(ln.key.topo); digest != "" {
 				continue
 			}
 			sl := snapLine{

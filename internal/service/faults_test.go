@@ -1,0 +1,291 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/partition"
+	"repro/internal/plancache"
+	"repro/internal/topology"
+)
+
+// newFaultTestServer wires a server with a fast rebuild loop so tests
+// can watch the bounded retries finish.
+func newFaultTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	// The full default sweep: the replan premise below (m=256 flips
+	// grouping under a slow wire) needs the hull built past m=256.
+	srv, err := New(Config{
+		Cache:           plancache.New(plancache.Config{}),
+		RebuildAttempts: 2,
+		RebuildBackoff:  time.Millisecond,
+		Logger:          log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// A fault update re-plans the fabric: the served partition and cost
+// switch to the degraded overlay's optimum, the response carries the
+// health digest, and restoring the wire heals everything.
+func TestFaultsReplanLifecycle(t *testing.T) {
+	_, ts := newFaultTestServer(t)
+	const m = 256
+	planURL := fmt.Sprintf("%s/v1/plan?machine=ipsc860&topology=torus-4x4&m=%d", ts.URL, m)
+
+	var healthy PlanResponse
+	getJSON(t, planURL, http.StatusOK, &healthy)
+	if healthy.Health != "ok" || healthy.Degraded {
+		t.Fatalf("healthy fabric served health=%q degraded=%v", healthy.Health, healthy.Degraded)
+	}
+
+	var fr FaultsResponse
+	postJSON(t, ts.URL+"/v1/faults", FaultsRequest{
+		Topology: "torus-4x4", Action: "slow", Links: [][2]int{{0, 1}}, Factor: 5,
+	}, http.StatusOK, &fr)
+	if fr.Health != "sl=0-1:5" || !fr.Operational {
+		t.Fatalf("faults response = %+v, want health sl=0-1:5, operational", fr)
+	}
+
+	var deg PlanResponse
+	getJSON(t, planURL, http.StatusOK, &deg)
+	if deg.Health != "sl=0-1:5" || deg.Degraded {
+		t.Fatalf("degraded fabric served health=%q degraded=%v (want fresh degraded plan, not fallback)",
+			deg.Health, deg.Degraded)
+	}
+	slow, err := topology.ParseSpec("torus-4x4!sl=0-1:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := optimize.New(model.IPSC860()).BestOn(slow, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partition.Partition(deg.Partition).Equal(want.Part) || deg.PredictedUS != want.TimeMicro {
+		t.Fatalf("degraded plan %v/%v µs, optimizer says %v/%v µs",
+			deg.Partition, deg.PredictedUS, want.Part, want.TimeMicro)
+	}
+	if partition.Partition(deg.Partition).Equal(healthy.Partition) {
+		t.Fatalf("slow wire did not change the winning grouping %v (test premise: it must)", deg.Partition)
+	}
+
+	// /healthz lists the degraded fabric; restore heals it.
+	var hz HealthResponse
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &hz)
+	if len(hz.DegradedFabrics) != 1 || hz.DegradedFabrics[0] != "torus-4x4" {
+		t.Fatalf("degraded_fabrics = %v, want [torus-4x4]", hz.DegradedFabrics)
+	}
+	postJSON(t, ts.URL+"/v1/faults", FaultsRequest{
+		Topology: "torus-4x4", Action: "restore", Links: [][2]int{{0, 1}},
+	}, http.StatusOK, &fr)
+	if fr.Health != "ok" {
+		t.Fatalf("restore left health %q", fr.Health)
+	}
+	var healed PlanResponse
+	getJSON(t, planURL, http.StatusOK, &healed)
+	if healed.Health != "ok" || !partition.Partition(healed.Partition).Equal(healthy.Partition) {
+		t.Fatalf("healed plan health=%q partition=%v, want ok/%v", healed.Health, healed.Partition, healthy.Partition)
+	}
+}
+
+// When the degraded fabric cannot be planned at all (a dead node severs
+// the exchange), the server degrades gracefully: the last-known-good
+// healthy plan is served flagged degraded, the counters tick, and the
+// bounded background rebuild exhausts its retries without taking the
+// daemon down.
+func TestDegradedFallbackServe(t *testing.T) {
+	_, ts := newFaultTestServer(t)
+	planURL := ts.URL + "/v1/plan?machine=ipsc860&topology=torus-4x4&m=40"
+
+	var healthy PlanResponse
+	getJSON(t, planURL, http.StatusOK, &healthy)
+
+	var fr FaultsResponse
+	postJSON(t, ts.URL+"/v1/faults", FaultsRequest{
+		Topology: "torus-4x4", Action: "down", Nodes: []int{3},
+	}, http.StatusOK, &fr)
+	if fr.Operational {
+		t.Fatal("fabric with a dead node reported operational")
+	}
+
+	var deg PlanResponse
+	getJSON(t, planURL, http.StatusOK, &deg)
+	if !deg.Degraded || deg.Health != "dn=3" {
+		t.Fatalf("fallback serve = degraded=%v health=%q, want degraded dn=3", deg.Degraded, deg.Health)
+	}
+	if !partition.Partition(deg.Partition).Equal(healthy.Partition) || deg.PredictedUS != healthy.PredictedUS {
+		t.Fatalf("fallback plan %v/%v µs, want last-known-good %v/%v µs",
+			deg.Partition, deg.PredictedUS, healthy.Partition, healthy.PredictedUS)
+	}
+
+	// Batch queries degrade the same way.
+	var br BatchResponse
+	postJSON(t, ts.URL+"/v1/batch", BatchRequest{Queries: []BatchQuery{
+		{Machine: "ipsc860", Topology: "torus-4x4", M: 40},
+	}}, http.StatusOK, &br)
+	if len(br.Results) != 1 || br.Results[0].Plan == nil || !br.Results[0].Plan.Degraded {
+		t.Fatalf("batch under dead node = %+v, want one degraded plan", br.Results)
+	}
+
+	// The rebuild retries are bounded: it gives up and says so on
+	// /metrics, alongside the degraded-serve count.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var mr MetricsResponse
+		getJSON(t, ts.URL+"/metrics", http.StatusOK, &mr)
+		if mr.Faults.RebuildFailures >= 1 {
+			if mr.Faults.DegradedServes < 2 {
+				t.Fatalf("degraded_serves = %d, want ≥ 2", mr.Faults.DegradedServes)
+			}
+			if mr.Faults.ActiveFaultSets != 1 || mr.Faults.Updates != 1 {
+				t.Fatalf("fault metrics = %+v", mr.Faults)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background rebuild never exhausted its retries")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Restoring the node heals serving immediately.
+	postJSON(t, ts.URL+"/v1/faults", FaultsRequest{
+		Topology: "torus-4x4", Action: "restore", Nodes: []int{3},
+	}, http.StatusOK, &fr)
+	var healed PlanResponse
+	getJSON(t, planURL, http.StatusOK, &healed)
+	if healed.Degraded || healed.Health != "ok" {
+		t.Fatalf("after restore: degraded=%v health=%q", healed.Degraded, healed.Health)
+	}
+}
+
+// A successful background rebuild ticks the rebuilds counter: the first
+// degraded serve happens while the overlay line is missing, and once
+// the rebuild lands, the next request gets the real degraded plan.
+// Forcing that window needs a fabric whose degraded build fails
+// transiently — instead we pin the simpler invariant: a plannable
+// degraded fabric never serves fallback, and a cleared fault set stops
+// the rebuild loop.
+func TestRebuildStopsWhenFaultsClear(t *testing.T) {
+	srv, ts := newFaultTestServer(t)
+	var fr FaultsResponse
+	postJSON(t, ts.URL+"/v1/faults", FaultsRequest{
+		Topology: "torus-4x4", Action: "down", Nodes: []int{3},
+	}, http.StatusOK, &fr)
+	getJSON(t, ts.URL+"/v1/plan?machine=ipsc860&topology=torus-4x4&m=40", http.StatusOK, &PlanResponse{})
+	postJSON(t, ts.URL+"/v1/faults", FaultsRequest{Topology: "torus-4x4", Action: "clear"}, http.StatusOK, &fr)
+	if fr.Health != "ok" {
+		t.Fatalf("clear left health %q", fr.Health)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.faultMu.Lock()
+		inflight := len(srv.rebuilding)
+		srv.faultMu.Unlock()
+		if inflight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rebuild goroutine still running after faults cleared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// /v1/cost and /v1/hull answer on the degraded overlay: a slow wire
+// raises both cost views, and the responses carry the digest.
+func TestCostAndHullUnderFaults(t *testing.T) {
+	_, ts := newFaultTestServer(t)
+	req := CostRequest{Machine: "ipsc860", Topology: "torus-4x4", M: 64, Partition: []int{1, 1}}
+	var healthy CostResponse
+	postJSON(t, ts.URL+"/v1/cost", req, http.StatusOK, &healthy)
+
+	var fr FaultsResponse
+	postJSON(t, ts.URL+"/v1/faults", FaultsRequest{
+		Topology: "torus-4x4", Action: "slow", Links: [][2]int{{0, 1}}, Factor: 4,
+	}, http.StatusOK, &fr)
+
+	var deg CostResponse
+	postJSON(t, ts.URL+"/v1/cost", req, http.StatusOK, &deg)
+	if deg.Health != "sl=0-1:4" {
+		t.Fatalf("cost health = %q", deg.Health)
+	}
+	if deg.SimulatedUS <= healthy.SimulatedUS || deg.PredictedUS <= healthy.PredictedUS {
+		t.Fatalf("slow wire did not raise costs: simulated %v→%v, predicted %v→%v",
+			healthy.SimulatedUS, deg.SimulatedUS, healthy.PredictedUS, deg.PredictedUS)
+	}
+
+	var hull HullResponse
+	getJSON(t, ts.URL+"/v1/hull?machine=ipsc860&topology=torus-4x4", http.StatusOK, &hull)
+	if hull.Health != "sl=0-1:4" || hull.Topology != "torus-4x4!sl=0-1:4" {
+		t.Fatalf("hull = health %q topology %q", hull.Health, hull.Topology)
+	}
+}
+
+// Malformed fault operations are request errors, never fault state.
+func TestFaultsValidation(t *testing.T) {
+	_, ts := newFaultTestServer(t)
+	for name, req := range map[string]FaultsRequest{
+		"missing topology":  {Action: "down", Links: [][2]int{{0, 1}}},
+		"unknown action":    {Topology: "torus-4x4", Action: "wobble"},
+		"non-adjacent link": {Topology: "torus-4x4", Action: "down", Links: [][2]int{{0, 5}}},
+		"out-of-range node": {Topology: "torus-4x4", Action: "down", Nodes: []int{99}},
+		"slow sans factor":  {Topology: "torus-4x4", Action: "slow", Links: [][2]int{{0, 1}}},
+		"slow on nodes":     {Topology: "torus-4x4", Action: "slow", Nodes: []int{1}, Factor: 2},
+		"digest in spec":    {Topology: "torus-4x4!dl=0-1", Action: "clear"},
+	} {
+		postJSON(t, ts.URL+"/v1/faults", req, http.StatusBadRequest, nil)
+		var mr MetricsResponse
+		getJSON(t, ts.URL+"/metrics", http.StatusOK, &mr)
+		if mr.Faults.Updates != 0 || mr.Faults.ActiveFaultSets != 0 {
+			t.Fatalf("%s: rejected request mutated fault state: %+v", name, mr.Faults)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/faults = %d, want 405", resp.StatusCode)
+	}
+}
+
+// A panicking handler costs one 500 and a panics_total tick, not the
+// daemon.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	srv, err := New(Config{
+		Cache:  plancache.New(plancache.Config{}),
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := srv.instrument("/boom", http.MethodGet, func(http.ResponseWriter, *http.Request) int {
+		panic("handler bug")
+	})
+	rec := httptest.NewRecorder()
+	boom(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d, want 500", rec.Code)
+	}
+	if got := srv.panics.Load(); got != 1 {
+		t.Fatalf("panics_total = %d, want 1", got)
+	}
+	// The endpoint's error counter saw it too.
+	if e := srv.endpoint("/boom").errors.Load(); e != 1 {
+		t.Fatalf("endpoint errors = %d, want 1", e)
+	}
+}

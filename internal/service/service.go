@@ -21,8 +21,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -60,6 +62,15 @@ type Config struct {
 	// CostMaxDim: one cache miss runs a full sweep of Best calls, each
 	// hundreds of times the work of a single /v1/cost.
 	PlanMaxDim int
+	// RebuildAttempts bounds the background retry loop that rebuilds a
+	// plan line after a degraded-fabric build failure (default 4).
+	RebuildAttempts int
+	// RebuildBackoff is the initial delay between rebuild attempts,
+	// doubled per attempt (default 250ms).
+	RebuildBackoff time.Duration
+	// Logger receives fault-state transitions, rebuild outcomes, and
+	// recovered handler panics (default log.Default()).
+	Logger *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +92,15 @@ func (c Config) withDefaults() Config {
 	if c.PlanMaxDim <= 0 || c.PlanMaxDim > 20 {
 		c.PlanMaxDim = 20 // optimize.Best's own dimension bound
 	}
+	if c.RebuildAttempts <= 0 {
+		c.RebuildAttempts = 4
+	}
+	if c.RebuildBackoff <= 0 {
+		c.RebuildBackoff = 250 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
 	return c
 }
 
@@ -100,6 +120,16 @@ type Server struct {
 
 	mu    sync.Mutex
 	stats map[string]*endpointStats
+
+	// Fault state: per-fabric fault sets keyed by base topology name,
+	// and the dedup set of in-flight background rebuilds (see faults.go).
+	faultMu    sync.Mutex
+	faults     map[string]topology.FaultSet
+	rebuilding map[string]bool
+
+	faultUpdates, degradedServes atomic.Int64
+	rebuilds, rebuildFailures    atomic.Int64
+	panics                       atomic.Int64
 }
 
 // New returns a server over the given configuration.
@@ -116,10 +146,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg.DefaultMachine = name
 	return &Server{
-		cfg:   cfg,
-		cache: cfg.Cache,
-		start: time.Now(),
-		stats: make(map[string]*endpointStats),
+		cfg:        cfg,
+		cache:      cfg.Cache,
+		start:      time.Now(),
+		stats:      make(map[string]*endpointStats),
+		faults:     make(map[string]topology.FaultSet),
+		rebuilding: make(map[string]bool),
 	}, nil
 }
 
@@ -130,13 +162,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/cost", s.instrument("/v1/cost", http.MethodPost, s.handleCost))
 	mux.HandleFunc("/v1/hull", s.instrument("/v1/hull", http.MethodGet, s.handleHull))
 	mux.HandleFunc("/v1/batch", s.instrument("/v1/batch", http.MethodPost, s.handleBatch))
+	mux.HandleFunc("/v1/faults", s.instrument("/v1/faults", http.MethodPost, s.handleFaults))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", http.MethodGet, s.handleMetrics))
 	return mux
 }
 
-// instrument wraps a handler with method enforcement and latency
-// accounting.
+// instrument wraps a handler with method enforcement, panic recovery,
+// and latency accounting.
 func (s *Server) instrument(name, method string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	st := s.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -147,7 +180,7 @@ func (s *Server) instrument(name, method string, h func(http.ResponseWriter, *ht
 			code = http.StatusMethodNotAllowed
 			writeError(w, code, fmt.Sprintf("method %s not allowed, use %s", r.Method, method))
 		} else {
-			code = h(w, r)
+			code = s.recovered(h, w, r)
 		}
 		us := time.Since(begin).Microseconds()
 		st.count.Add(1)
@@ -162,6 +195,22 @@ func (s *Server) instrument(name, method string, h func(http.ResponseWriter, *ht
 			}
 		}
 	}
+}
+
+// recovered runs one handler with panic recovery: a panicking handler
+// costs its request a 500, a panics_total tick, and a stack trace in
+// the log — never the whole daemon. If the handler had already written
+// its response when it panicked, the late 500 header is a no-op (the
+// http package drops it with a log line); the counter still ticks.
+func (s *Server) recovered(h func(http.ResponseWriter, *http.Request) int, w http.ResponseWriter, r *http.Request) (code int) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panics.Add(1)
+			s.cfg.Logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			code = writeError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	return h(w, r)
 }
 
 func (s *Server) endpoint(name string) *endpointStats {
@@ -205,6 +254,12 @@ type PlanResponse struct {
 	Phases      []phaseJSON `json:"phases"`
 	Segment     segmentJSON `json:"segment"`
 	InRange     bool        `json:"in_range"`
+	// Health is the fabric's fault digest at answer time ("ok" when
+	// healthy). Degraded marks a last-known-good fallback: the fabric
+	// carries faults the plan could not be rebuilt under, so this answer
+	// ignores them; a background rebuild is in flight.
+	Health   string `json:"health"`
+	Degraded bool   `json:"degraded,omitempty"`
 }
 
 func planResponse(p plancache.Plan) PlanResponse {
@@ -246,11 +301,14 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) int {
 	if errCode != 0 {
 		return errCode
 	}
-	p, err := s.cache.GetFor(machine, topo, m)
+	p, health, degraded, err := s.planFor(machine, topo, m)
 	if err != nil {
 		return writeCacheError(w, err)
 	}
-	return writeJSON(w, http.StatusOK, planResponse(p))
+	resp := planResponse(p)
+	resp.Health = health
+	resp.Degraded = degraded
+	return writeJSON(w, http.StatusOK, resp)
 }
 
 // checkPlanDim enforces the server's dimension bound on cache-building
@@ -356,6 +414,9 @@ type CostResponse struct {
 	SimulatedUS     float64     `json:"simulated_us"`
 	ContentionStall float64     `json:"contention_stall_us"`
 	Phases          []phaseJSON `json:"phases"`
+	// Health is the fabric's fault digest at answer time ("ok" when
+	// healthy); both cost views account for the faults.
+	Health string `json:"health"`
 }
 
 func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) int {
@@ -389,29 +450,34 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) int {
 			fmt.Sprintf("topology %s has %d nodes, over this server's simulation bound of %d",
 				topo.Name(), topo.Nodes(), 1<<s.cfg.CostMaxDim))
 	}
-	D := partition.Partition(req.Partition)
-	plan, err := exchange.NewPlanOn(topo, req.M, D)
-	if err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error())
-	}
-	res, err := plan.Cost(simnet.New(topo, prm))
+	net, health, err := s.applyFaults(topo)
 	if err != nil {
 		return writeError(w, http.StatusInternalServerError, err.Error())
 	}
-	pred, phases, err := prm.MultiphaseOn(topo, req.M, D)
+	D := partition.Partition(req.Partition)
+	plan, err := exchange.NewPlanOn(net, req.M, D)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	res, err := plan.Cost(simnet.New(net, prm))
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	pred, phases, err := prm.MultiphaseOn(net, req.M, D)
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
 	return writeJSON(w, http.StatusOK, CostResponse{
 		Machine:         req.Machine,
-		Topology:        topo.Name(),
-		D:               topo.NumDims(),
+		Topology:        net.Name(),
+		D:               net.NumDims(),
 		M:               req.M,
 		Partition:       append([]int{}, D...),
 		PredictedUS:     pred,
 		SimulatedUS:     res.Makespan,
 		ContentionStall: res.ContentionStall,
 		Phases:          phasesJSON(phases),
+		Health:          health,
 	})
 }
 
@@ -421,6 +487,9 @@ type HullResponse struct {
 	Topology string        `json:"topology"`
 	D        int           `json:"d"`
 	Segments []segmentJSON `json:"segments"`
+	// Health is the fabric's fault digest at answer time ("ok" when
+	// healthy); the hull was enumerated on the degraded fabric when set.
+	Health string `json:"health"`
 }
 
 func (s *Server) handleHull(w http.ResponseWriter, r *http.Request) int {
@@ -437,11 +506,15 @@ func (s *Server) handleHull(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
-	tbl, err := s.cache.HullFor(name, topo)
+	net, health, err := s.applyFaults(topo)
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	tbl, err := s.cache.HullFor(name, net)
 	if err != nil {
 		return writeCacheError(w, err)
 	}
-	resp := HullResponse{Machine: name, Topology: tbl.Topo, D: tbl.D}
+	resp := HullResponse{Machine: name, Topology: tbl.Topo, D: tbl.D, Health: health}
 	for _, seg := range tbl.Segments {
 		resp.Segments = append(resp.Segments, segmentJSON{
 			Partition: append([]int{}, seg.Part...),
@@ -515,12 +588,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 					results[i] = BatchItem{Error: err.Error()}
 					continue
 				}
-				p, err := s.cache.GetFor(machine, topo, qy.M)
+				p, health, degraded, err := s.planFor(machine, topo, qy.M)
 				if err != nil {
 					results[i] = BatchItem{Error: err.Error()}
 					continue
 				}
 				resp := planResponse(p)
+				resp.Health = health
+				resp.Degraded = degraded
 				results[i] = BatchItem{Plan: &resp}
 			}
 		}()
@@ -534,6 +609,8 @@ type HealthResponse struct {
 	Status   string   `json:"status"`
 	UptimeS  float64  `json:"uptime_s"`
 	Machines []string `json:"machines"`
+	// DegradedFabrics lists topologies currently carrying fault state.
+	DegradedFabrics []string `json:"degraded_fabrics,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
@@ -544,9 +621,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
 	}
 	sort.Strings(names)
 	return writeJSON(w, http.StatusOK, HealthResponse{
-		Status:   "ok",
-		UptimeS:  time.Since(s.start).Seconds(),
-		Machines: names,
+		Status:          "ok",
+		UptimeS:         time.Since(s.start).Seconds(),
+		Machines:        names,
+		DegradedFabrics: s.FaultTopologies(),
 	})
 }
 
@@ -566,6 +644,8 @@ type EndpointMetrics struct {
 type MetricsResponse struct {
 	Cache     plancache.Stats            `json:"cache"`
 	Optimizer optimize.Stats             `json:"optimizer"`
+	Faults    FaultMetrics               `json:"faults"`
+	Panics    int64                      `json:"panics_total"`
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }
 
@@ -573,6 +653,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 	resp := MetricsResponse{
 		Cache:     s.cache.Stats(),
 		Optimizer: s.cache.OptimizerStats(),
+		Faults:    s.faultMetrics(),
+		Panics:    s.panics.Load(),
 		Endpoints: make(map[string]EndpointMetrics),
 	}
 	s.mu.Lock()

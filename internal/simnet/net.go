@@ -22,6 +22,7 @@ type Network struct {
 	budget     uint64
 	jitterFrac float64
 	jitterSeed int64
+	faults     *compiledFaults // timed fault schedule (SetFaultPlan), nil when none
 }
 
 // SetJitter enables deterministic pseudo-random perturbation of every
@@ -74,9 +75,12 @@ type Interval struct {
 }
 
 // New returns a network over the given topology with the given machine
-// parameters.
+// parameters. A fault-free topology.Degraded overlay keeps the
+// hypercube bit-trick fast paths (it routes identically to its base by
+// construction); a faulty overlay routes — and detours — through the
+// overlay, and its slow wires stretch the circuits that cross them.
 func New(t topology.Network, p model.Params) *Network {
-	h, _ := t.(*topology.Hypercube)
+	h, _ := topology.AsHypercube(t)
 	return &Network{topo: t, hyper: h, params: p}
 }
 
@@ -153,6 +157,12 @@ type runState struct {
 	hyper bool // radix-2 bit-trick routing active
 	deg   int  // directed-link slots per node (== d on the hypercube)
 	syncD int  // topology diameter, the global-sync weight (§7.3)
+
+	// Fault state: faulty gates the per-circuit fault resolution out of
+	// healthy runs entirely; degr carries the static per-wire slow
+	// factors of a degraded overlay (nil when none).
+	faulty bool
+	degr   *topology.Degraded
 
 	routeBuf []int // generic-path route scratch, reused across hops
 
@@ -339,6 +349,10 @@ func (n *Network) runSource(src Source) (Result, error) {
 		// SetJitter); never touch the global math/rand state here.
 		rng: rand.New(rand.NewSource(n.jitterSeed)),
 	}
+	if dg, ok := n.topo.(*topology.Degraded); ok && dg.HasSlowLinks() {
+		st.degr = dg
+	}
+	st.faulty = st.degr != nil || n.faults != nil
 	for p := range st.exPeer {
 		st.exPeer[p] = -1
 	}

@@ -88,26 +88,49 @@ func (st *runState) holdCircuit(src, dst int, finish float64) {
 
 // reservePath acquires the e-cube circuit src→dst for a transmission
 // wanting to start no earlier than t and lasting dur µs. It returns the
-// actual start time (delayed if any link is busy — edge contention).
-func (st *runState) reservePath(src, dst int, t, dur float64) float64 {
+// actual start time (delayed if any link is busy — edge contention) and
+// the fault-adjusted duration: slow wires on the route stretch the
+// transmission by the worst per-hop factor, and a wire a FaultPlan took
+// down before the acquisition instant fails with ErrLinkDown.
+func (st *runState) reservePath(src, dst int, t, dur float64) (start, adjDur float64, err error) {
 	if src == dst {
-		return t
+		return t, dur, nil
 	}
-	start := st.circuitFreeAt(src, dst, t)
+	start = st.circuitFreeAt(src, dst, t)
+	if st.faulty {
+		f, ferr := st.circuitFaults(src, dst, start)
+		if ferr != nil {
+			return 0, 0, ferr
+		}
+		dur *= f
+	}
 	st.holdCircuit(src, dst, start+dur)
 	st.res.ContentionStall += start - t
-	return start
+	return start, dur, nil
 }
 
-// reservePair acquires both directed circuits of a pairwise exchange at a
-// common start time.
-func (st *runState) reservePair(p, q int, t, dur float64) float64 {
-	start := st.circuitFreeAt(p, q, t)
+// reservePair acquires both directed circuits of a pairwise exchange at
+// a common start time; both directions hold for the same fault-adjusted
+// duration (the exchange completes when its slowest direction does).
+func (st *runState) reservePair(p, q int, t, dur float64) (start, adjDur float64, err error) {
+	start = st.circuitFreeAt(p, q, t)
 	start = st.circuitFreeAt(q, p, start)
+	if st.faulty {
+		f, ferr := st.circuitFaults(p, q, start)
+		if ferr != nil {
+			return 0, 0, ferr
+		}
+		if f2, ferr := st.circuitFaults(q, p, start); ferr != nil {
+			return 0, 0, ferr
+		} else if f2 > f {
+			f = f2
+		}
+		dur *= f
+	}
 	st.holdCircuit(p, q, start+dur)
 	st.holdCircuit(q, p, start+dur)
 	st.res.ContentionStall += start - t
-	return start
+	return start, dur, nil
 }
 
 // enterBarrier implements OpBarrier: all nodes wait for the last arrival,
@@ -191,7 +214,11 @@ func (st *runState) enterExchange(p int, op Op) {
 		both = firstReady
 	}
 	dur := st.jitter(st.net.params.ExchangeTime(op.Bytes, h))
-	start := st.reservePair(p, q, both, dur)
+	start, dur, err := st.reservePair(p, q, both, dur)
+	if err != nil {
+		st.fail(fmt.Errorf("simnet: exchange %d↔%d at t=%g µs: %w", p, q, both, err))
+		return
+	}
 	finish := start + dur
 	st.res.Messages += 2
 	st.res.BytesMoved += 2 * op.Bytes
@@ -255,7 +282,11 @@ func (st *runState) doSend(p int, op Op) {
 		dur = prm.RawMessageTime(op.Bytes, h)
 	}
 	dur = st.jitter(dur)
-	start := st.reservePath(p, q, st.ready[p], dur)
+	start, dur, err := st.reservePath(p, q, st.ready[p], dur)
+	if err != nil {
+		st.fail(fmt.Errorf("simnet: send %d→%d at t=%g µs: %w", p, q, st.ready[p], err))
+		return
+	}
 	finish := start + dur
 	st.res.Messages++
 	st.res.BytesMoved += op.Bytes

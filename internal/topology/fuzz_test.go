@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -98,6 +99,99 @@ func FuzzRoute(f *testing.F) {
 			if buf[i] != route[i] {
 				t.Fatalf("%s: AppendRoute disagrees with Route at %d: %v vs %v",
 					net.Name(), i, buf, route)
+			}
+		}
+	})
+}
+
+// FuzzDegradedRoute drives fault-aware routing with fuzzer-chosen dead
+// wire sets and checks the degraded contract: every returned route
+// avoids all dead wires and matches Distance, or the pair reports
+// ErrUnroutable — never a route through a fault, never a panic from the
+// error-returning form.
+func FuzzDegradedRoute(f *testing.F) {
+	f.Add(uint8(0), 0, 0, uint64(0))
+	f.Add(uint8(1), 3, 61, uint64(0x9e3779b97f4a7c15))
+	f.Add(uint8(2), 7, 12, uint64(1))
+	f.Add(uint8(4), 5, 2, uint64(0xffffffffffffffff))
+	f.Fuzz(func(t *testing.T, which uint8, src, dst int, kills uint64) {
+		nets := []Network{
+			MustNew(4),
+			MustParseSpec("torus-4x4"),
+			MustParseSpec("mesh-5x3"),
+			MustParseSpec("torus-3x2x2"),
+			MustParseSpec("mesh-2x2"),
+			MustParseSpec("torus-7"),
+		}
+		base := nets[int(which)%len(nets)]
+		n := base.Nodes()
+		src, dst = ((src%n)+n)%n, ((dst%n)+n)%n
+
+		// Derive a dead-wire set from the kill mask: enumerate each
+		// node's wires in deterministic order and kill wire i when bit
+		// i%64 of a rotating mask is set, capped so some fabric is left.
+		var fs FaultSet
+		bit, killed := 0, 0
+		for p := 0; p < n && killed < 6; p++ {
+			for _, q := range base.Neighbors(p) {
+				if q < p {
+					continue // one decision per undirected wire
+				}
+				if kills&(1<<(bit%64)) != 0 {
+					fs.DeadLinks = append(fs.DeadLinks, Link{A: p, B: q})
+					killed++
+					if killed >= 6 {
+						break
+					}
+				}
+				bit = (bit + 7) % 64
+			}
+		}
+		d, err := Overlay(base, fs)
+		if err != nil {
+			t.Fatalf("%s: Overlay(%v): %v", base.Name(), fs, err)
+		}
+
+		route, err := d.Route(src, dst)
+		if err != nil {
+			if !errors.Is(err, ErrUnroutable) {
+				t.Fatalf("%s: Route(%d,%d) unexpected error kind: %v", d.Name(), src, dst, err)
+			}
+			// Unroutable must be real: BFS over live wires from src must
+			// not reach dst.
+			seen := make([]bool, n)
+			seen[src] = true
+			queue := []int{src}
+			for len(queue) > 0 {
+				p := queue[0]
+				queue = queue[1:]
+				for _, q := range d.Neighbors(p) {
+					if !seen[q] {
+						seen[q] = true
+						queue = append(queue, q)
+					}
+				}
+			}
+			if seen[dst] {
+				t.Fatalf("%s: Route(%d,%d) says unroutable but a live path exists", d.Name(), src, dst)
+			}
+			return
+		}
+		if len(route) == 0 || route[0] != src || route[len(route)-1] != dst {
+			t.Fatalf("%s: route %d→%d endpoints wrong: %v", d.Name(), src, dst, route)
+		}
+		if hops := len(route) - 1; hops != d.Distance(src, dst) {
+			t.Fatalf("%s: route %d→%d has %d hops, Distance says %d",
+				d.Name(), src, dst, hops, d.Distance(src, dst))
+		}
+		for i := 0; i+1 < len(route); i++ {
+			from, to := route[i], route[i+1]
+			if base.Distance(from, to) != 1 {
+				t.Fatalf("%s: hop %d→%d is not a link", d.Name(), from, to)
+			}
+			if !d.LinkAlive(from, to) {
+				t.Fatalf("%s: route %d→%d crosses dead wire %d→%d: %v",
+					d.Name(), src, dst, from, to, route)
 			}
 		}
 	})

@@ -12,11 +12,28 @@ import (
 //	torus-4x4x4                   mixed-radix torus, radices low dim first
 //	mesh-8x8                      open-boundary mesh
 //
+// A "!"-separated fault suffix yields a Degraded overlay — dn= dead
+// nodes, dl= dead a-b wires, sl= slow a-b:factor wires:
+//
+//	torus-4x4x4!dn=3,5!dl=0-1,8-9!sl=2-6:2.5
+//
 // Names are case-insensitive and whitespace-tolerant; Network.Name()
-// round-trips through ParseSpec. Malformed specs return an error suited
-// to request validation (the service layer maps it to 400).
+// round-trips through ParseSpec (degraded names re-parse to an
+// equivalent overlay). Malformed specs return an error suited to
+// request validation (the service layer maps it to 400).
 func ParseSpec(spec string) (Network, error) {
 	s := strings.ToLower(strings.TrimSpace(spec))
+	if base, digest, ok := strings.Cut(s, "!"); ok {
+		net, err := ParseSpec(base)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := parseFaultDigest(digest)
+		if err != nil {
+			return nil, fmt.Errorf("topology: bad fault suffix in %q: %w", spec, err)
+		}
+		return Overlay(net, fs)
+	}
 	kind, arg, ok := strings.Cut(s, "-")
 	if !ok || arg == "" {
 		return nil, specError(spec)
