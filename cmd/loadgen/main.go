@@ -1,0 +1,519 @@
+// Command loadgen drives a pland replica set with a mixed workload and
+// reports latency, throughput, and degradation counters — the fleet's
+// measuring stick. It paces requests at a target rate across one or
+// more replicas, mixes plan/batch/cost/fault traffic, and writes a
+// benchjson-compatible document so fleet runs land next to the package
+// benchmarks in benchmarks/.
+//
+// Usage:
+//
+//	loadgen -targets http://localhost:8081,http://localhost:8082 \
+//	        -rate 200 -duration 10s -dims 5,6 -out BENCH_pr8.json
+//
+//	loadgen -print-owners -ring http://a:8081,http://b:8082,http://c:8083 \
+//	        -machine hypo -dims 5,6,7,8,9,10
+//
+// The second form prints the consistent-hash owner of every (machine,
+// hypercube-d) cache line for the given ring membership — the cluster
+// smoke test uses it to pick a line owned by the replica it is about
+// to kill.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+)
+
+type options struct {
+	targets     string
+	rate        float64
+	duration    time.Duration
+	machine     string
+	dims        string
+	mix         string
+	mMax        int
+	out         string
+	label       string
+	seed        int64
+	failOnError bool
+	timeout     time.Duration
+
+	printOwners bool
+	ring        string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.targets, "targets", "http://localhost:8080", "comma-separated replica base URLs to drive")
+	flag.Float64Var(&o.rate, "rate", 100, "target request rate per second")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "run length")
+	flag.StringVar(&o.machine, "machine", "ipsc860", "machine every query names")
+	flag.StringVar(&o.dims, "dims", "5,6", "comma-separated hypercube dimensions to query")
+	flag.StringVar(&o.mix, "mix", "plan=8,batch=1,cost=1,faults=0", "op weights (plan, batch, cost, faults)")
+	flag.IntVar(&o.mMax, "m-max", 512, "upper bound for random block sizes m")
+	flag.StringVar(&o.out, "out", "", "write a benchjson document here (empty = stdout summary only)")
+	flag.StringVar(&o.label, "label", "loadgen", "benchmark name in the benchjson output")
+	flag.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
+	flag.BoolVar(&o.failOnError, "fail-on-error", false, "exit 1 if any request failed (transport error or 5xx)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request client deadline")
+	flag.BoolVar(&o.printOwners, "print-owners", false, "print the ring owner of every (machine, dim) line and exit")
+	flag.StringVar(&o.ring, "ring", "", "comma-separated ring membership for -print-owners (defaults to -targets)")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	machine, err := model.CanonicalName(o.machine)
+	if err != nil {
+		return err
+	}
+	dims, err := parseInts(o.dims)
+	if err != nil || len(dims) == 0 {
+		return fmt.Errorf("bad -dims %q: need a comma-separated dimension list", o.dims)
+	}
+	if o.printOwners {
+		members := o.ring
+		if members == "" {
+			members = o.targets
+		}
+		return printOwners(machine, dims, strings.Split(members, ","))
+	}
+	targets := splitTrim(o.targets)
+	if len(targets) == 0 {
+		return fmt.Errorf("no -targets")
+	}
+	mix, err := parseMix(o.mix)
+	if err != nil {
+		return err
+	}
+	if o.rate <= 0 {
+		return fmt.Errorf("-rate must be > 0")
+	}
+
+	g := &gen{
+		opts:    o,
+		machine: machine,
+		dims:    dims,
+		targets: targets,
+		mix:     mix,
+		client:  &http.Client{Timeout: o.timeout},
+	}
+	report := g.drive()
+	report.print(os.Stdout, o.label)
+	if o.out != "" {
+		if err := report.writeBenchJSON(o.out, o.label); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.out)
+	}
+	if o.failOnError && report.failures > 0 {
+		return fmt.Errorf("%d of %d requests failed", report.failures, report.requests)
+	}
+	return nil
+}
+
+// printOwners reports line ownership for a membership set. Every
+// replica given the same member URLs computes the same owners, so this
+// offline report matches what the fleet will actually do.
+func printOwners(machine string, dims []int, members []string) error {
+	ring, err := cluster.NewRing(normalizeMembers(members), 0)
+	if err != nil {
+		return err
+	}
+	for _, d := range dims {
+		topo := fmt.Sprintf("hypercube-%d", d)
+		fmt.Printf("d=%d topology=%s owner=%s\n", d, topo, ring.Owner(cluster.LineKey(machine, topo)))
+	}
+	return nil
+}
+
+// normalizeMembers applies the cluster's URL normalization (trim,
+// strip trailing slash) so the offline ring matches the fleet's.
+func normalizeMembers(members []string) []string {
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		m = strings.TrimRight(strings.TrimSpace(m), "/")
+		if m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// opKind indexes the mix weights.
+type opKind int
+
+const (
+	opPlan opKind = iota
+	opBatch
+	opCost
+	opFaults
+	numOps
+)
+
+var opNames = [numOps]string{"plan", "batch", "cost", "faults"}
+
+// gen owns one load run.
+type gen struct {
+	opts    options
+	machine string
+	dims    []int
+	targets []string
+	mix     [numOps]int
+	client  *http.Client
+}
+
+// sample is one request's outcome.
+type sample struct {
+	us       float64
+	status   int // 0 = transport error
+	degraded bool
+	shed     bool
+}
+
+// drive paces requests at the target rate until the duration elapses,
+// fanning them over a worker pool sized generously enough that pacing,
+// not worker starvation, sets the rate.
+func (g *gen) drive() *report {
+	interval := time.Duration(float64(time.Second) / g.opts.rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	workers := int(g.opts.rate/10) + 8
+	if workers > 256 {
+		workers = 256
+	}
+
+	type job struct {
+		kind   opKind
+		target string
+		seq    int
+	}
+	jobs := make(chan job, workers)
+	results := make(chan sample, workers)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results <- g.do(j.kind, j.target, j.seq)
+			}
+		}()
+	}
+
+	rep := &report{began: time.Now()}
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		for s := range results {
+			rep.add(s)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(g.opts.seed))
+	deadline := time.Now().Add(g.opts.duration)
+	tick := time.NewTicker(interval)
+	seq := 0
+	for time.Now().Before(deadline) {
+		<-tick.C
+		j := job{
+			kind:   g.pick(rng),
+			target: g.targets[seq%len(g.targets)],
+			seq:    rng.Intn(1 << 20),
+		}
+		select {
+		case jobs <- j:
+			seq++
+		default:
+			// All workers busy: the server is slower than the target
+			// rate. Count the would-be request as dropped rather than
+			// queueing unboundedly (closed-loop collapse would hide the
+			// latency the user asked to measure).
+			rep.dropped++
+		}
+	}
+	tick.Stop()
+	close(jobs)
+	wg.Wait()
+	close(results)
+	<-collectDone
+	rep.elapsed = time.Since(rep.began)
+	return rep
+}
+
+// pick draws an op kind by mix weight.
+func (g *gen) pick(rng *rand.Rand) opKind {
+	total := 0
+	for _, w := range g.mix {
+		total += w
+	}
+	n := rng.Intn(total)
+	for k, w := range g.mix {
+		if n < w {
+			return opKind(k)
+		}
+		n -= w
+	}
+	return opPlan
+}
+
+// do issues one request and records its outcome.
+func (g *gen) do(kind opKind, target string, seq int) sample {
+	d := g.dims[seq%len(g.dims)]
+	m := 1 + seq%g.opts.mMax
+	began := time.Now()
+	var (
+		status int
+		body   []byte
+		err    error
+	)
+	switch kind {
+	case opPlan:
+		status, body, err = g.get(fmt.Sprintf("%s/v1/plan?machine=%s&d=%d&m=%d", target, g.machine, d, m))
+	case opBatch:
+		qs := make([]map[string]interface{}, 0, 4)
+		for i := 0; i < 4; i++ {
+			qs = append(qs, map[string]interface{}{
+				"machine": g.machine, "d": g.dims[(seq+i)%len(g.dims)], "m": 1 + (seq+i)%g.opts.mMax,
+			})
+		}
+		status, body, err = g.post(target+"/v1/batch", map[string]interface{}{"queries": qs})
+	case opCost:
+		cd := d
+		if cd > 8 {
+			cd = 8 // keep the simulated replay cheap under load
+		}
+		status, body, err = g.post(target+"/v1/cost", map[string]interface{}{
+			"machine": g.machine, "d": cd, "m": m, "partition": []int{cd},
+		})
+	case opFaults:
+		// Alternate a slow link and its restore on the smallest fabric:
+		// steady fault churn without ever severing it.
+		action := "slow"
+		req := map[string]interface{}{
+			"topology": fmt.Sprintf("hypercube-%d", g.dims[0]),
+			"action":   action,
+			"links":    [][2]int{{0, 1}},
+			"factor":   2.0,
+		}
+		if seq%2 == 1 {
+			req["action"] = "restore"
+			delete(req, "factor")
+		}
+		status, body, err = g.post(target+"/v1/faults", req)
+	}
+	s := sample{us: float64(time.Since(began).Microseconds()), status: status}
+	if err != nil {
+		s.status = 0
+		return s
+	}
+	s.shed = status == http.StatusServiceUnavailable
+	s.degraded = bytes.Contains(body, []byte(`"degraded": true`)) ||
+		bytes.Contains(body, []byte(`"degraded":true`))
+	return s
+}
+
+func (g *gen) get(url string) (int, []byte, error) {
+	resp, err := g.client.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return resp.StatusCode, body, nil
+}
+
+func (g *gen) post(url string, v interface{}) (int, []byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := g.client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return resp.StatusCode, body, nil
+}
+
+// report aggregates a run. add is called from one goroutine.
+type report struct {
+	began   time.Time
+	elapsed time.Duration
+
+	latencies []float64 // microseconds, successes only
+	requests  int
+	failures  int // transport errors + non-shed 5xx
+	shed      int
+	degraded  int
+	dropped   int
+}
+
+// add records one sample. A 503 shed is the fleet working as designed
+// (bounded builds refusing overload), so it is counted in shed, not
+// failures; transport errors and other 5xx are failures.
+func (r *report) add(s sample) {
+	r.requests++
+	switch {
+	case s.shed:
+		r.shed++
+	case s.status == 0 || s.status >= 500:
+		r.failures++
+	default:
+		r.latencies = append(r.latencies, s.us)
+		if s.degraded {
+			r.degraded++
+		}
+	}
+}
+
+func (r *report) percentile(p float64) float64 {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), r.latencies...)
+	sort.Float64s(sorted)
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func (r *report) mean() float64 {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range r.latencies {
+		sum += v
+	}
+	return sum / float64(len(r.latencies))
+}
+
+func (r *report) rps() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.requests) / r.elapsed.Seconds()
+}
+
+func (r *report) print(w io.Writer, label string) {
+	fmt.Fprintf(w, "%s: %d requests in %v (%.1f req/s)\n", label, r.requests, r.elapsed.Round(time.Millisecond), r.rps())
+	fmt.Fprintf(w, "  ok %d  failed %d  shed %d  degraded %d  dropped %d\n",
+		len(r.latencies), r.failures, r.shed, r.degraded, r.dropped)
+	fmt.Fprintf(w, "  latency p50 %.0fus  p99 %.0fus  mean %.0fus\n",
+		r.percentile(0.50), r.percentile(0.99), r.mean())
+}
+
+// benchJSON mirrors cmd/benchjson's output envelope so fleet runs land
+// in the same benchmarks/ document family as the package benchmarks.
+type benchJSON struct {
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func (r *report) writeBenchJSON(path, label string) error {
+	doc := benchJSON{Benchmarks: []benchEntry{{
+		Name:       label,
+		Pkg:        "cmd/loadgen",
+		Iterations: r.requests,
+		Metrics: map[string]float64{
+			"p50_us":    r.percentile(0.50),
+			"p99_us":    r.percentile(0.99),
+			"mean_us":   r.mean(),
+			"req_per_s": r.rps(),
+			"requests":  float64(r.requests),
+			"ok":        float64(len(r.latencies)),
+			"failed":    float64(r.failures),
+			"shed":      float64(r.shed),
+			"degraded":  float64(r.degraded),
+			"dropped":   float64(r.dropped),
+		},
+	}}}
+	payload, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(payload, '\n'), 0o644)
+}
+
+func splitTrim(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitTrim(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseMix parses "plan=8,batch=1,cost=1,faults=0" into weights. Ops
+// not named get weight 0; an all-zero mix is an error.
+func parseMix(s string) ([numOps]int, error) {
+	var mix [numOps]int
+	for _, f := range splitTrim(s) {
+		name, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return mix, fmt.Errorf("bad mix entry %q (want op=weight)", f)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return mix, fmt.Errorf("bad mix weight %q", f)
+		}
+		found := false
+		for k, n := range opNames {
+			if n == name {
+				mix[k] = w
+				found = true
+			}
+		}
+		if !found {
+			return mix, fmt.Errorf("unknown mix op %q (valid: plan, batch, cost, faults)", name)
+		}
+	}
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	if total == 0 {
+		return mix, fmt.Errorf("mix %q has no positive weights", s)
+	}
+	return mix, nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("plan=8,batch=1,cost=1,faults=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix[opPlan] != 8 || mix[opBatch] != 1 || mix[opCost] != 1 || mix[opFaults] != 0 {
+		t.Fatalf("mix = %v", mix)
+	}
+	for _, bad := range []string{"plan", "plan=x", "warp=1", "plan=0,batch=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPickHonorsZeroWeights(t *testing.T) {
+	mix, err := parseMix("plan=1,faults=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &gen{mix: mix}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		if k := g.pick(rng); k != opPlan {
+			t.Fatalf("zero-weight op %s drawn", opNames[k])
+		}
+	}
+}
+
+func TestReportPercentilesAndCounters(t *testing.T) {
+	r := &report{elapsed: 2 * time.Second}
+	for i := 1; i <= 100; i++ {
+		r.add(sample{us: float64(i * 10), status: 200})
+	}
+	r.add(sample{status: 0})                   // transport error
+	r.add(sample{status: 503, shed: true})     // shed, not a failure
+	r.add(sample{status: 200, degraded: true}) // served from last-known-good
+
+	if r.requests != 103 || r.failures != 1 || r.shed != 1 || r.degraded != 1 {
+		t.Fatalf("counters: requests=%d failures=%d shed=%d degraded=%d",
+			r.requests, r.failures, r.shed, r.degraded)
+	}
+	if p50 := r.percentile(0.50); p50 < 400 || p50 > 600 {
+		t.Errorf("p50 = %v, want ~500", p50)
+	}
+	if p99 := r.percentile(0.99); p99 < 900 {
+		t.Errorf("p99 = %v, want near the top", p99)
+	}
+	if rps := r.rps(); rps < 51 || rps > 52 {
+		t.Errorf("rps = %v, want 51.5", rps)
+	}
+}
+
+func TestBenchJSONEnvelope(t *testing.T) {
+	r := &report{elapsed: time.Second}
+	r.add(sample{us: 100, status: 200})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.writeBenchJSON(path, "fleet-3"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name       string             `json:"name"`
+			Pkg        string             `json:"pkg"`
+			Iterations int                `json:"iterations"`
+			Metrics    map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("output is not benchjson-shaped: %v", err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "fleet-3" || doc.Benchmarks[0].Iterations != 1 {
+		t.Fatalf("envelope: %+v", doc.Benchmarks)
+	}
+	if _, ok := doc.Benchmarks[0].Metrics["p50_us"]; !ok {
+		t.Error("metrics missing p50_us")
+	}
+}
+
+func TestPrintOwnersMatchesRing(t *testing.T) {
+	// The offline owner report must agree with the cluster's own ring
+	// for the same member set — that is its whole point.
+	if err := printOwners("ipsc860", []int{5, 6}, []string{"http://b:1", "http://a:1/"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIntsAndSplit(t *testing.T) {
+	dims, err := parseInts(" 5, 6 ,7")
+	if err != nil || len(dims) != 3 || dims[2] != 7 {
+		t.Fatalf("parseInts: %v %v", dims, err)
+	}
+	if _, err := parseInts("5,x"); err == nil {
+		t.Error("parseInts accepted a non-integer")
+	}
+	if got := splitTrim("a, ,b,"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("splitTrim: %v", got)
+	}
+}
+
+func TestNormalizeMembersMatchesClusterRules(t *testing.T) {
+	got := normalizeMembers([]string{" http://a:1/ ", "http://b:2", ""})
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("normalizeMembers: %v", got)
+	}
+	if strings.HasSuffix(got[0], "/") {
+		t.Error("trailing slash survived normalization")
+	}
+}

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// startFleetNode is startDaemon over a pre-reserved listener, so the
+// fleet's peer URLs are known before any replica boots.
+func startFleetNode(t *testing.T, o options, ln net.Listener) (stop func()) {
+	t.Helper()
+	o.logger = log.New(io.Discard, "", 0)
+	d, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.run(ctx, ln) }()
+	stopped := false
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon exit: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("daemon did not shut down")
+		}
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+// clusterMetricsWire mirrors the /metrics fields the fleet test asserts.
+type clusterMetricsWire struct {
+	Cache struct {
+		Builds      int64 `json:"builds"`
+		PeerImports int64 `json:"peer_imports"`
+	} `json:"cache"`
+	Cluster struct {
+		PeerHits       int64 `json:"peer_hits_total"`
+		FallbackBuilds int64 `json:"peer_fallback_builds_total"`
+		Peers          []struct {
+			URL     string `json:"url"`
+			Breaker string `json:"breaker"`
+		} `json:"peers"`
+	} `json:"cluster"`
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became ready", base)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFleetEndToEnd is the clustered acceptance path: a non-owner
+// serves a line by fetching it from its ring owner (the owner builds
+// once, the fetcher imports instead of building), and after the owner
+// dies the same fetcher still answers — by local fallback build, within
+// one client deadline, with the breaker trip visible on /metrics.
+func TestFleetEndToEnd(t *testing.T) {
+	const n = 3
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	peers := strings.Join(urls, ",")
+
+	stops := make([]func(), n)
+	for i := range lns {
+		stops[i] = startFleetNode(t, options{
+			machine:          "ipsc860",
+			self:             urls[i],
+			peers:            peers,
+			peerAttempts:     1,
+			breakerThreshold: 1,
+			probeEvery:       time.Hour, // only the startup sweep: the test owns peer-state timing
+		}, lns[i])
+	}
+	for _, u := range urls {
+		waitReady(t, u)
+	}
+
+	// Map two hypercube lines to the same owner, and pick a distinct
+	// replica as the fetcher.
+	ring, err := cluster.NewRing(urls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerOf := func(d int) string {
+		return ring.Owner(cluster.LineKey("ipsc860", fmt.Sprintf("hypercube-%d", d)))
+	}
+	owner := ownerOf(3)
+	var dims []int
+	for d := 3; d <= 20 && len(dims) < 2; d++ {
+		if ownerOf(d) == owner {
+			dims = append(dims, d)
+		}
+	}
+	if len(dims) < 2 {
+		t.Fatalf("no two dims share owner %s", owner)
+	}
+	var fetcher string
+	ownerIdx := -1
+	for i, u := range urls {
+		if u == owner {
+			ownerIdx = i
+		} else if fetcher == "" {
+			fetcher = u
+		}
+	}
+
+	// Owner-serve: the non-owner answers by peer fetch. The owner builds
+	// the line (once, on demand); the fetcher imports it.
+	var plan planWire
+	fetch(t, fmt.Sprintf("%s/v1/plan?machine=ipsc860&d=%d&m=40", fetcher, dims[0]), &plan)
+	var fm, om clusterMetricsWire
+	fetch(t, fetcher+"/metrics", &fm)
+	fetch(t, owner+"/metrics", &om)
+	if fm.Cluster.PeerHits != 1 || fm.Cache.PeerImports != 1 || fm.Cache.Builds != 0 {
+		t.Fatalf("fetcher after peer serve: hits=%d imports=%d builds=%d, want 1/1/0",
+			fm.Cluster.PeerHits, fm.Cache.PeerImports, fm.Cache.Builds)
+	}
+	if om.Cache.Builds != 1 {
+		t.Fatalf("owner built %d lines, want exactly 1", om.Cache.Builds)
+	}
+
+	// Resident now: a repeat query on the fetcher touches nobody.
+	fetch(t, fmt.Sprintf("%s/v1/plan?machine=ipsc860&d=%d&m=80", fetcher, dims[0]), &plan)
+	fetch(t, fetcher+"/metrics", &fm)
+	if fm.Cluster.PeerHits != 1 {
+		t.Fatalf("repeat query re-fetched from the owner (hits %d)", fm.Cluster.PeerHits)
+	}
+
+	// Kill the owner. The fleet froze probing (probeEvery is an hour), so
+	// the fetcher still believes the owner is up: its next owned-line
+	// miss pays one failed fetch, trips the breaker, and falls back to a
+	// local build — the request must still succeed, quickly.
+	stops[ownerIdx]()
+	client := &http.Client{Timeout: 15 * time.Second}
+	began := time.Now()
+	resp, err := client.Get(fmt.Sprintf("%s/v1/plan?machine=ipsc860&d=%d&m=40", fetcher, dims[1]))
+	if err != nil {
+		t.Fatalf("request after owner death: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after owner death: %d, want 200 via local fallback", resp.StatusCode)
+	}
+	if took := time.Since(began); took > 10*time.Second {
+		t.Fatalf("fallback took %v — dead peer stalled the request", took)
+	}
+
+	fetch(t, fetcher+"/metrics", &fm)
+	if fm.Cluster.FallbackBuilds < 1 {
+		t.Fatal("peer_fallback_builds_total did not move after owner death")
+	}
+	if fm.Cache.Builds < 1 {
+		t.Fatal("fetcher did not build locally after owner death")
+	}
+	breaker := ""
+	for _, p := range fm.Cluster.Peers {
+		if p.URL == owner {
+			breaker = p.Breaker
+		}
+	}
+	if breaker != "open" {
+		t.Fatalf("dead owner's breaker is %q on the fetcher's /metrics, want open", breaker)
+	}
+}
+
+// TestFleetFaultForwarding: a fault update accepted by one replica
+// reaches the others (marked forwarded, applied, not re-forwarded).
+func TestFleetFaultForwarding(t *testing.T) {
+	const n = 2
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	peers := strings.Join(urls, ",")
+	for i := range lns {
+		startFleetNode(t, options{
+			machine: "ipsc860",
+			self:    urls[i],
+			peers:   peers,
+		}, lns[i])
+	}
+	for _, u := range urls {
+		waitReady(t, u)
+	}
+
+	body := `{"topology":"hypercube-4","action":"slow","links":[[0,1]],"factor":3}`
+	resp, err := http.Post(urls[0]+"/v1/faults", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fault update: %d", resp.StatusCode)
+	}
+
+	// Replica 1 now serves hypercube-4 under the forwarded fault digest.
+	type healthWire struct {
+		DegradedFabrics []string `json:"degraded_fabrics"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var h healthWire
+		fetch(t, urls[1]+"/healthz", &h)
+		found := false
+		for _, f := range h.DegradedFabrics {
+			if f == "hypercube-4" {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("forwarded fault never reached the peer replica")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -15,6 +15,19 @@
 // exists), persists it periodically and again on graceful shutdown
 // (SIGINT/SIGTERM), so a restarted daemon answers warm without re-running
 // a single partition enumeration.
+//
+// Fleet mode: -self and -peers turn N replicas into one logical cache.
+//
+//	pland -addr :8081 -self http://host1:8081 \
+//	      -peers http://host1:8081,http://host2:8082,http://host3:8083
+//
+// Every replica must be given the same -peers set (its own URL may be
+// included; it is excluded from its peer list automatically). A
+// consistent-hash ring assigns each cache line an owner; misses are
+// fetched from the owner with deadlines, retries, and a per-peer
+// circuit breaker, and fall back to a local build when the owner is
+// unreachable. /readyz turns 200 only after restore, warmup, and the
+// ring join's warm fan-out; /healthz stays pure liveness.
 package main
 
 import (
@@ -32,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/model"
 	"repro/internal/optimize"
 	"repro/internal/plancache"
@@ -54,7 +68,18 @@ type options struct {
 	optWorkers    int
 	rebuildTries  int
 	rebuildWait   time.Duration
-	logger        *log.Logger
+
+	// Fleet mode (see the package doc): all off when peers is empty.
+	self             string
+	peers            string
+	maxBuilds        int
+	peerTimeout      time.Duration
+	peerAttempts     int
+	probeEvery       time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	logger *log.Logger
 }
 
 func main() {
@@ -72,6 +97,14 @@ func main() {
 	flag.IntVar(&o.optWorkers, "opt-workers", 0, "optimizer candidate-costing workers, clamped to GOMAXPROCS (0 = backend default)")
 	flag.IntVar(&o.rebuildTries, "rebuild-attempts", 0, "background degraded-plan rebuild attempts (0 = service default)")
 	flag.DurationVar(&o.rebuildWait, "rebuild-backoff", 0, "initial backoff between rebuild attempts, doubled per try (0 = service default)")
+	flag.StringVar(&o.self, "self", "", "this replica's advertised base URL (required with -peers)")
+	flag.StringVar(&o.peers, "peers", "", "comma-separated replica base URLs forming the fleet (empty = standalone)")
+	flag.IntVar(&o.maxBuilds, "max-builds", 0, "concurrent local hull builds before shedding with 503 (0 = unbounded)")
+	flag.DurationVar(&o.peerTimeout, "peer-timeout", 0, "per-attempt peer fetch deadline (0 = cluster default)")
+	flag.IntVar(&o.peerAttempts, "peer-attempts", 0, "peer fetch attempts before local fallback (0 = cluster default)")
+	flag.DurationVar(&o.probeEvery, "probe-every", 0, "peer health-probe interval (0 = cluster default)")
+	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 0, "consecutive peer failures before the breaker opens (0 = cluster default)")
+	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = cluster default)")
 	flag.Parse()
 	o.logger = log.New(os.Stderr, "pland: ", log.LstdFlags)
 
@@ -93,10 +126,13 @@ func main() {
 	}
 }
 
-// daemon owns the cache, the HTTP server, and the snapshot lifecycle.
+// daemon owns the cache, the HTTP server, the optional peer layer, and
+// the snapshot lifecycle.
 type daemon struct {
 	opts  options
 	cache *plancache.Cache
+	svc   *service.Server
+	clu   *cluster.Cluster // nil when standalone
 	srv   *http.Server
 	log   *log.Logger
 }
@@ -138,14 +174,41 @@ func newDaemon(o options) (*daemon, error) {
 		}
 	}
 
-	cache := plancache.New(plancache.Config{
-		Shards:           o.shards,
-		CapacityPerShard: o.capacity,
-		SweepHi:          o.sweepHi,
-		SweepStep:        o.sweepStep,
-		NewOptimizer:     newOpt,
-		OptWorkers:       o.optWorkers,
-	})
+	// The peer layer is built before the cache so the cache's miss path
+	// can carry the owner-fetch hook from day one.
+	var clu *cluster.Cluster
+	if o.peers != "" {
+		if o.self == "" {
+			return nil, fmt.Errorf("-peers requires -self (this replica's advertised URL)")
+		}
+		clu, err = cluster.New(cluster.Config{
+			Self:             o.self,
+			Peers:            strings.Split(o.peers, ","),
+			FetchAttempts:    o.peerAttempts,
+			FetchTimeout:     o.peerTimeout,
+			BreakerThreshold: o.breakerThreshold,
+			BreakerCooldown:  o.breakerCooldown,
+			ProbeInterval:    o.probeEvery,
+			Logger:           o.logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cacheCfg := plancache.Config{
+		Shards:              o.shards,
+		CapacityPerShard:    o.capacity,
+		SweepHi:             o.sweepHi,
+		SweepStep:           o.sweepStep,
+		NewOptimizer:        newOpt,
+		OptWorkers:          o.optWorkers,
+		MaxConcurrentBuilds: o.maxBuilds,
+	}
+	if clu != nil {
+		cacheCfg.Fetch = clu.FetchLine
+	}
+	cache := plancache.New(cacheCfg)
 	if o.snapshotPath != "" {
 		restored, skipped, err := cache.RestoreFile(o.snapshotPath)
 		switch {
@@ -191,6 +254,7 @@ func newDaemon(o options) (*daemon, error) {
 		RebuildAttempts: o.rebuildTries,
 		RebuildBackoff:  o.rebuildWait,
 		Logger:          o.logger,
+		Cluster:         clu,
 	}
 	svc, err := service.New(svcCfg)
 	if err != nil {
@@ -199,6 +263,8 @@ func newDaemon(o options) (*daemon, error) {
 	return &daemon{
 		opts:  o,
 		cache: cache,
+		svc:   svc,
+		clu:   clu,
 		srv: &http.Server{
 			Handler: svc.Handler(),
 			// A public daemon must not let one stalled peer pin a
@@ -223,6 +289,26 @@ func (d *daemon) run(ctx context.Context, ln net.Listener) error {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- d.srv.Serve(ln) }()
+
+	// Readiness: restore + warmup already ran in newDaemon. A standalone
+	// daemon is ready as soon as it serves; a clustered one first starts
+	// health probes and warm-fetches its owned lines from live peers —
+	// in the background, because joining a fleet whose peers are still
+	// booting must not deadlock startup (they need our /healthz up).
+	if d.clu == nil {
+		d.svc.SetReady(true)
+	} else {
+		d.clu.Start(ctx)
+		go func() {
+			imported, err := d.clu.WarmOwned(ctx, d.cache)
+			if err != nil {
+				d.log.Printf("cluster: warm fan-out incomplete (%d lines imported): %v", imported, err)
+			} else if imported > 0 {
+				d.log.Printf("cluster: warmed %d owned lines from peers", imported)
+			}
+			d.svc.SetReady(true)
+		}()
+	}
 
 	snapDone := make(chan struct{})
 	if d.opts.snapshotPath != "" && d.opts.snapshotEvery > 0 {

@@ -59,10 +59,24 @@
 // backoff background rebuild retries. A zero-fault overlay is exactly
 // transparent: bit-identical plans, costs, and cache keys.
 //
+// The serving tier also scales out: internal/cluster turns N pland
+// replicas into one logical cache. A consistent-hash ring with virtual
+// nodes assigns every cache line to an owner replica; a non-owner's
+// miss fetches the built line from its owner over /v1/peer/line —
+// per-attempt deadlines, bounded retries with backoff and jitter, and
+// per-peer circuit breakers guarding every hop — and falls back to a
+// local singleflight build when the owner is dead or slow, so a peer
+// failure costs latency, never an error. Replicas probe each other's
+// /healthz, warm-fetch their owned lines at startup, gate /readyz on
+// that warm-up, forward fault updates fleet-wide, and shed local
+// builds beyond a bound with 503s; cmd/loadgen is the fleet's paced
+// measuring stick. Without -peers the daemon is bit-identical to the
+// standalone build.
+//
 // Layout:
 //
 //	internal/...   the library (see README.md for the package map)
-//	cmd/...        mpx, hull, partitions, figures, calibrate, pland
+//	cmd/...        mpx, hull, partitions, figures, calibrate, pland, loadgen
 //	examples/...   runnable demonstrations
 //
 // The benchmark harness in this package (bench_test.go) regenerates every

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. The JSON spellings are part of the /metrics and
+// /readyz wire formats.
+const (
+	// breakerClosed: the peer is trusted; fetches flow.
+	breakerClosed = "closed"
+	// breakerOpen: too many consecutive failures; fetches are refused
+	// locally (fast fallback to a local build) until the cooldown ends.
+	breakerOpen = "open"
+	// breakerHalfOpen: the cooldown ended and exactly one probe fetch is
+	// allowed through; its outcome closes or re-opens the breaker.
+	breakerHalfOpen = "half-open"
+)
+
+// breaker is one peer's circuit breaker: consecutive fetch failures
+// trip it open, a cooldown later a single half-open probe is let
+// through, and that probe's outcome decides between closed and another
+// open period. While open, every would-be fetch fails instantly — the
+// caller pays a local build instead of a deadline wait on a peer that
+// has been failing anyway.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injected for tests
+
+	mu       sync.Mutex
+	state    string
+	fails    int // consecutive failures
+	openedAt time.Time
+	trips    int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       now,
+		state:     breakerClosed,
+	}
+}
+
+// allow reports whether a fetch may proceed. An open breaker whose
+// cooldown has elapsed transitions to half-open and admits this one
+// caller as the probe; further callers are refused until the probe
+// reports back.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// success records a completed fetch: the breaker closes and the failure
+// streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// failure records a failed fetch: a failed half-open probe re-opens
+// immediately, a closed breaker opens once the streak reaches the
+// threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.fails >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.trips++
+	}
+}
+
+// reset force-closes the breaker (a down→up health-probe transition:
+// the peer restarted and answers /healthz again, so give it a clean
+// slate rather than waiting out a cooldown from its previous life).
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// snapshot returns the state, consecutive-failure count, and trip total.
+func (b *breaker) snapshot() (state string, fails int, trips int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// An open breaker past its cooldown is reported open until a fetch
+	// actually probes it; that is the truthful serving state.
+	return b.state, b.fails, b.trips
+}

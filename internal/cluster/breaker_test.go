@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable time source for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Minute, clk.now)
+
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused fetch %d", i)
+		}
+		b.failure()
+	}
+	if state, fails, trips := b.snapshot(); state != breakerClosed || fails != 2 || trips != 0 {
+		t.Fatalf("below threshold: got (%s, %d, %d)", state, fails, trips)
+	}
+	b.failure() // third consecutive failure: trip
+	if state, _, trips := b.snapshot(); state != breakerOpen || trips != 1 {
+		t.Fatalf("at threshold: got state %s, trips %d", state, trips)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a fetch before cooldown")
+	}
+}
+
+func TestBreakerHalfOpenProbeLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Minute, clk.now)
+	b.failure()
+	if state, _, _ := b.snapshot(); state != breakerOpen {
+		t.Fatalf("threshold-1 breaker not open after one failure: %s", state)
+	}
+
+	clk.advance(59 * time.Second)
+	if b.allow() {
+		t.Fatal("breaker admitted a probe before cooldown elapsed")
+	}
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent half-open probe admitted")
+	}
+
+	// Failed probe: straight back to open, another full cooldown.
+	b.failure()
+	if state, _, trips := b.snapshot(); state != breakerOpen || trips != 2 {
+		t.Fatalf("failed probe: got state %s, trips %d", state, trips)
+	}
+	clk.advance(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("breaker refused probe after second cooldown")
+	}
+	b.success()
+	if state, fails, _ := b.snapshot(); state != breakerClosed || fails != 0 {
+		t.Fatalf("successful probe: got state %s, fails %d", state, fails)
+	}
+	if !b.allow() {
+		t.Fatal("re-closed breaker refused a fetch")
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Hour, clk.now)
+	b.failure()
+	if b.allow() {
+		t.Fatal("open breaker admitted a fetch")
+	}
+	b.reset() // the health prober saw the peer come back
+	if !b.allow() {
+		t.Fatal("reset breaker refused a fetch")
+	}
+	if state, fails, _ := b.snapshot(); state != breakerClosed || fails != 0 {
+		t.Fatalf("after reset: got state %s, fails %d", state, fails)
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerDeterministicAcrossMemberOrder(t *testing.T) {
+	members := []string{"http://c:1", "http://a:1", "http://b:1"}
+	shuffled := []string{"http://b:1", "http://c:1", "http://a:1", "http://a:1"} // dup too
+	r1, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := LineKey("ipsc860", fmt.Sprintf("hypercube-%d", i))
+		if o1, o2 := r1.Owner(key), r2.Owner(key); o1 != o2 {
+			t.Fatalf("key %q: owner %q under one order, %q under another", key, o1, o2)
+		}
+	}
+}
+
+func TestRingDistributesKeys(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(LineKey("hypo", fmt.Sprintf("torus-%dx%d", i, i)))]++
+	}
+	for _, m := range members {
+		if counts[m] < n/10 {
+			t.Errorf("member %s owns only %d of %d keys — virtual nodes not spreading", m, counts[m], n)
+		}
+	}
+}
+
+func TestRingSingleMemberOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"http://only:1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if got := r.Owner(fmt.Sprintf("key-%d", i)); got != "http://only:1" {
+			t.Fatalf("single-member ring returned %q", got)
+		}
+	}
+}
+
+func TestRingRejectsBadMemberSets(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty member set accepted")
+	}
+	if _, err := NewRing([]string{"http://a:1", ""}, 0); err == nil {
+		t.Error("empty member string accepted")
+	}
+}
+
+func TestRingMembersSortedDeduped(t *testing.T) {
+	r, err := NewRing([]string{"b", "a", "b"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Members()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Members() = %v, want [a b]", got)
+	}
+}

@@ -53,6 +53,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -865,6 +866,16 @@ func (o *Optimizer) BuildTable(d, mLo, mHi, step int) (Table, error) {
 // already hot from the previous point's fields — prices most candidates
 // without any new replay.
 func (o *Optimizer) BuildTableOn(net topology.Network, mLo, mHi, step int) (Table, error) {
+	return o.BuildTableOnCtx(context.Background(), net, mLo, mHi, step)
+}
+
+// BuildTableOnCtx is BuildTableOn bounded by a context, checked between
+// sweep points: a caller that no longer needs the table (the plan
+// cache's fully-abandoned line fill) aborts the sweep after at most one
+// more Best enumeration instead of paying for the whole hull. Joiners
+// of an identical in-flight sweep share the initiator's fate — the plan
+// cache's own per-line singleflight makes that pairing one-to-one.
+func (o *Optimizer) BuildTableOnCtx(ctx context.Context, net topology.Network, mLo, mHi, step int) (Table, error) {
 	if mLo < 0 || mHi < mLo {
 		return Table{}, fmt.Errorf("optimize: bad sweep [%d,%d]", mLo, mHi)
 	}
@@ -875,8 +886,12 @@ func (o *Optimizer) BuildTableOn(net topology.Network, mLo, mHi, step int) (Tabl
 	o.tableMu.Lock()
 	if f, ok := o.tableFlight[tk]; ok {
 		o.tableMu.Unlock()
-		<-f.done
-		return f.t, f.err
+		select {
+		case <-f.done:
+			return f.t, f.err
+		case <-ctx.Done():
+			return Table{}, ctx.Err()
+		}
 	}
 	f := &tableFlight{done: make(chan struct{})}
 	if o.tableFlight == nil {
@@ -885,7 +900,7 @@ func (o *Optimizer) BuildTableOn(net topology.Network, mLo, mHi, step int) (Tabl
 	o.tableFlight[tk] = f
 	o.tableMu.Unlock()
 
-	f.t, f.err = o.buildTableOn(net, mLo, mHi, step)
+	f.t, f.err = o.buildTableOn(ctx, net, mLo, mHi, step)
 	o.tableMu.Lock()
 	delete(o.tableFlight, tk)
 	o.tableMu.Unlock()
@@ -893,10 +908,13 @@ func (o *Optimizer) BuildTableOn(net topology.Network, mLo, mHi, step int) (Tabl
 	return f.t, f.err
 }
 
-func (o *Optimizer) buildTableOn(net topology.Network, mLo, mHi, step int) (Table, error) {
+func (o *Optimizer) buildTableOn(ctx context.Context, net topology.Network, mLo, mHi, step int) (Table, error) {
 	var segs []model.HullSegment
 	var hint partition.Partition
 	for m := mLo; m <= mHi; m += step {
+		if err := ctx.Err(); err != nil {
+			return Table{}, err
+		}
 		c, err := o.bestOn(net, m, hint)
 		if err != nil {
 			return Table{}, err

@@ -27,6 +27,8 @@ package plancache
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -71,6 +73,19 @@ type Config struct {
 	// costing worker-pool size, clamped to GOMAXPROCS. Zero keeps the
 	// optimizer's own default.
 	OptWorkers int
+	// Fetch, when non-nil, is consulted inside the per-key singleflight
+	// before a missing line is built locally — the cluster peer-fetch
+	// hook. It may return (nil, nil) to decline (this replica owns the
+	// key, or no peers are configured), a validated-importable LineData
+	// on success, or an error after its own deadline/retry budget; any
+	// error or invalid payload falls back to the local build, so a dead
+	// or slow peer can never fail a request, only make it cost a build.
+	Fetch func(ctx context.Context, machine, topo string) (*LineData, error)
+	// MaxConcurrentBuilds bounds how many local hull builds may run at
+	// once. Beyond the bound a miss is shed with ErrOverloaded instead
+	// of queueing unboundedly (the service layer maps it to 503 +
+	// Retry-After). Zero means unbounded — the pre-cluster behaviour.
+	MaxConcurrentBuilds int
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +155,12 @@ type Stats struct {
 	Inflight int64 `json:"inflight"`
 	// Builds counts completed line builds (restores not included).
 	Builds int64 `json:"builds"`
+	// PeerImports counts misses filled by the Fetch hook (a peer line
+	// imported instead of built locally).
+	PeerImports int64 `json:"peer_imports"`
+	// Shed counts misses refused with ErrOverloaded because the
+	// concurrent-build bound was reached.
+	Shed int64 `json:"shed"`
 	// Lines and Segments are the resident totals.
 	Lines    int `json:"lines"`
 	Segments int `json:"segments"`
@@ -161,11 +182,21 @@ type line struct {
 	sweepStep        int
 }
 
-// flight is one in-progress line build; latecomers wait on done.
+// flight is one in-progress line fill (peer fetch, then local build);
+// latecomers join it and wait on done. The fill runs in its own
+// goroutine under its own context: a joiner whose request context ends
+// departs immediately without disturbing the others, and only when the
+// LAST waiter departs is the fill's context cancelled — so one
+// disconnected client aborts nothing for anyone else, a fully
+// abandoned fill stops at its next checkpoint, and a fill that
+// completes anyway still inserts its line for future callers.
 type flight struct {
-	done chan struct{}
-	line *line
-	err  error
+	done    chan struct{}
+	line    *line
+	err     error
+	built   bool // a local build ran (as opposed to a peer import)
+	waiters atomic.Int64
+	cancel  context.CancelFunc
 }
 
 type shard struct {
@@ -180,16 +211,23 @@ type Cache struct {
 	cfg    Config
 	shards []*shard
 
+	// buildSem bounds concurrent local hull builds (nil = unbounded).
+	buildSem chan struct{}
+
 	optMu sync.Mutex
 	opts  map[string]*optimize.Optimizer
 
 	hits, misses, evictions, inflight, builds atomic.Int64
+	peerImports, shed                         atomic.Int64
 }
 
 // New returns a cache with the given configuration (zero value ok).
 func New(cfg Config) *Cache {
 	cfg = cfg.withDefaults()
 	c := &Cache{cfg: cfg, opts: make(map[string]*optimize.Optimizer)}
+	if cfg.MaxConcurrentBuilds > 0 {
+		c.buildSem = make(chan struct{}, cfg.MaxConcurrentBuilds)
+	}
 	c.shards = make([]*shard, cfg.Shards)
 	for i := range c.shards {
 		c.shards[i] = &shard{
@@ -349,7 +387,7 @@ func (c *Cache) Get(machine string, d, m int) (Plan, error) {
 	if err != nil {
 		return Plan{}, err
 	}
-	return c.getOn(name, prm, net, m)
+	return c.getOn(context.Background(), name, prm, net, m)
 }
 
 // GetOn answers one (machine, topology, m) query with the full plan
@@ -365,21 +403,31 @@ func (c *Cache) GetOn(machine, topo string, m int) (Plan, error) {
 // GetFor is GetOn with an already-resolved topology — the form the
 // service layer uses so a request's spec is parsed exactly once.
 func (c *Cache) GetFor(machine string, net topology.Network, m int) (Plan, error) {
+	return c.GetForCtx(context.Background(), machine, net, m)
+}
+
+// GetForCtx is GetFor bounded by a request context: when ctx ends the
+// caller returns ctx.Err() immediately while any in-flight line fill it
+// initiated or joined continues for its remaining waiters (and is
+// cancelled only when fully abandoned). The serving tier passes each
+// request's context here so a disconnected client stops paying for a
+// hull build it will never read.
+func (c *Cache) GetForCtx(ctx context.Context, machine string, net topology.Network, m int) (Plan, error) {
 	name, prm, err := c.resolve(machine)
 	if err != nil {
 		return Plan{}, err
 	}
-	return c.getOn(name, prm, net, m)
+	return c.getOn(ctx, name, prm, net, m)
 }
 
-func (c *Cache) getOn(name string, prm model.Params, net topology.Network, m int) (Plan, error) {
+func (c *Cache) getOn(ctx context.Context, name string, prm model.Params, net topology.Network, m int) (Plan, error) {
 	if err := checkServable(net); err != nil {
 		return Plan{}, err
 	}
 	if m < 0 {
 		return Plan{}, fmt.Errorf("plancache: negative block size %d", m)
 	}
-	ln, _, err := c.lineFor(name, prm, net)
+	ln, _, err := c.lineFor(ctx, name, prm, net)
 	if err != nil {
 		return Plan{}, err
 	}
@@ -415,7 +463,7 @@ func (c *Cache) LookupFor(machine string, net topology.Network, m int) (partitio
 	if m < 0 {
 		return nil, fmt.Errorf("plancache: negative block size %d", m)
 	}
-	ln, _, err := c.lineFor(name, prm, net)
+	ln, _, err := c.lineFor(context.Background(), name, prm, net)
 	if err != nil {
 		return nil, err
 	}
@@ -439,6 +487,11 @@ func (c *Cache) HullOn(machine, topo string) (optimize.Table, error) {
 
 // HullFor is HullOn with an already-resolved topology.
 func (c *Cache) HullFor(machine string, net topology.Network) (optimize.Table, error) {
+	return c.HullForCtx(context.Background(), machine, net)
+}
+
+// HullForCtx is HullFor bounded by a request context (see GetForCtx).
+func (c *Cache) HullForCtx(ctx context.Context, machine string, net topology.Network) (optimize.Table, error) {
 	name, prm, err := c.resolve(machine)
 	if err != nil {
 		return optimize.Table{}, err
@@ -446,7 +499,7 @@ func (c *Cache) HullFor(machine string, net topology.Network) (optimize.Table, e
 	if err := checkServable(net); err != nil {
 		return optimize.Table{}, err
 	}
-	ln, _, err := c.lineFor(name, prm, net)
+	ln, _, err := c.lineFor(ctx, name, prm, net)
 	if err != nil {
 		return optimize.Table{}, err
 	}
@@ -471,7 +524,7 @@ func (c *Cache) WarmOn(machine, topo string) (built bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	_, built, err = c.lineFor(name, prm, net)
+	_, built, err = c.lineFor(context.Background(), name, prm, net)
 	return built, err
 }
 
@@ -496,44 +549,174 @@ func (c *Cache) answer(name string, prm model.Params, ln *line, m int) (Plan, er
 	}, nil
 }
 
-// lineFor returns the resident line for (name, topology), building it
-// under a per-key singleflight on a miss. built is true only for the
-// caller that ran the build itself (not for hits or joined waiters).
-func (c *Cache) lineFor(name string, prm model.Params, net topology.Network) (ln *line, built bool, err error) {
+// ErrOverloaded marks a miss shed because the concurrent-build bound
+// (Config.MaxConcurrentBuilds) was reached: the line is not resident
+// and the cache refused to queue another hull build. The serving tier
+// maps it to 503 with Retry-After.
+var ErrOverloaded = errors.New("build capacity exhausted")
+
+// lineFor returns the resident line for (name, topology), filling it
+// under a per-key singleflight on a miss (peer fetch first when a Fetch
+// hook is configured, local build otherwise). built is true only for
+// the caller that initiated a fill that ran a local build (not for
+// hits, joined waiters, or peer imports).
+//
+// ctx bounds this caller's WAIT, not the fill: when ctx ends the
+// caller gets ctx.Err() immediately while the fill keeps running for
+// the remaining waiters — and when the last waiter departs the fill is
+// cancelled at its next checkpoint. Either way the flight entry is
+// removed when the fill goroutine finishes, so a cancelled fill never
+// poisons the key: the next caller simply starts a fresh one.
+func (c *Cache) lineFor(ctx context.Context, name string, prm model.Params, net topology.Network) (ln *line, built bool, err error) {
 	key := lineKey{machine: name, topo: net.Name()}
 	sh := c.shardFor(key)
 
-	sh.mu.Lock()
-	if el, ok := sh.lines[key]; ok {
-		sh.lru.MoveToFront(el)
-		sh.mu.Unlock()
-		c.hits.Add(1)
-		return el.Value.(*line), false, nil
-	}
-	if f, ok := sh.flight[key]; ok {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		sh.mu.Lock()
+		if el, ok := sh.lines[key]; ok {
+			sh.lru.MoveToFront(el)
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return el.Value.(*line), false, nil
+		}
+		if f, ok := sh.flight[key]; ok {
+			f.waiters.Add(1)
+			sh.mu.Unlock()
+			c.misses.Add(1)
+			ln, err, retry := c.awaitFlight(ctx, f)
+			if retry {
+				// We joined a fill that was abandoned (every earlier
+				// waiter departed before we arrived and it was cancelled
+				// at a checkpoint). Our context is still live, so start
+				// over; the dead flight is removed before done closes,
+				// so the retry finds a clean slate.
+				continue
+			}
+			return ln, false, err
+		}
+		fctx, cancel := context.WithCancel(context.Background())
+		f := &flight{done: make(chan struct{}), cancel: cancel}
+		f.waiters.Add(1)
+		sh.flight[key] = f
 		sh.mu.Unlock()
 		c.misses.Add(1)
-		<-f.done
-		return f.line, false, f.err
+		c.inflight.Add(1)
+		go c.runFlight(fctx, f, sh, key, name, prm, net)
+		ln, err, retry := c.awaitFlight(ctx, f)
+		if retry {
+			continue
+		}
+		// f.built is only safe to read once the fill has published; a
+		// caller departing early (ctx end) reports built=false.
+		return ln, err == nil && flightDone(f) && f.built, err
 	}
-	f := &flight{done: make(chan struct{})}
-	sh.flight[key] = f
-	sh.mu.Unlock()
-	c.misses.Add(1)
-	c.inflight.Add(1)
+}
 
-	f.line, f.err = c.build(name, prm, net)
+// awaitFlight waits for a joined flight to finish or the caller's
+// context to end, whichever is first, and maintains the flight's waiter
+// count: the departing last waiter cancels the fill. retry is true when
+// the flight died of its own cancellation while THIS caller is still
+// live — the caller should start over rather than surface an error it
+// did not cause.
+func (c *Cache) awaitFlight(ctx context.Context, f *flight) (ln *line, err error, retry bool) {
+	defer func() {
+		if f.waiters.Add(-1) == 0 {
+			f.cancel()
+		}
+	}()
+	select {
+	case <-f.done:
+		if f.err != nil && errors.Is(f.err, context.Canceled) && ctx.Err() == nil {
+			return nil, nil, true
+		}
+		return f.line, f.err, false
+	case <-ctx.Done():
+		return nil, ctx.Err(), false
+	}
+}
+
+// flightDone reports whether f has published its result, making its
+// line/err/built fields safe to read.
+func flightDone(f *flight) bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// runFlight performs one fill: peer fetch (when configured), then local
+// build, publishing the result and retiring the flight entry. It runs
+// detached from any single request so one disconnected client cannot
+// abort work others are waiting on.
+func (c *Cache) runFlight(ctx context.Context, f *flight, sh *shard, key lineKey, name string, prm model.Params, net topology.Network) {
+	f.line, f.built, f.err = c.fill(ctx, name, prm, net)
 
 	sh.mu.Lock()
 	if f.err == nil {
 		c.insertLocked(sh, f.line)
-		c.builds.Add(1)
+		if f.built {
+			c.builds.Add(1)
+		} else {
+			c.peerImports.Add(1)
+		}
 	}
 	delete(sh.flight, key)
 	sh.mu.Unlock()
 	c.inflight.Add(-1)
+	f.cancel()
 	close(f.done)
-	return f.line, f.err == nil, f.err
+}
+
+// fill obtains one line: from the owning peer when the Fetch hook
+// accepts the key, by a bounded local build otherwise. A fetch error or
+// an invalid peer payload falls back to the local build — a dead peer
+// costs time, never correctness.
+func (c *Cache) fill(ctx context.Context, name string, prm model.Params, net topology.Network) (*line, bool, error) {
+	if c.cfg.Fetch != nil {
+		ld, err := c.cfg.Fetch(ctx, name, net.Name())
+		if err == nil && ld != nil {
+			if ln, ierr := c.lineFromPeer(*ld, name, prm, net); ierr == nil {
+				return ln, false, nil
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+	}
+	if c.buildSem != nil {
+		select {
+		case c.buildSem <- struct{}{}:
+			defer func() { <-c.buildSem }()
+		default:
+			c.shed.Add(1)
+			return nil, false, fmt.Errorf("plancache: building %s/%s: %w", name, net.Name(), ErrOverloaded)
+		}
+	}
+	ln, err := c.build(ctx, name, prm, net)
+	return ln, err == nil, err
+}
+
+// lineFromPeer validates a fetched peer line against this request and
+// this cache's configuration before accepting it in place of a build.
+func (c *Cache) lineFromPeer(ld LineData, name string, prm model.Params, net topology.Network) (*line, error) {
+	if ld.Machine != name || ld.Topology != net.Name() {
+		return nil, fmt.Errorf("plancache: peer line is for %s/%s, want %s/%s",
+			ld.Machine, ld.Topology, name, net.Name())
+	}
+	if ld.Params != prm {
+		return nil, fmt.Errorf("plancache: peer line for %s/%s computed under different machine parameters",
+			name, net.Name())
+	}
+	if ld.SweepLo != 0 || ld.SweepHi != c.cfg.SweepHi || ld.SweepStep != c.cfg.SweepStep {
+		return nil, fmt.Errorf("plancache: peer line for %s/%s swept [%d,%d] step %d, want [0,%d] step %d",
+			name, net.Name(), ld.SweepLo, ld.SweepHi, ld.SweepStep, c.cfg.SweepHi, c.cfg.SweepStep)
+	}
+	return restoreLine(ld)
 }
 
 // BuildError marks a failure inside a line build (the hull sweep), as
@@ -551,11 +734,16 @@ func (e *BuildError) Error() string {
 
 func (e *BuildError) Unwrap() error { return e.Err }
 
-// build runs the hull sweep for one line.
-func (c *Cache) build(name string, prm model.Params, net topology.Network) (*line, error) {
+// build runs the hull sweep for one line. ctx is the fill's context: a
+// fully abandoned fill aborts between sweep points (context errors pass
+// through unwrapped so the flight machinery can classify them).
+func (c *Cache) build(ctx context.Context, name string, prm model.Params, net topology.Network) (*line, error) {
 	opt := c.optimizer(name, prm)
-	tbl, err := opt.BuildTableOn(net, 0, c.cfg.SweepHi, c.cfg.SweepStep)
+	tbl, err := opt.BuildTableOnCtx(ctx, net, 0, c.cfg.SweepHi, c.cfg.SweepStep)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, &BuildError{Machine: name, Topo: net.Name(), Err: err}
 	}
 	return &line{
@@ -590,6 +778,12 @@ func (c *Cache) insertLocked(sh *shard, ln *line) {
 // service layer's fault paths use, where the network is a degraded
 // overlay it has already built rather than a registry spec.
 func (c *Cache) WarmFor(machine string, net topology.Network) (built bool, err error) {
+	return c.WarmForCtx(context.Background(), machine, net)
+}
+
+// WarmForCtx is WarmFor bounded by a request context (see GetForCtx).
+// The peer-serving endpoint uses it to build a line it owns on demand.
+func (c *Cache) WarmForCtx(ctx context.Context, machine string, net topology.Network) (built bool, err error) {
 	name, prm, err := c.resolve(machine)
 	if err != nil {
 		return false, err
@@ -597,7 +791,7 @@ func (c *Cache) WarmFor(machine string, net topology.Network) (built bool, err e
 	if err := checkServable(net); err != nil {
 		return false, err
 	}
-	_, built, err = c.lineFor(name, prm, net)
+	_, built, err = c.lineFor(ctx, name, prm, net)
 	return built, err
 }
 
@@ -630,11 +824,13 @@ func (c *Cache) InvalidateWhere(pred func(machine, topo string) bool) int {
 // Stats returns a counter snapshot.
 func (c *Cache) Stats() Stats {
 	s := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Inflight:  c.inflight.Load(),
-		Builds:    c.builds.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Inflight:    c.inflight.Load(),
+		Builds:      c.builds.Load(),
+		PeerImports: c.peerImports.Load(),
+		Shed:        c.shed.Load(),
 	}
 	for _, sh := range c.shards {
 		sh.mu.Lock()

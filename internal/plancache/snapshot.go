@@ -20,76 +20,149 @@ import (
 // wrong key space.
 const SnapshotVersion = 2
 
-// snapSegment is the JSON form of one hull segment.
-type snapSegment struct {
+// SegmentData is the JSON form of one hull segment.
+type SegmentData struct {
 	Partition []int `json:"partition"`
 	MinBlock  int   `json:"min_block"`
 	MaxBlock  int   `json:"max_block"`
 }
 
-// snapLine is the JSON form of one cache line, tagged with the machine
+// LineData is the JSON form of one cache line, tagged with the machine
 // parameters it was computed against so a restore into a cache with
 // different constants rejects it as stale rather than serving wrong
-// plans.
-type snapLine struct {
+// plans. It is both the snapshot element and the peer-serving wire
+// format: a clustered replica answers GET /v1/peer/line with exactly
+// this document, and the fetcher imports it through ImportLine under
+// the same staleness rules a snapshot restore applies.
+type LineData struct {
 	Machine string       `json:"machine"`
 	Params  model.Params `json:"params"`
 	// Topology is the network registry spec the hull was enumerated for
-	// ("hypercube-7", "torus-4x4x4"); D is its dimension count, kept for
-	// human readability.
+	// ("hypercube-7", "torus-4x4x4", possibly carrying a fault digest);
+	// D is its dimension count, kept for human readability.
 	Topology  string        `json:"topology"`
 	D         int           `json:"d"`
 	SweepLo   int           `json:"sweep_lo"`
 	SweepHi   int           `json:"sweep_hi"`
 	SweepStep int           `json:"sweep_step"`
-	Segments  []snapSegment `json:"segments"`
+	Segments  []SegmentData `json:"segments"`
 }
 
-// snapshot is the JSON envelope.
-type snapshot struct {
+// Snapshot is the JSON envelope SnapshotTo writes, Restore reads, and
+// the peer snapshot fan-out endpoint serves.
+type Snapshot struct {
 	Version int        `json:"version"`
-	Lines   []snapLine `json:"lines"`
+	Lines   []LineData `json:"lines"`
 }
 
-// Snapshot writes every resident line as JSON, most recently used first.
-// Counters are not serialized: a restored cache starts cold on stats but
-// warm on content. Lines built for degraded overlays (a fault digest in
-// the topology name) are skipped: fault state is ephemeral runtime
-// state, and a restart should come up planning for healthy fabrics, not
-// resurrect last week's failures.
-func (c *Cache) Snapshot(w io.Writer) error {
-	snap := snapshot{Version: SnapshotVersion}
+// exportLocked converts a resident line to its wire form. The owning
+// shard's mutex must be held.
+func (c *Cache) exportLocked(ln *line) (LineData, bool) {
+	prm, ok := c.cfg.Machines[ln.key.machine]
+	if !ok {
+		return LineData{}, false
+	}
+	sl := LineData{
+		Machine:   ln.key.machine,
+		Params:    prm,
+		Topology:  ln.key.topo,
+		D:         ln.net.NumDims(),
+		SweepLo:   ln.sweepLo,
+		SweepHi:   ln.sweepHi,
+		SweepStep: ln.sweepStep,
+	}
+	for _, seg := range ln.table.Segments {
+		sl.Segments = append(sl.Segments, SegmentData{
+			Partition: append([]int(nil), seg.Part...),
+			MinBlock:  seg.MinBlock,
+			MaxBlock:  seg.MaxBlock,
+		})
+	}
+	return sl, true
+}
+
+// Export collects every resident line as wire data, most recently used
+// first. Lines built for degraded overlays (a fault digest in the
+// topology name) are skipped when withDegraded is false: fault state is
+// ephemeral runtime state, and a snapshot restore should come up
+// planning for healthy fabrics, not resurrect last week's failures.
+func (c *Cache) export(withDegraded bool) []LineData {
+	var lines []LineData
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		for el := sh.lru.Front(); el != nil; el = el.Next() {
 			ln := el.Value.(*line)
-			prm, ok := c.cfg.Machines[ln.key.machine]
-			if !ok {
+			if _, digest := topology.SplitSpec(ln.key.topo); digest != "" && !withDegraded {
 				continue
 			}
-			if _, digest := topology.SplitSpec(ln.key.topo); digest != "" {
-				continue
+			if sl, ok := c.exportLocked(ln); ok {
+				lines = append(lines, sl)
 			}
-			sl := snapLine{
-				Machine:   ln.key.machine,
-				Params:    prm,
-				Topology:  ln.key.topo,
-				D:         ln.net.NumDims(),
-				SweepLo:   ln.sweepLo,
-				SweepHi:   ln.sweepHi,
-				SweepStep: ln.sweepStep,
-			}
-			for _, seg := range ln.table.Segments {
-				sl.Segments = append(sl.Segments, snapSegment{
-					Partition: append([]int(nil), seg.Part...),
-					MinBlock:  seg.MinBlock,
-					MaxBlock:  seg.MaxBlock,
-				})
-			}
-			snap.Lines = append(snap.Lines, sl)
 		}
 		sh.mu.Unlock()
 	}
+	return lines
+}
+
+// ExportLines returns every resident line as wire data, most recently
+// used first, degraded-overlay lines included — the peer snapshot
+// fan-out document. Unlike Snapshot, digest-keyed lines are kept: a
+// replica joining a fleet mid-incident should warm the lines the fleet
+// is actually serving.
+func (c *Cache) ExportLines() []LineData {
+	return c.export(true)
+}
+
+// ExportLine returns one resident line as wire data, bumping its LRU
+// recency (a peer fetch is a use). ok is false when the line is not
+// resident or its machine has left the registry.
+func (c *Cache) ExportLine(machine, topo string) (LineData, bool) {
+	key := lineKey{machine: machine, topo: topo}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.lines[key]
+	if !ok {
+		return LineData{}, false
+	}
+	sh.lru.MoveToFront(el)
+	return c.exportLocked(el.Value.(*line))
+}
+
+// ImportLine validates one wire line against this cache's registry and
+// sweep configuration and inserts it as resident. The staleness rules
+// are those of Restore — unknown machine, changed parameters, or a
+// mismatched sweep are errors, not silent acceptance — so a peer
+// running different constants can never poison this cache.
+func (c *Cache) ImportLine(sl LineData) error {
+	prm, ok := c.cfg.Machines[sl.Machine]
+	if !ok {
+		return fmt.Errorf("plancache: import line for unknown machine %q", sl.Machine)
+	}
+	if prm != sl.Params {
+		return fmt.Errorf("plancache: import line for %s/%s computed under different machine parameters",
+			sl.Machine, sl.Topology)
+	}
+	if sl.SweepLo != 0 || sl.SweepHi != c.cfg.SweepHi || sl.SweepStep != c.cfg.SweepStep {
+		return fmt.Errorf("plancache: import line for %s/%s swept [%d,%d] step %d, want [0,%d] step %d",
+			sl.Machine, sl.Topology, sl.SweepLo, sl.SweepHi, sl.SweepStep, c.cfg.SweepHi, c.cfg.SweepStep)
+	}
+	ln, err := restoreLine(sl)
+	if err != nil {
+		return err
+	}
+	sh := c.shardFor(ln.key)
+	sh.mu.Lock()
+	c.insertLocked(sh, ln)
+	sh.mu.Unlock()
+	return nil
+}
+
+// Snapshot writes every resident non-degraded line as JSON, most
+// recently used first. Counters are not serialized: a restored cache
+// starts cold on stats but warm on content.
+func (c *Cache) Snapshot(w io.Writer) error {
+	snap := Snapshot{Version: SnapshotVersion, Lines: c.export(false)}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(snap)
@@ -107,7 +180,7 @@ func (c *Cache) Snapshot(w io.Writer) error {
 // cache's capacity, accepted lines beyond it are LRU-evicted during the
 // restore (Stats().Lines reports what stayed resident).
 func (c *Cache) Restore(r io.Reader) (restored, skipped int, err error) {
-	var snap snapshot
+	var snap Snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return 0, 0, fmt.Errorf("plancache: decoding snapshot: %w", err)
 	}
@@ -142,7 +215,7 @@ func (c *Cache) Restore(r io.Reader) (restored, skipped int, err error) {
 }
 
 // restoreLine validates and rebuilds one line.
-func restoreLine(sl snapLine) (*line, error) {
+func restoreLine(sl LineData) (*line, error) {
 	net, err := ResolveTopology(sl.Topology)
 	if err != nil {
 		return nil, fmt.Errorf("plancache: snapshot line for machine %s: %w", sl.Machine, err)

@@ -1,11 +1,14 @@
 package service
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/plancache"
 	"repro/internal/topology"
 )
@@ -45,6 +48,11 @@ type FaultsResponse struct {
 	// Invalidated counts cache lines retired because their fault digest
 	// was superseded by this update.
 	Invalidated int `json:"invalidated_lines"`
+	// Forwarded/ForwardFailed count the best-effort fan-out of this
+	// update to cluster peers (absent on a standalone daemon and on
+	// forwarded copies, which are never re-forwarded).
+	Forwarded     int `json:"forwarded_peers,omitempty"`
+	ForwardFailed int `json:"forward_failed_peers,omitempty"`
 }
 
 // handleFaults mutates one fabric's fault set. The canonicalized set is
@@ -142,6 +150,19 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) int {
 	}
 	s.cfg.Logger.Printf("faults: %s %s → health %q (operational %v, %d lines retired)",
 		req.Action, name, digest, resp.Operational, invalidated)
+
+	// Fan the accepted update out to live peers so digest-keyed
+	// invalidation stays fleet-consistent. Forwarded copies carry a
+	// loop-guard header and are never re-forwarded; failures are
+	// best-effort (logged + counted), never the client's problem.
+	if s.cfg.Cluster != nil && r.Header.Get(cluster.ForwardedHeader) == "" {
+		body, err := json.Marshal(req)
+		if err == nil {
+			resp.Forwarded, resp.ForwardFailed = s.cfg.Cluster.ForwardFaults(r.Context(), body)
+		} else {
+			s.cfg.Logger.Printf("faults: cannot marshal update for forwarding: %v", err)
+		}
+	}
 	return writeJSON(w, http.StatusOK, resp)
 }
 
@@ -206,12 +227,12 @@ func (s *Server) applyFaults(base topology.Network) (topology.Network, string, e
 // the healthy base fabric's plan is served flagged degraded — a
 // last-known-good answer that ignores the faults — and a bounded-retry
 // background rebuild is scheduled.
-func (s *Server) planFor(machine string, base topology.Network, m int) (p plancache.Plan, health string, degraded bool, err error) {
+func (s *Server) planFor(ctx context.Context, machine string, base topology.Network, m int) (p plancache.Plan, health string, degraded bool, err error) {
 	net, digest, err := s.applyFaults(base)
 	if err != nil {
 		return plancache.Plan{}, "", false, err
 	}
-	p, err = s.cache.GetFor(machine, net, m)
+	p, err = s.cache.GetForCtx(ctx, machine, net, m)
 	if err == nil {
 		return p, digest, false, nil
 	}
@@ -220,7 +241,12 @@ func (s *Server) planFor(machine string, base topology.Network, m int) (p planca
 		// no fallback, the error is the answer.
 		return plancache.Plan{}, "", false, err
 	}
-	lkg, lerr := s.cache.GetFor(machine, base, m)
+	if ctx.Err() != nil {
+		// The client is gone; don't burn a last-known-good lookup or a
+		// rebuild on an answer nobody is waiting for.
+		return plancache.Plan{}, "", false, err
+	}
+	lkg, lerr := s.cache.GetForCtx(ctx, machine, base, m)
 	if lerr != nil {
 		return plancache.Plan{}, "", false, err
 	}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/exchange"
 	"repro/internal/model"
 	"repro/internal/optimize"
@@ -71,6 +72,12 @@ type Config struct {
 	// Logger receives fault-state transitions, rebuild outcomes, and
 	// recovered handler panics (default log.Default()).
 	Logger *log.Logger
+	// Cluster, when non-nil, is the peer layer this replica belongs to:
+	// /metrics and /readyz surface peer up/down/breaker state, and
+	// accepted /v1/faults updates are forwarded to all live peers. Nil
+	// means a standalone daemon — every clustered behaviour is off and
+	// the server is exactly the pre-cluster pland.
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +137,12 @@ type Server struct {
 	faultUpdates, degradedServes atomic.Int64
 	rebuilds, rebuildFailures    atomic.Int64
 	panics                       atomic.Int64
+	shed, earlyAborts            atomic.Int64
+
+	// ready gates /readyz: set by the daemon once snapshot restore,
+	// warmup, and cluster join (probe start + warm fan-out) are done, so
+	// a load balancer never routes to a cold replica.
+	ready atomic.Bool
 }
 
 // New returns a server over the given configuration.
@@ -163,10 +176,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/hull", s.instrument("/v1/hull", http.MethodGet, s.handleHull))
 	mux.HandleFunc("/v1/batch", s.instrument("/v1/batch", http.MethodPost, s.handleBatch))
 	mux.HandleFunc("/v1/faults", s.instrument("/v1/faults", http.MethodPost, s.handleFaults))
+	mux.HandleFunc(cluster.PeerLinePath, s.instrument(cluster.PeerLinePath, http.MethodGet, s.handlePeerLine))
+	mux.HandleFunc(cluster.PeerSnapshotPath, s.instrument(cluster.PeerSnapshotPath, http.MethodGet, s.handlePeerSnapshot))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/readyz", s.instrument("/readyz", http.MethodGet, s.handleReadyz))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", http.MethodGet, s.handleMetrics))
 	return mux
 }
+
+// SetReady flips the /readyz verdict. The daemon calls it with true
+// once restore + warmup + ring join have completed (and with false
+// never — a live server stays ready; liveness is /healthz's job).
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // instrument wraps a handler with method enforcement, panic recovery,
 // and latency accounting.
@@ -301,9 +322,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) int {
 	if errCode != 0 {
 		return errCode
 	}
-	p, health, degraded, err := s.planFor(machine, topo, m)
+	p, health, degraded, err := s.planFor(r.Context(), machine, topo, m)
 	if err != nil {
-		return writeCacheError(w, err)
+		return s.writeCacheError(w, r, err)
 	}
 	resp := planResponse(p)
 	resp.Health = health
@@ -352,9 +373,26 @@ func (s *Server) resolveTopo(topo string, d string) (topology.Network, error) {
 	return net, nil
 }
 
-// writeCacheError maps a plancache error to a status: build failures
-// are server-side (500), everything else is request validation (400).
-func writeCacheError(w http.ResponseWriter, err error) int {
+// statusClientClosedRequest is the (nginx-conventional) status recorded
+// when a client disconnects before its answer is built: the write never
+// reaches anyone, but the counter and access pattern should say "client
+// gave up", not "we failed".
+const statusClientClosedRequest = 499
+
+// writeCacheError maps a plancache error to a status: an overloaded
+// shed is 503 with Retry-After (come back when a build slot frees), a
+// request whose own context ended is 499, build failures are
+// server-side (500), everything else is request validation (400).
+func (s *Server) writeCacheError(w http.ResponseWriter, r *http.Request, err error) int {
+	switch {
+	case errors.Is(err, plancache.ErrOverloaded):
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		return writeError(w, http.StatusServiceUnavailable, err.Error())
+	case r.Context().Err() != nil && errors.Is(err, r.Context().Err()):
+		s.earlyAborts.Add(1)
+		return writeError(w, statusClientClosedRequest, "client closed request: "+err.Error())
+	}
 	var be *plancache.BuildError
 	if errors.As(err, &be) {
 		return writeError(w, http.StatusInternalServerError, err.Error())
@@ -510,9 +548,9 @@ func (s *Server) handleHull(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusInternalServerError, err.Error())
 	}
-	tbl, err := s.cache.HullFor(name, net)
+	tbl, err := s.cache.HullForCtx(r.Context(), name, net)
 	if err != nil {
-		return writeCacheError(w, err)
+		return s.writeCacheError(w, r, err)
 	}
 	resp := HullResponse{Machine: name, Topology: tbl.Topo, D: tbl.D, Health: health}
 	for _, seg := range tbl.Segments {
@@ -567,6 +605,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	if workers > len(req.Queries) {
 		workers = len(req.Queries)
 	}
+	ctx := r.Context()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -578,6 +617,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 				if i >= len(results) {
 					return
 				}
+				// A disconnected client stops the fan-out: remaining
+				// queries are marked cancelled, not computed.
+				if err := ctx.Err(); err != nil {
+					results[i] = BatchItem{Error: "request cancelled: " + err.Error()}
+					continue
+				}
 				qy := req.Queries[i]
 				machine := qy.Machine
 				if machine == "" {
@@ -588,8 +633,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 					results[i] = BatchItem{Error: err.Error()}
 					continue
 				}
-				p, health, degraded, err := s.planFor(machine, topo, qy.M)
+				p, health, degraded, err := s.planFor(ctx, machine, topo, qy.M)
 				if err != nil {
+					if errors.Is(err, plancache.ErrOverloaded) {
+						s.shed.Add(1)
+					}
 					results[i] = BatchItem{Error: err.Error()}
 					continue
 				}
@@ -601,6 +649,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		s.earlyAborts.Add(1)
+		return writeError(w, statusClientClosedRequest, "client closed request: "+err.Error())
+	}
 	return writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 }
 
@@ -642,20 +694,35 @@ type EndpointMetrics struct {
 // branch-and-bound pruned, memo hits/misses across every per-machine
 // optimizer) next to per-endpoint request/latency counters.
 type MetricsResponse struct {
-	Cache     plancache.Stats            `json:"cache"`
-	Optimizer optimize.Stats             `json:"optimizer"`
-	Faults    FaultMetrics               `json:"faults"`
-	Panics    int64                      `json:"panics_total"`
+	Cache     plancache.Stats `json:"cache"`
+	Optimizer optimize.Stats  `json:"optimizer"`
+	Faults    FaultMetrics    `json:"faults"`
+	Panics    int64           `json:"panics_total"`
+	// Shed counts requests refused with 503 because the local build
+	// concurrency bound was exhausted; EarlyAborts counts requests whose
+	// client disconnected before the answer was built (499).
+	Shed        int64 `json:"shed_total"`
+	EarlyAborts int64 `json:"early_aborts_total"`
+	// Cluster carries peer-layer counters and per-peer up/breaker state;
+	// absent on a standalone daemon so the standalone wire format is
+	// unchanged.
+	Cluster   *cluster.Metrics           `json:"cluster,omitempty"`
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 	resp := MetricsResponse{
-		Cache:     s.cache.Stats(),
-		Optimizer: s.cache.OptimizerStats(),
-		Faults:    s.faultMetrics(),
-		Panics:    s.panics.Load(),
-		Endpoints: make(map[string]EndpointMetrics),
+		Cache:       s.cache.Stats(),
+		Optimizer:   s.cache.OptimizerStats(),
+		Faults:      s.faultMetrics(),
+		Panics:      s.panics.Load(),
+		Shed:        s.shed.Load(),
+		EarlyAborts: s.earlyAborts.Load(),
+		Endpoints:   make(map[string]EndpointMetrics),
+	}
+	if s.cfg.Cluster != nil {
+		m := s.cfg.Cluster.Metrics()
+		resp.Cluster = &m
 	}
 	s.mu.Lock()
 	for name, st := range s.stats {
