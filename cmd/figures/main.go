@@ -19,6 +19,10 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/model"
+	"repro/internal/optimize"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // experimentIDs is the valid set for -only.
@@ -30,7 +34,17 @@ func main() {
 	machine := flag.String("machine", "ipsc860",
 		"machine model for the figure sweeps E4-E6 (E1/E2/E7/E8 are pinned to the paper's machines): "+
 			strings.Join(model.MachineNames(), " | "))
+	traceOut := flag.String("trace-out", "", "write one auto-tuned exchange's simulated timeline as Chrome trace_event JSON to this file, then exit")
+	traceD := flag.Int("trace-d", 6, "hypercube dimension of the -trace-out exchange")
+	traceM := flag.Int("trace-m", 40, "block size of the -trace-out exchange")
 	flag.Parse()
+
+	if *traceOut != "" {
+		prm, err := model.MachineByName(*machine)
+		check(err)
+		check(writeExchangeTrace(*traceOut, prm, *traceD, *traceM))
+		return
+	}
 
 	if *only != "" {
 		valid := false
@@ -95,6 +109,40 @@ func main() {
 		check(err)
 		fmt.Println(tbl)
 	}
+}
+
+// writeExchangeTrace auto-tunes one (d, m) exchange, replays it with
+// tracing on, and writes the timeline as Chrome trace_event JSON — the
+// zoomable counterpart of the paper's Figure 3 phase structure.
+func writeExchangeTrace(path string, prm model.Params, d, m int) error {
+	plan, err := optimize.New(prm).Plan(d, m)
+	if err != nil {
+		return err
+	}
+	cube, err := topology.New(d)
+	if err != nil {
+		return err
+	}
+	net := simnet.New(cube, prm)
+	net.SetTrace(true)
+	traced, err := plan.Simulate(net)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, traced); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d timeline events (d=%d m=%d, makespan %.1f µs) to %s\n",
+		len(traced.Timeline), d, m, traced.Makespan, path)
+	return nil
 }
 
 func check(err error) {

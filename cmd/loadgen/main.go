@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 type options struct {
@@ -51,6 +52,7 @@ type options struct {
 	seed        int64
 	failOnError bool
 	timeout     time.Duration
+	sloP99      time.Duration
 
 	printOwners bool
 	ring        string
@@ -70,6 +72,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
 	flag.BoolVar(&o.failOnError, "fail-on-error", false, "exit 1 if any request failed (transport error or 5xx)")
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request client deadline")
+	flag.DurationVar(&o.sloP99, "slo-p99", 0, "exit 1 if the run's p99 latency exceeds this (0 = no gate)")
 	flag.BoolVar(&o.printOwners, "print-owners", false, "print the ring owner of every (machine, dim) line and exit")
 	flag.StringVar(&o.ring, "ring", "", "comma-separated ring membership for -print-owners (defaults to -targets)")
 	flag.Parse()
@@ -126,6 +129,11 @@ func run(o options) error {
 	}
 	if o.failOnError && report.failures > 0 {
 		return fmt.Errorf("%d of %d requests failed", report.failures, report.requests)
+	}
+	if o.sloP99 > 0 {
+		if p99 := report.percentile(0.99); p99 > float64(o.sloP99.Microseconds()) {
+			return fmt.Errorf("p99 latency %.0fµs exceeds the -slo-p99 gate of %v", p99, o.sloP99)
+		}
 	}
 	return nil
 }
@@ -363,6 +371,7 @@ type report struct {
 	elapsed time.Duration
 
 	latencies []float64 // microseconds, successes only
+	hist      obs.Histogram
 	requests  int
 	failures  int // transport errors + non-shed 5xx
 	shed      int
@@ -382,6 +391,7 @@ func (r *report) add(s sample) {
 		r.failures++
 	default:
 		r.latencies = append(r.latencies, s.us)
+		r.hist.Observe(int64(s.us))
 		if s.degraded {
 			r.degraded++
 		}
@@ -435,15 +445,21 @@ type benchEntry struct {
 	Pkg        string             `json:"pkg"`
 	Iterations int                `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+	// LatencyHistogram carries the full log-bucket latency distribution
+	// (cumulative counts), not just the summary percentiles above, so a
+	// regression in the tail shape is visible without rerunning.
+	LatencyHistogram *obs.HistSnapshot `json:"latency_histogram,omitempty"`
 }
 
 func (r *report) writeBenchJSON(path, label string) error {
+	snap := r.hist.Snapshot()
 	doc := benchJSON{Benchmarks: []benchEntry{{
 		Name:       label,
 		Pkg:        "cmd/loadgen",
 		Iterations: r.requests,
 		Metrics: map[string]float64{
 			"p50_us":    r.percentile(0.50),
+			"p90_us":    r.percentile(0.90),
 			"p99_us":    r.percentile(0.99),
 			"mean_us":   r.mean(),
 			"req_per_s": r.rps(),
@@ -454,6 +470,7 @@ func (r *report) writeBenchJSON(path, label string) error {
 			"degraded":  float64(r.degraded),
 			"dropped":   float64(r.dropped),
 		},
+		LatencyHistogram: &snap,
 	}}}
 	payload, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -38,6 +38,7 @@ func main() {
 	onRuntime := flag.Bool("runtime", false, "additionally execute the plan on the goroutine runtime fabric and report wall time")
 	gantt := flag.Bool("gantt", false, "render a per-node timeline of the simulated run")
 	ganttWidth := flag.Int("gantt-width", 100, "timeline width in characters")
+	traceOut := flag.String("trace-out", "", "write the simulated timeline as Chrome trace_event JSON to this file (opens in chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	prm, err := model.MachineByName(*machine)
@@ -94,7 +95,7 @@ func main() {
 		fatal(err)
 	}
 
-	if *gantt {
+	if *gantt || *traceOut != "" {
 		plan, err := sys.Plan(*m, res.Partition)
 		if err != nil {
 			fatal(err)
@@ -109,9 +110,24 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println()
-		fmt.Print(trace.Summary(traced))
-		fmt.Print(trace.Gantt(traced, *ganttWidth))
+		if *gantt {
+			fmt.Println()
+			fmt.Print(trace.Summary(traced))
+			fmt.Print(trace.Gantt(traced, *ganttWidth))
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteChrome(f, traced); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %d timeline events to %s\n", len(traced.Timeline), *traceOut)
+		}
 	}
 }
 

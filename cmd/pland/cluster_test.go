@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -18,7 +18,7 @@ import (
 // fleet's peer URLs are known before any replica boots.
 func startFleetNode(t *testing.T, o options, ln net.Listener) (stop func()) {
 	t.Helper()
-	o.logger = log.New(io.Discard, "", 0)
+	o.logger = slog.New(slog.DiscardHandler)
 	d, err := newDaemon(o)
 	if err != nil {
 		t.Fatal(err)

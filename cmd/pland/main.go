@@ -33,11 +33,13 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -47,6 +49,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/plancache"
 	"repro/internal/service"
@@ -79,7 +82,15 @@ type options struct {
 	breakerThreshold int
 	breakerCooldown  time.Duration
 
-	logger *log.Logger
+	// Observability: -log-format selects text (default) or json slog
+	// output; -debug-addr serves net/http/pprof and /debug/vars on its
+	// own listener so profiling never shares a port with production
+	// traffic; -trace-capacity bounds the /debug/traces ring.
+	logFormat     string
+	debugAddr     string
+	traceCapacity int
+
+	logger *slog.Logger
 }
 
 func main() {
@@ -105,8 +116,16 @@ func main() {
 	flag.DurationVar(&o.probeEvery, "probe-every", 0, "peer health-probe interval (0 = cluster default)")
 	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 0, "consecutive peer failures before the breaker opens (0 = cluster default)")
 	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = cluster default)")
+	flag.StringVar(&o.logFormat, "log-format", "text", "log output format: text | json")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "listen address for pprof and /debug/vars (empty = off)")
+	flag.IntVar(&o.traceCapacity, "trace-capacity", 0, "request traces retained for /debug/traces (0 = default)")
 	flag.Parse()
-	o.logger = log.New(os.Stderr, "pland: ", log.LstdFlags)
+	logger, err := newLogger(o.logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pland:", err)
+		os.Exit(1)
+	}
+	o.logger = logger
 
 	d, err := newDaemon(o)
 	if err != nil {
@@ -126,6 +145,18 @@ func main() {
 	}
 }
 
+// newLogger builds the daemon's slog logger for a -log-format value.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (valid: text, json)", format)
+	}
+}
+
 // daemon owns the cache, the HTTP server, the optional peer layer, and
 // the snapshot lifecycle.
 type daemon struct {
@@ -134,14 +165,14 @@ type daemon struct {
 	svc   *service.Server
 	clu   *cluster.Cluster // nil when standalone
 	srv   *http.Server
-	log   *log.Logger
+	log   *slog.Logger
 }
 
 // newDaemon validates the options, builds the cache (restoring a
 // snapshot if one exists), warms it, and wires the service handler.
 func newDaemon(o options) (*daemon, error) {
 	if o.logger == nil {
-		o.logger = log.New(os.Stderr, "pland: ", log.LstdFlags)
+		o.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	var newOpt func(model.Params) *optimize.Optimizer
 	switch o.backend {
@@ -213,23 +244,23 @@ func newDaemon(o options) (*daemon, error) {
 		restored, skipped, err := cache.RestoreFile(o.snapshotPath)
 		switch {
 		case errors.Is(err, os.ErrNotExist):
-			o.logger.Printf("no snapshot at %s, starting cold", o.snapshotPath)
+			o.logger.Info("no snapshot, starting cold", "path", o.snapshotPath)
 		case err != nil:
 			// A corrupt or truncated snapshot (a crash mid-write of an
 			// earlier daemon, stray edits) must not keep the daemon down:
 			// move it aside for postmortem and start cold. The next
 			// periodic snapshot writes a fresh one.
 			corrupt := o.snapshotPath + ".corrupt"
-			o.logger.Printf("snapshot %s unreadable (%v); moving it to %s and starting cold",
-				o.snapshotPath, err, corrupt)
+			o.logger.Warn("snapshot unreadable, moving aside and starting cold",
+				"path", o.snapshotPath, "error", err, "moved_to", corrupt)
 			if mvErr := os.Rename(o.snapshotPath, corrupt); mvErr != nil {
 				return nil, fmt.Errorf("moving corrupt snapshot aside: %w", mvErr)
 			}
 		default:
 			// Resident can be below restored when the snapshot holds
 			// more lines than the configured capacity.
-			o.logger.Printf("restored %d cache lines from %s (%d stale skipped, %d resident)",
-				restored, o.snapshotPath, skipped, cache.Stats().Lines)
+			o.logger.Info("restored cache snapshot", "path", o.snapshotPath,
+				"restored", restored, "stale_skipped", skipped, "resident", cache.Stats().Lines)
 		}
 	}
 	for _, dim := range dims {
@@ -239,7 +270,7 @@ func newDaemon(o options) (*daemon, error) {
 				return nil, fmt.Errorf("warmup %s/d=%d: %w", name, dim, err)
 			}
 			if built {
-				o.logger.Printf("warmed %s/d=%d", name, dim)
+				o.logger.Info("warmed line", "machine", name, "d", dim)
 			}
 		}
 	}
@@ -254,6 +285,7 @@ func newDaemon(o options) (*daemon, error) {
 		RebuildAttempts: o.rebuildTries,
 		RebuildBackoff:  o.rebuildWait,
 		Logger:          o.logger,
+		Tracer:          obs.NewTracer(o.traceCapacity),
 		Cluster:         clu,
 	}
 	svc, err := service.New(svcCfg)
@@ -284,11 +316,32 @@ func newDaemon(o options) (*daemon, error) {
 // run serves until ctx is cancelled, then shuts down gracefully and
 // writes a final snapshot.
 func (d *daemon) run(ctx context.Context, ln net.Listener) error {
-	d.log.Printf("serving on %s (default machine %s, backend %s)",
-		ln.Addr(), d.opts.machine, d.opts.backend)
+	d.log.Info("serving", "addr", ln.Addr().String(),
+		"default_machine", d.opts.machine, "backend", d.opts.backend)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- d.srv.Serve(ln) }()
+
+	// The debug listener is opt-in and separate from production traffic:
+	// pprof endpoints are expensive and unauthenticated, so they never
+	// share the serving port. Best effort — a daemon that cannot bind
+	// its debug port still serves.
+	var debugSrv *http.Server
+	if d.opts.debugAddr != "" {
+		dln, err := net.Listen("tcp", d.opts.debugAddr)
+		if err != nil {
+			d.log.Warn("debug listener failed, continuing without it",
+				"addr", d.opts.debugAddr, "error", err)
+		} else {
+			debugSrv = &http.Server{Handler: debugMux()}
+			d.log.Info("debug endpoints up", "addr", dln.Addr().String())
+			go func() {
+				if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					d.log.Warn("debug server exited", "error", err)
+				}
+			}()
+		}
+	}
 
 	// Readiness: restore + warmup already ran in newDaemon. A standalone
 	// daemon is ready as soon as it serves; a clustered one first starts
@@ -302,9 +355,11 @@ func (d *daemon) run(ctx context.Context, ln net.Listener) error {
 		go func() {
 			imported, err := d.clu.WarmOwned(ctx, d.cache)
 			if err != nil {
-				d.log.Printf("cluster: warm fan-out incomplete (%d lines imported): %v", imported, err)
+				d.log.Warn("warm fan-out incomplete", "component", "cluster",
+					"imported", imported, "error", err)
 			} else if imported > 0 {
-				d.log.Printf("cluster: warmed %d owned lines from peers", imported)
+				d.log.Info("warmed owned lines from peers", "component", "cluster",
+					"imported", imported)
 			}
 			d.svc.SetReady(true)
 		}()
@@ -324,6 +379,9 @@ func (d *daemon) run(ctx context.Context, ln net.Listener) error {
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
+	}
 	if err := d.srv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
@@ -345,7 +403,7 @@ func (d *daemon) snapshotLoop(ctx context.Context, done chan<- struct{}) {
 			return
 		case <-tick.C:
 			if err := d.snapshot("periodic"); err != nil {
-				d.log.Printf("periodic snapshot failed: %v", err)
+				d.log.Warn("periodic snapshot failed", "error", err)
 			}
 		}
 	}
@@ -359,9 +417,22 @@ func (d *daemon) snapshot(kind string) error {
 		return fmt.Errorf("%s snapshot: %w", kind, err)
 	}
 	s := d.cache.Stats()
-	d.log.Printf("%s snapshot: %d lines (%d segments) → %s",
-		kind, s.Lines, s.Segments, d.opts.snapshotPath)
+	d.log.Info("snapshot written", "kind", kind, "lines", s.Lines,
+		"segments", s.Segments, "path", d.opts.snapshotPath)
 	return nil
+}
+
+// debugMux routes the opt-in debug endpoints: the standard pprof set
+// and expvar's /debug/vars (Go runtime memstats and cmdline).
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 // parseDims parses a comma-separated dimension list.

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -24,7 +24,7 @@ import (
 // final snapshot) and waits for exit.
 func startDaemon(t *testing.T, o options) (baseURL string, stop func()) {
 	t.Helper()
-	o.logger = log.New(io.Discard, "", 0)
+	o.logger = slog.New(slog.DiscardHandler)
 	d, err := newDaemon(o)
 	if err != nil {
 		t.Fatal(err)
@@ -228,7 +228,7 @@ func TestDaemonRejectsBadOptions(t *testing.T) {
 		{machine: "ipsc860", warmupDims: "5,x"},
 		{machine: "ipsc860", warmupDims: "-3"},
 	} {
-		o.logger = log.New(io.Discard, "", 0)
+		o.logger = slog.New(slog.DiscardHandler)
 		if _, err := newDaemon(o); err == nil {
 			t.Errorf("newDaemon(%+v) succeeded, want error", o)
 		}

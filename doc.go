@@ -73,6 +73,18 @@
 // measuring stick. Without -peers the daemon is bit-identical to the
 // standalone build.
 //
+// The fleet watches itself through internal/obs, a zero-dependency
+// observability layer: every request carries a correlation ID
+// (X-Pland-Request-Id, propagated across peer hops) and records a span
+// tree — handler, cache outcome, build, optimizer, compiled-trace
+// replay, peer fetch — into a bounded ring served at /debug/traces
+// (JSON or Chrome trace_event, the same exporter that dumps simnet
+// timelines via mpx/figures -trace-out). Latencies feed fixed
+// log-bucket histograms with derived p50/p90/p99 per endpoint and per
+// stage, exposed on the JSON /metrics and as Prometheus text at
+// /metrics?format=prometheus; pland logs structured records (log/slog)
+// and opts into pprof/expvar on a separate -debug-addr listener.
+//
 // Layout:
 //
 //	internal/...   the library (see README.md for the package map)

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plancache"
 )
 
@@ -73,8 +74,8 @@ type Config struct {
 	// per-call contexts carry the deadlines).
 	HTTPClient *http.Client
 	// Logger receives peer state transitions and forward failures
-	// (default log.Default()).
-	Logger *log.Logger
+	// (default slog.Default()).
+	Logger *slog.Logger
 
 	// now is injected by tests; nil means time.Now.
 	now func() time.Time
@@ -109,7 +110,7 @@ func (c Config) withDefaults() Config {
 		c.HTTPClient = &http.Client{}
 	}
 	if c.Logger == nil {
-		c.Logger = log.Default()
+		c.Logger = slog.Default()
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -227,13 +228,21 @@ func (c *Cluster) FetchLine(ctx context.Context, machine, topo string) (*plancac
 		// consistent configuration; treat it as a decline.
 		return nil, nil
 	}
+	sp := obs.StartSpan(ctx, "peer_fetch")
+	sp.SetAttr("peer", owner)
+	sp.SetAttr("machine", machine)
+	sp.SetAttr("topology", topo)
 	ld, err := c.fetchFrom(ctx, p, machine, topo)
 	if err != nil {
 		c.peerFetchFailures.Add(1)
 		c.fallbackBuilds.Add(1)
+		sp.SetAttr("outcome", "fallback_build")
+		sp.End()
 		return nil, err
 	}
 	c.peerHits.Add(1)
+	sp.SetAttr("outcome", "hit")
+	sp.End()
 	return ld, nil
 }
 
@@ -288,6 +297,11 @@ func (c *Cluster) fetchOnce(ctx context.Context, base, machine, topo string) (*p
 	req, err := http.NewRequestWithContext(actx, http.MethodGet, base+PeerLinePath+"?"+q.Encode(), nil)
 	if err != nil {
 		return nil, err
+	}
+	// Propagate the originating request's ID so the owner's trace for
+	// this line carries the same ID as the fetcher's.
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
@@ -356,9 +370,9 @@ func (c *Cluster) probe(ctx context.Context, p *peer) {
 		if up {
 			// A restarted peer answers liveness again: clean slate.
 			p.breaker.reset()
-			c.cfg.Logger.Printf("cluster: peer %s is up", p.url)
+			c.cfg.Logger.Info("peer is up", "component", "cluster", "peer", p.url)
 		} else {
-			c.cfg.Logger.Printf("cluster: peer %s is down", p.url)
+			c.cfg.Logger.Warn("peer is down", "component", "cluster", "peer", p.url)
 		}
 	}
 }
@@ -384,7 +398,7 @@ func (c *Cluster) WarmOwned(ctx context.Context, cache *plancache.Cache) (import
 				continue
 			}
 			if ierr := cache.ImportLine(ld); ierr != nil {
-				c.cfg.Logger.Printf("cluster: skipping warm line from %s: %v", p.url, ierr)
+				c.cfg.Logger.Warn("skipping warm line", "component", "cluster", "peer", p.url, "error", ierr)
 				continue
 			}
 			imported++
@@ -430,12 +444,12 @@ func (c *Cluster) ForwardFaults(ctx context.Context, body []byte) (forwarded, fa
 		p := c.peers[u]
 		if !p.up.Load() {
 			failed++
-			c.cfg.Logger.Printf("cluster: not forwarding faults to down peer %s", p.url)
+			c.cfg.Logger.Warn("not forwarding faults to down peer", "component", "cluster", "peer", p.url)
 			continue
 		}
 		if err := c.forwardOnce(ctx, p.url, body); err != nil {
 			failed++
-			c.cfg.Logger.Printf("cluster: forwarding faults to %s: %v", p.url, err)
+			c.cfg.Logger.Warn("forwarding faults failed", "component", "cluster", "peer", p.url, "error", err)
 			continue
 		}
 		forwarded++
@@ -454,6 +468,9 @@ func (c *Cluster) forwardOnce(ctx context.Context, base string, body []byte) err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedHeader, "1")
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return err

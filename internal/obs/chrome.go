@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ChromeEvent is one complete ("ph":"X") event of the Chrome
+// trace_event format — the JSON that chrome://tracing, Perfetto, and
+// speedscope all open directly. Timestamps and durations are in µs.
+type ChromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object flavor of the format (the array flavor
+// is also valid, but the object form carries displayTimeUnit).
+type chromeDoc struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes events as one trace_event JSON document.
+func WriteChromeTrace(w io.Writer, events []ChromeEvent) error {
+	if events == nil {
+		events = []ChromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ChromeEvents converts request traces to trace_event form: each trace
+// becomes one thread (tid = its index), spans become complete events
+// offset from the earliest trace start so concurrent requests line up
+// on one clock, and attrs ride along as args.
+func ChromeEvents(traces []TraceData) []ChromeEvent {
+	var events []ChromeEvent
+	if len(traces) == 0 {
+		return events
+	}
+	base := traces[0].Start
+	for _, td := range traces {
+		if td.Start.Before(base) {
+			base = td.Start
+		}
+	}
+	for tid, td := range traces {
+		off := float64(td.Start.Sub(base).Microseconds())
+		for _, sp := range td.Spans {
+			ev := ChromeEvent{
+				Name:  sp.Name,
+				Cat:   "pland",
+				Phase: "X",
+				TS:    off + sp.StartUS,
+				Dur:   sp.DurUS,
+				PID:   1,
+				TID:   tid,
+			}
+			ev.Args = map[string]string{"request_id": td.ID}
+			for _, a := range sp.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+			events = append(events, ev)
+		}
+	}
+	return events
+}

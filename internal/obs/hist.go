@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the fixed bucket count of every latency histogram:
+// upper bounds 1, 2, 4, … 2^26 µs (~67 s) plus one overflow (+Inf)
+// bucket. Fixed log buckets keep Observe allocation-free and make the
+// Prometheus exposition's bucket set stable across restarts.
+const HistBuckets = 28
+
+// histBound returns bucket i's upper bound in µs (-1 for +Inf).
+func histBound(i int) int64 {
+	if i >= HistBuckets-1 {
+		return -1
+	}
+	return 1 << uint(i)
+}
+
+// Histogram is a fixed log-bucket latency histogram over microsecond
+// values. All updates are single atomic adds: safe for concurrent use
+// and allocation-free, so it can sit on the per-request hot path.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	maxUS   atomic.Int64
+}
+
+// Observe records one duration in microseconds. Negative values clamp
+// to zero.
+func (h *Histogram) Observe(us int64) {
+	if us < 0 {
+		us = 0
+	}
+	i := 0
+	if us > 1 {
+		i = bits.Len64(uint64(us - 1)) // smallest i with us <= 2^i
+	}
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		old := h.maxUS.Load()
+		if us <= old || h.maxUS.CompareAndSwap(old, us) {
+			return
+		}
+	}
+}
+
+// HistBucket is one cumulative bucket of a snapshot: Count observations
+// were <= LEUS µs (LEUS -1 means +Inf).
+type HistBucket struct {
+	LEUS  int64 `json:"le_us"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time view of a histogram with derived
+// quantiles. Buckets are cumulative, in ascending bound order, and
+// trimmed past the last occupied finite bucket (the +Inf bucket is
+// always last).
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	SumUS int64   `json:"sum_us"`
+	MaxUS int64   `json:"max_us"`
+	P50US float64 `json:"p50_us"`
+	P90US float64 `json:"p90_us"`
+	P99US float64 `json:"p99_us"`
+	// Buckets is omitted from the JSON /metrics endpoint sections to
+	// keep the legacy document compact; the Prometheus exposition and
+	// /debug consumers read it.
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns a consistent-enough view for serving: counters are
+// read once each, so a snapshot taken under concurrent writes may be
+// off by in-flight observations but never torn per counter.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var raw [HistBuckets]int64
+	for i := range raw {
+		raw[i] = h.buckets[i].Load()
+	}
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		SumUS: h.sumUS.Load(),
+		MaxUS: h.maxUS.Load(),
+	}
+	// Cumulative counts; remember the last occupied finite bucket so the
+	// wire form stays short for fast endpoints.
+	lastUsed := -1
+	cum := int64(0)
+	var cums [HistBuckets]int64
+	for i := range raw {
+		cum += raw[i]
+		cums[i] = cum
+		if raw[i] > 0 && i < HistBuckets-1 {
+			lastUsed = i
+		}
+	}
+	total := cum
+	for i := 0; i <= lastUsed; i++ {
+		s.Buckets = append(s.Buckets, HistBucket{LEUS: histBound(i), Count: cums[i]})
+	}
+	s.Buckets = append(s.Buckets, HistBucket{LEUS: -1, Count: total})
+	s.P50US = quantile(cums[:], total, s.MaxUS, 0.50)
+	s.P90US = quantile(cums[:], total, s.MaxUS, 0.90)
+	s.P99US = quantile(cums[:], total, s.MaxUS, 0.99)
+	return s
+}
+
+// quantile estimates the p-quantile from cumulative bucket counts by
+// linear interpolation inside the answering bucket; the overflow bucket
+// answers with the observed maximum.
+func quantile(cums []int64, total, maxUS int64, p float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(total))) // nearest-rank
+	if rank < 1 {
+		rank = 1
+	}
+	for i, c := range cums {
+		if c < rank {
+			continue
+		}
+		if histBound(i) < 0 {
+			return float64(maxUS)
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(histBound(i - 1))
+		}
+		hi := float64(histBound(i))
+		if maxUS >= 0 && hi > float64(maxUS) {
+			hi = float64(maxUS) // never report past the observed max
+			if hi < lo {
+				return lo
+			}
+		}
+		prev := int64(0)
+		if i > 0 {
+			prev = cums[i-1]
+		}
+		inBucket := c - prev
+		frac := 1.0
+		if inBucket > 0 {
+			frac = float64(rank-prev) / float64(inBucket)
+		}
+		return lo + frac*(hi-lo)
+	}
+	return float64(maxUS)
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders the Prometheus text exposition format (version
+// 0.0.4). It is a thin formatting helper: callers walk their own
+// counters and histograms and emit stable metric names; the writer
+// handles label escaping, HELP/TYPE headers, and the cumulative-bucket
+// convention.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter returns a writer over w. Errors are sticky and
+// surfaced by Err.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header emits the # HELP and # TYPE lines for a metric. typ is
+// "counter", "gauge", or "histogram".
+func (p *PromWriter) Header(name, typ, help string) {
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample line. labels may be nil; pairs are emitted
+// sorted by key so the exposition is deterministic.
+func (p *PromWriter) Sample(name string, labels map[string]string, value float64) {
+	p.printf("%s%s %s\n", name, formatLabels(labels), formatValue(value))
+}
+
+// Counter emits Header + one sample for a single-valued counter.
+func (p *PromWriter) Counter(name, help string, labels map[string]string, value float64) {
+	p.Header(name, "counter", help)
+	p.Sample(name, labels, value)
+}
+
+// Gauge emits Header + one sample for a single-valued gauge.
+func (p *PromWriter) Gauge(name, help string, labels map[string]string, value float64) {
+	p.Header(name, "gauge", help)
+	p.Sample(name, labels, value)
+}
+
+// Histogram emits one histogram series (buckets with cumulative counts
+// and an le label, then _sum and _count) under the given base name and
+// labels. The snapshot's bucket bounds are µs; le values are emitted as
+// plain integers with "+Inf" for the overflow bucket. The caller emits
+// Header(name, "histogram", …) once before any series of that name.
+func (p *PromWriter) Histogram(name string, labels map[string]string, s HistSnapshot) {
+	for _, b := range s.Buckets {
+		bl := cloneLabels(labels)
+		if b.LEUS < 0 {
+			bl["le"] = "+Inf"
+		} else {
+			bl["le"] = strconv.FormatInt(b.LEUS, 10)
+		}
+		p.printf("%s_bucket%s %d\n", name, formatLabels(bl), b.Count)
+	}
+	p.printf("%s_sum%s %d\n", name, formatLabels(labels), s.SumUS)
+	p.printf("%s_count%s %d\n", name, formatLabels(labels), s.Count)
+}
+
+func cloneLabels(labels map[string]string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

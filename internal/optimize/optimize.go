@@ -63,6 +63,7 @@ import (
 
 	"repro/internal/exchange"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/simnet"
 	"repro/internal/topology"
@@ -382,14 +383,16 @@ const MaxMixedRadixDims = 17
 // all radices are equal (order cannot matter) and over all 2^(k−1)
 // ordered compositions otherwise.
 func (o *Optimizer) BestOn(net topology.Network, m int) (Choice, error) {
-	return o.bestOn(net, m, nil)
+	return o.bestOn(context.Background(), net, m, nil)
 }
 
 // bestOn is BestOn with an optional warm-start hint: a grouping expected
 // to be (near-)optimal — the previous sweep point's winner — evaluated
 // first so the incumbent starts tight and the bound cuts early. The hint
-// changes evaluation order only, never the returned Choice.
-func (o *Optimizer) bestOn(net topology.Network, m int, hint partition.Partition) (Choice, error) {
+// changes evaluation order only, never the returned Choice. ctx is used
+// solely for observability (replay spans land on the calling request's
+// trace); it does not cancel the enumeration.
+func (o *Optimizer) bestOn(ctx context.Context, net topology.Network, m int, hint partition.Partition) (Choice, error) {
 	if net.Nodes() > 1<<20 {
 		return Choice{}, fmt.Errorf("optimize: %s exceeds the enumeration limit of 2^20 nodes", net.Name())
 	}
@@ -447,7 +450,7 @@ func (o *Optimizer) bestOn(net topology.Network, m int, hint partition.Partition
 	o.flight[k] = f
 	o.mu.Unlock()
 
-	f.c, f.err = o.evaluateAll(net, m, costing, hint)
+	f.c, f.err = o.evaluateAll(ctx, net, m, costing, hint)
 	o.mu.Lock()
 	if f.err == nil {
 		o.cache[k] = f.c
@@ -519,7 +522,7 @@ func (o *Optimizer) enumFor(topo topology.Network) (*enumSet, error) {
 // go to the candidate with fewer phases, then to enumeration order, as
 // always). The analytic backend and the compiled simulated path run the
 // memoized engine; the goroutine oracle stays a serial whole-plan loop.
-func (o *Optimizer) evaluateAll(topo topology.Network, m int, costing Costing, hint partition.Partition) (Choice, error) {
+func (o *Optimizer) evaluateAll(ctx context.Context, topo topology.Network, m int, costing Costing, hint partition.Partition) (Choice, error) {
 	o.evals.Add(1)
 	if topo.NumDims() == 0 {
 		return Choice{Topo: topo.Name(), D: 0, Block: m, Part: nil, TimeMicro: 0, Backend: o.backend}, nil
@@ -531,7 +534,7 @@ func (o *Optimizer) evaluateAll(topo topology.Network, m int, costing Costing, h
 	if o.backend == Simulated && costing == CostingGoroutine {
 		return o.evaluateGoroutine(topo, m, es.parts)
 	}
-	return o.evaluateMemoized(topo, m, es, hint)
+	return o.evaluateMemoized(ctx, topo, m, es, hint)
 }
 
 // evaluateGoroutine is the sequential whole-plan oracle: every candidate
@@ -583,7 +586,7 @@ func (o *Optimizer) evaluateGoroutine(topo topology.Network, m int, parts []part
 // nor tie — so the reduction over the surviving candidates returns the
 // same Choice as exhaustive enumeration, regardless of worker count or
 // scheduling.
-func (o *Optimizer) evaluateMemoized(topo topology.Network, m int, es *enumSet, hint partition.Partition) (Choice, error) {
+func (o *Optimizer) evaluateMemoized(ctx context.Context, topo topology.Network, m int, es *enumSet, hint partition.Partition) (Choice, error) {
 	parts, fields := es.parts, es.fields
 	simulated := o.backend == Simulated
 	prune := simulated && !o.exhaustive.Load()
@@ -716,7 +719,7 @@ func (o *Optimizer) evaluateMemoized(topo topology.Network, m int, es *enumSet, 
 	}
 	best.Part = best.Part.Clone()
 	if simulated {
-		t, err := o.finalizeSimulated(net, topo, m, best.Part)
+		t, err := o.finalizeSimulated(ctx, net, topo, m, best.Part)
 		if err != nil {
 			return Choice{}, err
 		}
@@ -797,7 +800,7 @@ func (o *Optimizer) candidateCost(net *simnet.Network, topo topology.Network, m 
 // the whole plan, so its memoized value is reused without a replay —
 // that is the expensive {d} candidate, and it is exactly the one the
 // sweep's large-m points keep winning with.
-func (o *Optimizer) finalizeSimulated(net *simnet.Network, topo topology.Network, m int, D partition.Partition) (float64, error) {
+func (o *Optimizer) finalizeSimulated(ctx context.Context, net *simnet.Network, topo topology.Network, m int, D partition.Partition) (float64, error) {
 	plan, err := exchange.NewPlanOn(topo, m, D)
 	if err != nil {
 		return 0, err
@@ -810,6 +813,10 @@ func (o *Optimizer) finalizeSimulated(net *simnet.Network, topo topology.Network
 		lo, w := fields[0][0], fields[0][1]
 		return o.simPhases.get(phaseKey{topo: topo.Name(), lo: lo, w: w, m: m}, &o.memoHits, &o.memoMisses,
 			func() (float64, error) {
+				sp := obs.StartSpan(ctx, "replay")
+				sp.SetAttr("kind", "fragment")
+				sp.SetInt("m", int64(m))
+				defer sp.End()
 				res, err := net.RunSource(plan.CompilePhase(0))
 				if err != nil {
 					return 0, err
@@ -817,6 +824,12 @@ func (o *Optimizer) finalizeSimulated(net *simnet.Network, topo topology.Network
 				return res.Makespan, nil
 			})
 	}
+	sp := obs.StartSpan(ctx, "replay")
+	sp.SetAttr("kind", "plan")
+	sp.SetAttr("partition", D.String())
+	sp.SetInt("m", int64(m))
+	sp.SetInt("phases", int64(plan.NumPhases()))
+	defer sp.End()
 	res, err := plan.Cost(net)
 	if err != nil {
 		return 0, err
@@ -900,7 +913,21 @@ func (o *Optimizer) BuildTableOnCtx(ctx context.Context, net topology.Network, m
 	o.tableFlight[tk] = f
 	o.tableMu.Unlock()
 
+	sp := obs.StartSpan(ctx, "optimizer")
+	before := o.Stats()
 	f.t, f.err = o.buildTableOn(ctx, net, mLo, mHi, step)
+	if sp != nil {
+		// Deltas are process-wide, so a concurrent build on another
+		// topology inflates them; good enough for trace triage.
+		after := o.Stats()
+		sp.SetAttr("topology", net.Name())
+		sp.SetInt("segments", int64(len(f.t.Segments)))
+		sp.SetInt("evaluated", after.Evaluated-before.Evaluated)
+		sp.SetInt("pruned", after.Pruned-before.Pruned)
+		sp.SetInt("memo_hits", after.MemoHits-before.MemoHits)
+		sp.SetInt("memo_misses", after.MemoMisses-before.MemoMisses)
+	}
+	sp.End()
 	o.tableMu.Lock()
 	delete(o.tableFlight, tk)
 	o.tableMu.Unlock()
@@ -915,7 +942,7 @@ func (o *Optimizer) buildTableOn(ctx context.Context, net topology.Network, mLo,
 		if err := ctx.Err(); err != nil {
 			return Table{}, err
 		}
-		c, err := o.bestOn(net, m, hint)
+		c, err := o.bestOn(ctx, net, m, hint)
 		if err != nil {
 			return Table{}, err
 		}

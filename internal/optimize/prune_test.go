@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -280,7 +281,7 @@ func TestHintDoesNotChangeResult(t *testing.T) {
 	}
 	for _, hint := range []partition.Partition{{3}, {1, 1, 1}, {2, 1}} {
 		o := NewSimulated(prm)
-		got, err := o.bestOn(net, 40, hint)
+		got, err := o.bestOn(context.Background(), net, 40, hint)
 		if err != nil {
 			t.Fatal(err)
 		}

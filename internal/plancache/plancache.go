@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/partition"
 	"repro/internal/topology"
@@ -571,6 +572,18 @@ func (c *Cache) lineFor(ctx context.Context, name string, prm model.Params, net 
 	key := lineKey{machine: name, topo: net.Name()}
 	sh := c.shardFor(key)
 
+	outcome := "hit"
+	sp := obs.StartSpan(ctx, "cache")
+	sp.SetAttr("machine", name)
+	sp.SetAttr("topology", key.topo)
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", "true")
+		}
+		sp.SetAttr("outcome", outcome)
+		sp.End()
+	}()
+
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
@@ -586,6 +599,7 @@ func (c *Cache) lineFor(ctx context.Context, name string, prm model.Params, net 
 			f.waiters.Add(1)
 			sh.mu.Unlock()
 			c.misses.Add(1)
+			outcome = "join"
 			ln, err, retry := c.awaitFlight(ctx, f)
 			if retry {
 				// We joined a fill that was abandoned (every earlier
@@ -597,13 +611,17 @@ func (c *Cache) lineFor(ctx context.Context, name string, prm model.Params, net 
 			}
 			return ln, false, err
 		}
-		fctx, cancel := context.WithCancel(context.Background())
+		// Detach drops the initiating request's cancellation (the fill
+		// must outlive any one waiter) but keeps its values, so spans
+		// recorded inside the fill land on that request's trace.
+		fctx, cancel := context.WithCancel(obs.Detach(ctx))
 		f := &flight{done: make(chan struct{}), cancel: cancel}
 		f.waiters.Add(1)
 		sh.flight[key] = f
 		sh.mu.Unlock()
 		c.misses.Add(1)
 		c.inflight.Add(1)
+		outcome = "miss"
 		go c.runFlight(fctx, f, sh, key, name, prm, net)
 		ln, err, retry := c.awaitFlight(ctx, f)
 		if retry {
@@ -611,7 +629,15 @@ func (c *Cache) lineFor(ctx context.Context, name string, prm model.Params, net 
 		}
 		// f.built is only safe to read once the fill has published; a
 		// caller departing early (ctx end) reports built=false.
-		return ln, err == nil && flightDone(f) && f.built, err
+		built := err == nil && flightDone(f) && f.built
+		if err == nil {
+			if built {
+				outcome = "build"
+			} else {
+				outcome = "peer"
+			}
+		}
+		return ln, built, err
 	}
 }
 
@@ -697,7 +723,14 @@ func (c *Cache) fill(ctx context.Context, name string, prm model.Params, net top
 			return nil, false, fmt.Errorf("plancache: building %s/%s: %w", name, net.Name(), ErrOverloaded)
 		}
 	}
+	sp := obs.StartSpan(ctx, "build")
+	sp.SetAttr("machine", name)
+	sp.SetAttr("topology", net.Name())
 	ln, err := c.build(ctx, name, prm, net)
+	if err != nil {
+		sp.SetAttr("error", "true")
+	}
+	sp.End()
 	return ln, err == nil, err
 }
 

@@ -148,8 +148,9 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) int {
 	for _, sl := range canon.SlowLinks {
 		resp.SlowLinks = append(resp.SlowLinks, fmt.Sprintf("%d-%d:%g", sl.A, sl.B, sl.Factor))
 	}
-	s.cfg.Logger.Printf("faults: %s %s → health %q (operational %v, %d lines retired)",
-		req.Action, name, digest, resp.Operational, invalidated)
+	s.cfg.Logger.Info("fault state updated", "component", "faults",
+		"action", req.Action, "topology", name, "health", digest,
+		"operational", resp.Operational, "lines_retired", invalidated)
 
 	// Fan the accepted update out to live peers so digest-keyed
 	// invalidation stays fleet-consistent. Forwarded copies carry a
@@ -160,7 +161,7 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) int {
 		if err == nil {
 			resp.Forwarded, resp.ForwardFailed = s.cfg.Cluster.ForwardFaults(r.Context(), body)
 		} else {
-			s.cfg.Logger.Printf("faults: cannot marshal update for forwarding: %v", err)
+			s.cfg.Logger.Error("cannot marshal fault update for forwarding", "component", "faults", "error", err)
 		}
 	}
 	return writeJSON(w, http.StatusOK, resp)
@@ -299,12 +300,14 @@ func (s *Server) rebuild(key, machine string, base topology.Network) {
 			continue
 		}
 		s.rebuilds.Add(1)
-		s.cfg.Logger.Printf("faults: rebuilt %s/%s after %d attempt(s)", machine, net.Name(), attempt)
+		s.cfg.Logger.Info("rebuilt degraded line", "component", "faults",
+			"machine", machine, "topology", net.Name(), "attempts", attempt)
 		return
 	}
 	s.rebuildFailures.Add(1)
-	s.cfg.Logger.Printf("faults: giving up rebuilding %s/%s after %d attempts: %v",
-		machine, base.Name(), s.cfg.RebuildAttempts, lastErr)
+	s.cfg.Logger.Warn("giving up rebuilding degraded line", "component", "faults",
+		"machine", machine, "topology", base.Name(),
+		"attempts", s.cfg.RebuildAttempts, "error", lastErr)
 }
 
 // FaultMetrics is the fault-handling slice of /metrics.

@@ -2,8 +2,7 @@ package service
 
 import (
 	"fmt"
-	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -26,7 +25,7 @@ func newFaultTestServer(t *testing.T) (*Server, *httptest.Server) {
 		Cache:           plancache.New(plancache.Config{}),
 		RebuildAttempts: 2,
 		RebuildBackoff:  time.Millisecond,
-		Logger:          log.New(io.Discard, "", 0),
+		Logger:          slog.New(slog.DiscardHandler),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -268,7 +267,7 @@ func TestFaultsValidation(t *testing.T) {
 func TestPanicRecoveryMiddleware(t *testing.T) {
 	srv, err := New(Config{
 		Cache:  plancache.New(plancache.Config{}),
-		Logger: log.New(io.Discard, "", 0),
+		Logger: slog.New(slog.DiscardHandler),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,418 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/optimize"
+	"repro/internal/plancache"
+)
+
+// findTrace polls /debug/traces?id= until the trace commits (the root
+// span ends in a defer that can race the client seeing the response).
+func findTrace(t *testing.T, base, id string) obs.TraceData {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var tr TracesResponse
+		getJSON(t, base+"/debug/traces?id="+id, http.StatusOK, &tr)
+		if len(tr.Traces) > 0 {
+			return tr.Traces[0]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never committed", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func spanNames(td obs.TraceData) map[string]int {
+	names := make(map[string]int)
+	for _, sp := range td.Spans {
+		names[sp.Name]++
+	}
+	return names
+}
+
+// TestPlanMissTraceStages is the tracing acceptance path: a cache-miss
+// /v1/plan on a simulated-backend cache commits a trace whose stages
+// cover the whole request — handler root, cache lookup, line build,
+// optimizer enumeration, and compiled-trace replay — and a client-
+// supplied request ID is echoed and addresses the trace.
+func TestPlanMissTraceStages(t *testing.T) {
+	cache := plancache.New(plancache.Config{NewOptimizer: optimize.NewSimulated})
+	srv, err := New(Config{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const id = "obs-test-0001"
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/plan?machine=ipsc860&d=4&m=40", nil)
+	req.Header.Set(obs.RequestIDHeader, id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/plan: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.RequestIDHeader); got != id {
+		t.Fatalf("request ID echoed as %q, want %q", got, id)
+	}
+
+	td := findTrace(t, ts.URL, id)
+	names := spanNames(td)
+	for _, stage := range []string{"/v1/plan", "cache", "build", "optimizer", "replay"} {
+		if names[stage] == 0 {
+			t.Errorf("trace missing stage %q (got %v)", stage, names)
+		}
+	}
+	if td.DurationUS <= 0 {
+		t.Errorf("trace duration %v, want > 0", td.DurationUS)
+	}
+
+	// A second identical request is a hit: its cache span says so.
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/plan?machine=ipsc860&d=4&m=40", nil)
+	req2.Header.Set(obs.RequestIDHeader, "obs-test-0002")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	hit := findTrace(t, ts.URL, "obs-test-0002")
+	outcome := ""
+	for _, sp := range hit.Spans {
+		if sp.Name != "cache" {
+			continue
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == "outcome" {
+				outcome = a.Value
+			}
+		}
+	}
+	if outcome != "hit" {
+		t.Errorf("resident-line cache span outcome %q, want hit", outcome)
+	}
+
+	// The stage histograms feed /metrics: build/optimizer/replay must
+	// appear with non-zero counts and sane quantiles.
+	var m MetricsResponse
+	getJSON(t, ts.URL+"/metrics", http.StatusOK, &m)
+	for _, stage := range []string{"build", "optimizer", "replay", "cache"} {
+		snap, ok := m.Stages[stage]
+		if !ok || snap.Count == 0 {
+			t.Errorf("stage %q missing from /metrics stages (%v)", stage, m.Stages)
+			continue
+		}
+		if snap.P99US < snap.P50US {
+			t.Errorf("stage %q p99 %v < p50 %v", stage, snap.P99US, snap.P50US)
+		}
+	}
+	ep := m.Endpoints["/v1/plan"]
+	if ep.P99US <= 0 || ep.P50US <= 0 {
+		t.Errorf("/v1/plan endpoint quantiles p50=%v p99=%v, want > 0", ep.P50US, ep.P99US)
+	}
+	if ep.Inflight != 0 {
+		t.Errorf("idle server reports inflight %d", ep.Inflight)
+	}
+}
+
+// TestTracesChromeExport: ?format=chrome renders a well-formed Chrome
+// trace_event document covering the committed traces.
+func TestTracesChromeExport(t *testing.T) {
+	ts := newTestServer(t)
+	getJSON(t, ts.URL+"/v1/plan?d=4&m=40", http.StatusOK, nil)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var tr TracesResponse
+		getJSON(t, ts.URL+"/debug/traces", http.StatusOK, &tr)
+		if tr.Committed >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no trace committed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/traces?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase != "X" || ev.Name == "" || ev.Dur < 0 {
+			t.Fatalf("malformed chrome event %+v", ev)
+		}
+	}
+}
+
+// promSample is one parsed Prometheus text-format sample.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm parses the Prometheus 0.0.4 text format strictly enough to
+// pin the exposition: every non-comment line must be name{labels} value.
+func parseProm(t *testing.T, body string) []promSample {
+	t.Helper()
+	var out []promSample
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("line %d: value %q: %v", ln+1, line[sp+1:], err)
+		}
+		s := promSample{name: line[:sp], labels: map[string]string{}, value: val}
+		if i := strings.IndexByte(s.name, '{'); i >= 0 {
+			raw := s.name
+			if !strings.HasSuffix(raw, "}") {
+				t.Fatalf("line %d: unterminated label set %q", ln+1, raw)
+			}
+			s.name = raw[:i]
+			for _, pair := range strings.Split(raw[i+1:len(raw)-1], ",") {
+				if pair == "" {
+					continue
+				}
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 || !strings.HasPrefix(pair[eq+1:], `"`) || !strings.HasSuffix(pair, `"`) {
+					t.Fatalf("line %d: malformed label %q", ln+1, pair)
+				}
+				s.labels[pair[:eq]] = pair[eq+2 : len(pair)-1]
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestPrometheusExposition pins /metrics?format=prometheus: every line
+// parses, histogram buckets are cumulative and end at +Inf == _count,
+// and the request counters reflect served traffic with non-zero
+// latency mass.
+func TestPrometheusExposition(t *testing.T) {
+	ts := newTestServer(t)
+	getJSON(t, ts.URL+"/v1/plan?d=5&m=40", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/v1/plan?d=5&m=80", http.StatusOK, nil)
+	resp, _ := http.Get(ts.URL + "/v1/plan?machine=cray&d=5&m=40")
+	resp.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, string(raw))
+	if len(samples) == 0 {
+		t.Fatal("empty exposition")
+	}
+
+	find := func(name string, labels map[string]string) (float64, bool) {
+		for _, s := range samples {
+			if s.name != name {
+				continue
+			}
+			ok := true
+			for k, v := range labels {
+				if s.labels[k] != v {
+					ok = false
+				}
+			}
+			if ok {
+				return s.value, true
+			}
+		}
+		return 0, false
+	}
+
+	if v, ok := find("pland_http_requests_total", map[string]string{"endpoint": "/v1/plan"}); !ok || v != 3 {
+		t.Errorf("pland_http_requests_total{endpoint=/v1/plan} = %v (found %v), want 3", v, ok)
+	}
+	if v, ok := find("pland_http_request_errors_total", map[string]string{"endpoint": "/v1/plan"}); !ok || v != 1 {
+		t.Errorf("pland_http_request_errors_total{endpoint=/v1/plan} = %v, want 1", v)
+	}
+	if v, ok := find("pland_cache_builds_total", nil); !ok || v < 1 {
+		t.Errorf("pland_cache_builds_total = %v, want >= 1", v)
+	}
+
+	// Every histogram: le buckets cumulative, +Inf present and equal to
+	// _count, _sum consistent with observations.
+	type histKey struct{ name, labels string }
+	buckets := make(map[histKey][]promSample)
+	for _, s := range samples {
+		if !strings.HasSuffix(s.name, "_bucket") {
+			continue
+		}
+		rest := make([]string, 0, len(s.labels))
+		for k, v := range s.labels {
+			if k != "le" {
+				rest = append(rest, k+"="+v)
+			}
+		}
+		sort.Strings(rest)
+		k := histKey{strings.TrimSuffix(s.name, "_bucket"), strings.Join(rest, ",")}
+		buckets[k] = append(buckets[k], s)
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histograms in the exposition")
+	}
+	for k, bs := range buckets {
+		var infCount float64
+		prev := -1.0
+		prevLE := ""
+		for _, b := range bs {
+			if b.value < prev {
+				t.Errorf("%s{%s}: bucket le=%q count %v below previous le=%q %v — not cumulative",
+					k.name, k.labels, b.labels["le"], b.value, prevLE, prev)
+			}
+			prev, prevLE = b.value, b.labels["le"]
+			if b.labels["le"] == "+Inf" {
+				infCount = b.value
+			}
+		}
+		if bs[len(bs)-1].labels["le"] != "+Inf" {
+			t.Errorf("%s{%s}: last bucket le=%q, want +Inf", k.name, k.labels, bs[len(bs)-1].labels["le"])
+		}
+		count, ok := find(k.name+"_count", nil)
+		if k.labels != "" {
+			lbl := map[string]string{}
+			for _, pair := range strings.Split(k.labels, ",") {
+				eq := strings.IndexByte(pair, '=')
+				lbl[pair[:eq]] = pair[eq+1:]
+			}
+			count, ok = find(k.name+"_count", lbl)
+		}
+		if !ok || count != infCount {
+			t.Errorf("%s{%s}: _count %v != +Inf bucket %v", k.name, k.labels, count, infCount)
+		}
+	}
+
+	// The acceptance gate: request latency histogram carries mass with a
+	// non-zero upper quantile equivalent (sum > 0 over count > 0).
+	cnt, _ := find("pland_http_request_duration_us_count", map[string]string{"endpoint": "/v1/plan"})
+	sum, _ := find("pland_http_request_duration_us_sum", map[string]string{"endpoint": "/v1/plan"})
+	if cnt != 3 || sum <= 0 {
+		t.Errorf("/v1/plan duration histogram count=%v sum=%v, want 3 with positive sum", cnt, sum)
+	}
+}
+
+// TestMetricsJSONLegacyShape: the JSON /metrics consumers from earlier
+// PRs must keep working — every pre-observability key survives, and the
+// new fields are strictly additive.
+func TestMetricsJSONLegacyShape(t *testing.T) {
+	ts := newTestServer(t)
+	getJSON(t, ts.URL+"/v1/plan?d=4&m=40", http.StatusOK, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var top map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&top); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"cache", "optimizer", "faults", "panics_total", "shed_total", "early_aborts_total", "endpoints"} {
+		if _, ok := top[key]; !ok {
+			t.Errorf("/metrics lost legacy key %q", key)
+		}
+	}
+	var eps map[string]map[string]json.Number
+	if err := json.Unmarshal(top["endpoints"], &eps); err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := eps["/v1/plan"]
+	if !ok {
+		t.Fatal("endpoints missing /v1/plan")
+	}
+	for _, key := range []string{"count", "errors", "total_us", "mean_us", "max_us"} {
+		if _, ok := ep[key]; !ok {
+			t.Errorf("endpoint metrics lost legacy key %q", key)
+		}
+	}
+}
+
+// TestPanicStillAccounted: a panicking handler's request lands in the
+// latency counters and histogram, and the in-flight gauge drains — the
+// accounting defer runs no matter how the handler dies.
+func TestPanicStillAccounted(t *testing.T) {
+	srv, err := New(Config{Cache: plancache.New(plancache.Config{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.instrument("/boom", http.MethodGet, func(http.ResponseWriter, *http.Request) int {
+		panic("kaboom")
+	})
+	w := httptest.NewRecorder()
+	h(w, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler wrote %d, want 500", w.Code)
+	}
+
+	st := srv.endpoint("/boom")
+	if st.count.Load() != 1 || st.errors.Load() != 1 {
+		t.Fatalf("panicked request not counted: count=%d errors=%d", st.count.Load(), st.errors.Load())
+	}
+	if st.inflight.Load() != 0 {
+		t.Fatalf("inflight gauge leaked: %d", st.inflight.Load())
+	}
+	if snap := st.hist.Snapshot(); snap.Count != 1 {
+		t.Fatalf("histogram missed the panicked request: count=%d", snap.Count)
+	}
+	if srv.panics.Load() != 1 {
+		t.Fatalf("panics_total = %d, want 1", srv.panics.Load())
+	}
+	if w.Result().Header.Get(obs.RequestIDHeader) == "" {
+		t.Error("panicked response lost its request ID header")
+	}
+}

@@ -21,7 +21,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -34,6 +34,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/exchange"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/partition"
 	"repro/internal/plancache"
@@ -70,8 +71,13 @@ type Config struct {
 	// doubled per attempt (default 250ms).
 	RebuildBackoff time.Duration
 	// Logger receives fault-state transitions, rebuild outcomes, and
-	// recovered handler panics (default log.Default()).
-	Logger *log.Logger
+	// recovered handler panics (default slog.Default()).
+	Logger *slog.Logger
+	// Tracer records per-request span trees served at /debug/traces and
+	// the per-stage latency histograms on /metrics. Nil gets a default
+	// ring of obs.DefaultTraceCapacity traces — tracing is cheap enough
+	// to always be on.
+	Tracer *obs.Tracer
 	// Cluster, when non-nil, is the peer layer this replica belongs to:
 	// /metrics and /readyz surface peer up/down/breaker state, and
 	// accepted /v1/faults updates are forwarded to all live peers. Nil
@@ -106,17 +112,22 @@ func (c Config) withDefaults() Config {
 		c.RebuildBackoff = 250 * time.Millisecond
 	}
 	if c.Logger == nil {
-		c.Logger = log.Default()
+		c.Logger = slog.Default()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(0)
 	}
 	return c
 }
 
 // endpointStats aggregates one route's latency counters.
 type endpointStats struct {
-	count   atomic.Int64
-	errors  atomic.Int64
-	totalUS atomic.Int64
-	maxUS   atomic.Int64
+	count    atomic.Int64
+	errors   atomic.Int64
+	totalUS  atomic.Int64
+	maxUS    atomic.Int64
+	inflight atomic.Int64
+	hist     obs.Histogram
 }
 
 // Server is the HTTP facade over a plan cache.
@@ -181,6 +192,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.instrument("/healthz", http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/readyz", s.instrument("/readyz", http.MethodGet, s.handleReadyz))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", http.MethodGet, s.handleMetrics))
+	mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", http.MethodGet, s.handleTraces))
 	return mux
 }
 
@@ -189,32 +201,56 @@ func (s *Server) Handler() http.Handler {
 // never — a live server stays ready; liveness is /healthz's job).
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
-// instrument wraps a handler with method enforcement, panic recovery,
-// and latency accounting.
+// instrument wraps a handler with request-ID assignment, tracing,
+// method enforcement, panic recovery, and latency accounting.
 func (s *Server) instrument(name, method string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	st := s.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		begin := time.Now()
-		var code int
+		id := r.Header.Get(obs.RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		// Echo the ID so clients — and the fetching replica on a peer
+		// hop — can join their logs to this replica's trace of the same
+		// request.
+		w.Header().Set(obs.RequestIDHeader, id)
+		ctx, root := s.cfg.Tracer.StartRequest(r.Context(), id, name)
+		r = r.WithContext(ctx)
+
+		st.inflight.Add(1)
+		// A panic that unwinds past recovered (a second panic inside its
+		// recovery) still reaches this defer, so the request is counted,
+		// its duration recorded, and the in-flight gauge released no
+		// matter how the handler dies.
+		code := http.StatusInternalServerError
+		defer func() {
+			us := time.Since(begin).Microseconds()
+			st.inflight.Add(-1)
+			st.count.Add(1)
+			st.totalUS.Add(us)
+			st.hist.Observe(us)
+			if code >= 400 {
+				st.errors.Add(1)
+			}
+			for {
+				old := st.maxUS.Load()
+				if us <= old || st.maxUS.CompareAndSwap(old, us) {
+					break
+				}
+			}
+			if root != nil {
+				root.SetInt("status", int64(code))
+				root.End()
+			}
+		}()
 		if r.Method != method {
 			w.Header().Set("Allow", method)
 			code = http.StatusMethodNotAllowed
 			writeError(w, code, fmt.Sprintf("method %s not allowed, use %s", r.Method, method))
-		} else {
-			code = s.recovered(h, w, r)
+			return
 		}
-		us := time.Since(begin).Microseconds()
-		st.count.Add(1)
-		st.totalUS.Add(us)
-		if code >= 400 {
-			st.errors.Add(1)
-		}
-		for {
-			old := st.maxUS.Load()
-			if us <= old || st.maxUS.CompareAndSwap(old, us) {
-				break
-			}
-		}
+		code = s.recovered(h, w, r)
 	}
 }
 
@@ -227,7 +263,10 @@ func (s *Server) recovered(h func(http.ResponseWriter, *http.Request) int, w htt
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.panics.Add(1)
-			s.cfg.Logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			s.cfg.Logger.Error("panic serving request",
+				"method", r.Method, "path", r.URL.Path,
+				"request_id", obs.RequestID(r.Context()),
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			code = writeError(w, http.StatusInternalServerError, "internal error")
 		}
 	}()
@@ -680,13 +719,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
 	})
 }
 
-// EndpointMetrics is one route's latency accounting.
+// EndpointMetrics is one route's latency accounting. The quantiles are
+// derived from a fixed log-bucket histogram, so they are estimates
+// bounded by their bucket (and exact at the observed max).
 type EndpointMetrics struct {
-	Count   int64   `json:"count"`
-	Errors  int64   `json:"errors"`
-	TotalUS int64   `json:"total_us"`
-	MeanUS  float64 `json:"mean_us"`
-	MaxUS   int64   `json:"max_us"`
+	Count    int64   `json:"count"`
+	Errors   int64   `json:"errors"`
+	TotalUS  int64   `json:"total_us"`
+	MeanUS   float64 `json:"mean_us"`
+	MaxUS    int64   `json:"max_us"`
+	P50US    float64 `json:"p50_us"`
+	P90US    float64 `json:"p90_us"`
+	P99US    float64 `json:"p99_us"`
+	Inflight int64   `json:"inflight"`
 }
 
 // MetricsResponse is the /metrics wire format: the cache counters and
@@ -708,9 +753,16 @@ type MetricsResponse struct {
 	// unchanged.
 	Cluster   *cluster.Metrics           `json:"cluster,omitempty"`
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+	// Stages carries per-stage latency histograms (build, optimizer,
+	// replay, peer_fetch, cache, …) aggregated from trace spans; absent
+	// until the first traced request exercises a stage.
+	Stages map[string]obs.HistSnapshot `json:"stages,omitempty"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return s.writePrometheus(w)
+	}
 	resp := MetricsResponse{
 		Cache:       s.cache.Stats(),
 		Optimizer:   s.cache.OptimizerStats(),
@@ -726,19 +778,78 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 	}
 	s.mu.Lock()
 	for name, st := range s.stats {
-		m := EndpointMetrics{
-			Count:   st.count.Load(),
-			Errors:  st.errors.Load(),
-			TotalUS: st.totalUS.Load(),
-			MaxUS:   st.maxUS.Load(),
-		}
-		if m.Count > 0 {
-			m.MeanUS = float64(m.TotalUS) / float64(m.Count)
-		}
-		resp.Endpoints[name] = m
+		resp.Endpoints[name] = st.metrics()
 	}
 	s.mu.Unlock()
+	if stages := s.cfg.Tracer.StageStats(); len(stages) > 0 {
+		resp.Stages = make(map[string]obs.HistSnapshot, len(stages))
+		for name, snap := range stages {
+			snap.Buckets = nil // quantiles only; buckets live on the Prometheus form
+			resp.Stages[name] = snap
+		}
+	}
 	return writeJSON(w, http.StatusOK, resp)
+}
+
+// metrics renders one endpoint's counters for the JSON /metrics form.
+func (st *endpointStats) metrics() EndpointMetrics {
+	snap := st.hist.Snapshot()
+	m := EndpointMetrics{
+		Count:    st.count.Load(),
+		Errors:   st.errors.Load(),
+		TotalUS:  st.totalUS.Load(),
+		MaxUS:    st.maxUS.Load(),
+		P50US:    snap.P50US,
+		P90US:    snap.P90US,
+		P99US:    snap.P99US,
+		Inflight: st.inflight.Load(),
+	}
+	if m.Count > 0 {
+		m.MeanUS = float64(m.TotalUS) / float64(m.Count)
+	}
+	return m
+}
+
+// TracesResponse is the /debug/traces wire format.
+type TracesResponse struct {
+	// Committed counts traces committed since boot; the ring retains only
+	// the most recent ones.
+	Committed int64           `json:"committed_total"`
+	Traces    []obs.TraceData `json:"traces"`
+}
+
+// handleTraces serves recent request traces: ?id= filters by request ID,
+// ?limit= bounds the count, and ?format=chrome renders the Chrome
+// trace_event JSON that chrome://tracing and Perfetto open directly.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) int {
+	q := r.URL.Query()
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		v, err := queryInt(raw, "limit")
+		if err != nil {
+			return writeError(w, http.StatusBadRequest, err.Error())
+		}
+		limit = v
+	}
+	var traces []obs.TraceData
+	if id := q.Get("id"); id != "" {
+		traces = s.cfg.Tracer.Find(id)
+	} else {
+		traces = s.cfg.Tracer.Snapshot(limit)
+	}
+	if q.Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = obs.WriteChromeTrace(w, obs.ChromeEvents(traces))
+		return http.StatusOK
+	}
+	if traces == nil {
+		traces = []obs.TraceData{}
+	}
+	return writeJSON(w, http.StatusOK, TracesResponse{
+		Committed: s.cfg.Tracer.Committed(),
+		Traces:    traces,
+	})
 }
 
 // maxBodyBytes bounds a POST body: the size cap is enforced while

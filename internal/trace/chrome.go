@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"io"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// ChromeEvents converts a traced simulation timeline to Chrome
+// trace_event form: one thread per node, one complete event per op
+// interval, with the peer and byte count riding along as args. The
+// export opens directly in chrome://tracing, Perfetto, or speedscope —
+// a zoomable version of the text Gantt chart.
+func ChromeEvents(res simnet.Result) []obs.ChromeEvent {
+	events := make([]obs.ChromeEvent, 0, len(res.Timeline))
+	for _, iv := range res.Timeline {
+		ev := obs.ChromeEvent{
+			Name:  iv.Kind.String(),
+			Cat:   "simnet",
+			Phase: "X",
+			TS:    iv.Start,
+			Dur:   iv.End - iv.Start,
+			PID:   1,
+			TID:   iv.Node,
+			Args: map[string]string{
+				"node": strconv.Itoa(iv.Node),
+			},
+		}
+		if iv.Peer >= 0 {
+			ev.Args["peer"] = strconv.Itoa(iv.Peer)
+		}
+		if iv.Bytes > 0 {
+			ev.Args["bytes"] = strconv.Itoa(iv.Bytes)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// WriteChrome writes a traced result as one trace_event JSON document.
+func WriteChrome(w io.Writer, res simnet.Result) error {
+	return obs.WriteChromeTrace(w, ChromeEvents(res))
+}
