@@ -723,3 +723,41 @@ func BenchmarkPlanCacheHitTorus(b *testing.B) {
 		}
 	}
 }
+
+// benchReplayFragment replays one d=16 top-field fragment — the largest
+// unit of work the optimizer's memoized costing runs — with the given
+// event-engine shard count. The fragment's 256 sub-blocks are pairwise
+// link-disjoint, so the sharded replay engages fully and must report the
+// same sim_µs bit-for-bit as the serial one (the equivalence suite pins
+// this; the benchmark pair exposes the wall-clock ratio).
+func benchReplayFragment(b *testing.B, shards int) {
+	prm := model.IPSC860()
+	topo := topology.MustParseSpec("hypercube-16")
+	plan, err := exchange.NewPlanOn(topo, 4, partition.Partition{8, 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frag := plan.CompilePhase(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last simnet.Result
+	for i := 0; i < b.N; i++ {
+		net := simnet.New(topo, prm)
+		net.SetReplayShards(shards)
+		res, err := net.RunSource(frag)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Makespan, "sim_µs")
+	b.ReportMetric(float64(last.ReplayShards), "shards")
+}
+
+// BenchmarkReplaySerial and BenchmarkReplaySharded are the sharded-replay
+// acceptance pair: identical work, one engine vs four link-disjoint
+// shards. Compare their ns/op (and confirm identical sim_µs) across a
+// run; on a ≥ 4-core machine the sharded replay should win by ~the
+// shard count.
+func BenchmarkReplaySerial(b *testing.B)  { benchReplayFragment(b, 1) }
+func BenchmarkReplaySharded(b *testing.B) { benchReplayFragment(b, 4) }

@@ -18,6 +18,16 @@
 // producing a hollow artifact.
 //
 //	benchjson -require BenchmarkBestOnPruned,BenchmarkBuildTableMemoized < BENCH_raw.txt
+//
+// -baseline diffs the parsed results against a previously committed
+// benchjson artifact (BENCH_prN.json): every metric present in both runs
+// gets a per-metric delta line on stderr, keyed by benchmark name. With
+// -regress P, a ns/op increase beyond P percent on any benchmark shared
+// with the baseline exits nonzero, turning the smoke job into a coarse
+// perf-regression gate. Iteration counts and machine differences make
+// single-shot numbers noisy, so pick P with slack (≥ 20) for CI.
+//
+//	go test -run '^$' -bench . ./... | benchjson -baseline BENCH_pr10.json -regress 50
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -51,6 +62,10 @@ type Output struct {
 func main() {
 	require := flag.String("require", "",
 		"comma-separated benchmark name prefixes that must appear in the input")
+	baseline := flag.String("baseline", "",
+		"benchjson artifact to diff against (per-metric delta % on stderr)")
+	regress := flag.Float64("regress", 0,
+		"with -baseline: exit nonzero when any shared benchmark's ns/op grows by more than this percent (0 = report only)")
 	flag.Parse()
 	out, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -62,12 +77,94 @@ func main() {
 			strings.Join(missing, ", "))
 		os.Exit(1)
 	}
+	var regressed []string
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		lines := diff(out, base)
+		for _, l := range lines {
+			fmt.Fprintf(os.Stderr, "%s\t%s\t%.6g -> %.6g\t%+.1f%%\n",
+				l.Name, l.Metric, l.Base, l.Cur, l.DeltaPct)
+			if *regress > 0 && l.Metric == "ns/op" && l.DeltaPct > *regress {
+				regressed = append(regressed, fmt.Sprintf("%s (+%.1f%%)", l.Name, l.DeltaPct))
+			}
+		}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regressed beyond %.1f%% vs %s: %s\n",
+			*regress, *baseline, strings.Join(regressed, ", "))
+		os.Exit(1)
+	}
+}
+
+// diffLine is one (benchmark, metric) comparison against the baseline.
+type diffLine struct {
+	Name     string
+	Metric   string
+	Base     float64
+	Cur      float64
+	DeltaPct float64
+}
+
+// loadBaseline reads a previously written benchjson artifact.
+func loadBaseline(path string) (Output, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Output{}, err
+	}
+	var out Output
+	if err := json.Unmarshal(data, &out); err != nil {
+		return Output{}, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// diff compares every metric present in both runs, keyed by full
+// benchmark name; benchmarks or metrics only one side has are skipped
+// (a new benchmark cannot regress, a removed one is caught by -require).
+// Lines come out in the current run's order, metrics sorted for stable
+// output. A zero baseline value is skipped: its delta is undefined.
+func diff(cur, base Output) []diffLine {
+	baseByName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+	var lines []diffLine
+	for _, c := range cur.Benchmarks {
+		b, ok := baseByName[c.Name]
+		if !ok {
+			continue
+		}
+		metrics := make([]string, 0, len(c.Metrics))
+		for m := range c.Metrics {
+			if _, ok := b.Metrics[m]; ok {
+				metrics = append(metrics, m)
+			}
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			if b.Metrics[m] == 0 {
+				continue
+			}
+			lines = append(lines, diffLine{
+				Name:     c.Name,
+				Metric:   m,
+				Base:     b.Metrics[m],
+				Cur:      c.Metrics[m],
+				DeltaPct: (c.Metrics[m] - b.Metrics[m]) / b.Metrics[m] * 100,
+			})
+		}
+	}
+	return lines
 }
 
 // missingRequired returns the -require entries no parsed benchmark name

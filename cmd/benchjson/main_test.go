@@ -39,6 +39,35 @@ BenchmarkReplay-8   10   123 ns/op
 	}
 }
 
+func TestDiffAgainstBaseline(t *testing.T) {
+	base := Output{Benchmarks: []Benchmark{
+		{Name: "BenchmarkReplaySerial-4", Metrics: map[string]float64{"ns/op": 1000, "sim_µs": 50}},
+		{Name: "BenchmarkReplaySharded-4", Metrics: map[string]float64{"ns/op": 400}},
+		{Name: "BenchmarkGone-4", Metrics: map[string]float64{"ns/op": 7}},
+		{Name: "BenchmarkZeroBase-4", Metrics: map[string]float64{"ns/op": 0}},
+	}}
+	cur := Output{Benchmarks: []Benchmark{
+		{Name: "BenchmarkReplaySerial-4", Metrics: map[string]float64{"ns/op": 1500, "sim_µs": 50, "B/op": 9}},
+		{Name: "BenchmarkReplaySharded-4", Metrics: map[string]float64{"ns/op": 300}},
+		{Name: "BenchmarkNew-4", Metrics: map[string]float64{"ns/op": 1}},
+		{Name: "BenchmarkZeroBase-4", Metrics: map[string]float64{"ns/op": 5}},
+	}}
+	lines := diff(cur, base)
+	if len(lines) != 3 {
+		t.Fatalf("diff produced %d lines, want 3: %+v", len(lines), lines)
+	}
+	// Current-run order, metrics sorted within a benchmark.
+	if lines[0].Name != "BenchmarkReplaySerial-4" || lines[0].Metric != "ns/op" || lines[0].DeltaPct != 50 {
+		t.Errorf("line 0: %+v", lines[0])
+	}
+	if lines[1].Metric != "sim_µs" || lines[1].DeltaPct != 0 {
+		t.Errorf("line 1: %+v", lines[1])
+	}
+	if lines[2].Name != "BenchmarkReplaySharded-4" || lines[2].DeltaPct != -25 {
+		t.Errorf("line 2: %+v", lines[2])
+	}
+}
+
 func TestMissingRequired(t *testing.T) {
 	out := Output{Benchmarks: []Benchmark{
 		{Name: "BenchmarkBestOnPruned/d16-8"},

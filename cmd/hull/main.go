@@ -31,6 +31,7 @@ func main() {
 	save := flag.String("save", "", "also write the table as JSON to this path (§6: compute once, reuse)")
 	load := flag.String("load", "", "load a previously saved table instead of recomputing")
 	optWorkers := flag.Int("opt-workers", 0, "optimizer candidate-costing workers, clamped to GOMAXPROCS (0 = backend default)")
+	replayWorkers := flag.Int("replay-workers", 0, "event-engine shards per simulated replay on link-disjoint phases; results stay bit-identical (0 or 1 = serial)")
 	flag.Parse()
 
 	prm, err := model.MachineByName(*machine)
@@ -40,6 +41,7 @@ func main() {
 
 	opt := optimize.New(prm)
 	opt.SetWorkers(*optWorkers)
+	opt.SetReplayShards(*replayWorkers)
 	var tbl optimize.Table
 	if *load != "" {
 		tbl, err = optimize.LoadTableFile(*load, prm)

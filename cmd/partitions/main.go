@@ -28,6 +28,7 @@ func main() {
 	machine := flag.String("machine", "ipsc860",
 		"machine model for -m costing: "+strings.Join(model.MachineNames(), " | "))
 	optWorkers := flag.Int("opt-workers", 0, "optimizer candidate-costing workers, clamped to GOMAXPROCS (0 = backend default)")
+	replayWorkers := flag.Int("replay-workers", 0, "event-engine shards per simulated replay on link-disjoint phases; results stay bit-identical (0 or 1 = serial)")
 	flag.Parse()
 
 	if *d < 0 {
@@ -38,7 +39,7 @@ func main() {
 			fatal(fmt.Errorf("d=%d too large to enumerate", *d))
 		}
 		if *m >= 0 {
-			if err := costed(*d, *m, *machine, *optWorkers); err != nil {
+			if err := costed(*d, *m, *machine, *optWorkers, *replayWorkers); err != nil {
 				fatal(err)
 			}
 			return
@@ -67,7 +68,7 @@ func main() {
 // costed prints every partition of d with its modeled multiphase time
 // for block size m — the §6 enumeration the optimizer runs, made
 // visible. The winner is marked.
-func costed(d, m int, machine string, optWorkers int) error {
+func costed(d, m int, machine string, optWorkers, replayWorkers int) error {
 	prm, err := model.MachineByName(machine)
 	if err != nil {
 		return err
@@ -80,6 +81,7 @@ func costed(d, m int, machine string, optWorkers int) error {
 	// agrees with what mpx and pland serve (tie-breaks included).
 	opt := optimize.New(prm)
 	opt.SetWorkers(optWorkers)
+	opt.SetReplayShards(replayWorkers)
 	best, err := opt.Best(d, m)
 	if err != nil {
 		return err

@@ -69,6 +69,7 @@ type options struct {
 	snapshotEvery time.Duration
 	warmupDims    string
 	optWorkers    int
+	replayWorkers int
 	rebuildTries  int
 	rebuildWait   time.Duration
 
@@ -106,6 +107,7 @@ func main() {
 	flag.DurationVar(&o.snapshotEvery, "snapshot-every", 5*time.Minute, "periodic snapshot interval (requires -snapshot)")
 	flag.StringVar(&o.warmupDims, "warmup-dims", "", "comma-separated dimensions to pre-build for every machine at startup, e.g. \"5,6,7\"")
 	flag.IntVar(&o.optWorkers, "opt-workers", 0, "optimizer candidate-costing workers, clamped to GOMAXPROCS (0 = backend default)")
+	flag.IntVar(&o.replayWorkers, "replay-workers", 0, "event-engine shards per simulated replay on link-disjoint phases; results stay bit-identical (0 or 1 = serial)")
 	flag.IntVar(&o.rebuildTries, "rebuild-attempts", 0, "background degraded-plan rebuild attempts (0 = service default)")
 	flag.DurationVar(&o.rebuildWait, "rebuild-backoff", 0, "initial backoff between rebuild attempts, doubled per try (0 = service default)")
 	flag.StringVar(&o.self, "self", "", "this replica's advertised base URL (required with -peers)")
@@ -234,6 +236,7 @@ func newDaemon(o options) (*daemon, error) {
 		SweepStep:           o.sweepStep,
 		NewOptimizer:        newOpt,
 		OptWorkers:          o.optWorkers,
+		ReplayWorkers:       o.replayWorkers,
 		MaxConcurrentBuilds: o.maxBuilds,
 	}
 	if clu != nil {
@@ -282,6 +285,7 @@ func newDaemon(o options) (*daemon, error) {
 		Cache:           cache,
 		DefaultMachine:  defaultMachine,
 		PlanMaxDim:      planMaxDim,
+		ReplayWorkers:   o.replayWorkers,
 		RebuildAttempts: o.rebuildTries,
 		RebuildBackoff:  o.rebuildWait,
 		Logger:          o.logger,

@@ -19,10 +19,11 @@ import (
 // CompiledPlan implements simnet.Source; fabric.Sim's recorded traces are
 // the oracle the compiler is tested against (op-for-op equality).
 type CompiledPlan struct {
-	m    int
-	n    int
-	topo string
-	rows []compiledOp
+	m     int
+	n     int
+	topo  string
+	rows  []compiledOp
+	spans []simnet.PhaseSpan
 }
 
 // compiledOp is one row of the shared op table. For bit-aligned XOR
@@ -50,7 +51,13 @@ type compiledOp struct {
 func (p *Plan) Compile() *CompiledPlan {
 	c := &CompiledPlan{m: p.m, n: p.Nodes(), topo: p.topo.Name()}
 	for _, ph := range p.phases {
+		lo := len(c.rows)
 		c.rows = appendPhaseRows(c.rows, ph, p.m*c.n)
+		c.spans = append(c.spans, simnet.PhaseSpan{
+			Rows:   len(c.rows) - lo,
+			Stride: ph.Stride,
+			Span:   ph.Span,
+		})
 	}
 	return c
 }
@@ -65,6 +72,11 @@ func (p *Plan) Compile() *CompiledPlan {
 func (p *Plan) CompilePhase(i int) *CompiledPlan {
 	c := &CompiledPlan{m: p.m, n: p.Nodes(), topo: p.topo.Name()}
 	c.rows = appendPhaseRows(c.rows, p.phases[i], p.m*c.n)
+	c.spans = []simnet.PhaseSpan{{
+		Rows:   len(c.rows),
+		Stride: p.phases[i].Stride,
+		Span:   p.phases[i].Span,
+	}}
 	return c
 }
 
@@ -121,6 +133,13 @@ func appendPhaseRows(rows []compiledOp, ph Phase, shuffleBytes int) []compiledOp
 	}
 	return rows
 }
+
+// PhaseSpans returns the plan's per-phase span structure — one entry per
+// phase, covering that phase's barrier, step and shuffle rows — making
+// CompiledPlan a simnet.Sharded source: a replay may split each phase
+// across link-disjoint sub-block shards (simnet.Network.SetReplayShards).
+// Callers must not modify the returned slice.
+func (c *CompiledPlan) PhaseSpans() []simnet.PhaseSpan { return c.spans }
 
 // NumNodes returns the topology's node count.
 func (c *CompiledPlan) NumNodes() int { return c.n }

@@ -1,0 +1,289 @@
+package exchange_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/exchange"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// costOn replays src on a fresh network over topo with the given jitter
+// and shard count and returns the result.
+func costOn(t *testing.T, topo topology.Network, src simnet.Source, jitterFrac float64, shards int) simnet.Result {
+	t.Helper()
+	net := simnet.New(topo, model.IPSC860())
+	net.SetJitter(jitterFrac, 7)
+	net.SetReplayShards(shards)
+	res, err := net.RunSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// requireBitIdentical asserts every Result field except ReplayShards
+// matches bit-for-bit — the sharded replay mode's core contract.
+func requireBitIdentical(t *testing.T, label string, serial, sharded simnet.Result) {
+	t.Helper()
+	serial.ReplayShards, sharded.ReplayShards = 0, 0
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Fatalf("%s: sharded ≠ serial\nserial:  %+v\nsharded: %+v", label, serial, sharded)
+	}
+}
+
+// The equivalence matrix: compiled multiphase plans on all three topology
+// families, with jitter off and on, replayed serially and across several
+// shard counts — Time, Messages, BytesMoved, ContentionStall and
+// MaxEdgeQueue must agree bit-for-bit, and the sharded path must actually
+// have engaged (no silent fallback).
+func TestShardedReplayEquivalence(t *testing.T) {
+	cases := []struct {
+		spec string
+		m    int
+		D    partition.Partition
+	}{
+		{"hypercube-6", 16, partition.Partition{3, 2, 1}},
+		{"hypercube-6", 8, partition.Partition{2, 2, 2}},
+		{"hypercube-4", 40, partition.Partition{1, 1, 1, 1}},
+		{"torus-4x4x4", 24, partition.Partition{2, 1}},
+		{"torus-4x4", 8, partition.Partition{1, 1}},
+		{"mesh-4x4", 8, partition.Partition{1, 1}},
+		{"mesh-8x2", 16, partition.Partition{1, 1}},
+	}
+	for _, tc := range cases {
+		topo := topology.MustParseSpec(tc.spec)
+		plan, err := exchange.NewPlanOn(topo, tc.m, tc.D)
+		if err != nil {
+			t.Fatalf("%s %v: %v", tc.spec, tc.D, err)
+		}
+		src := plan.Compile()
+		for _, jitter := range []float64{0, 0.05} {
+			serial := costOn(t, topo, src, jitter, 1)
+			if serial.ReplayShards != 1 {
+				t.Fatalf("%s: serial ReplayShards = %d", tc.spec, serial.ReplayShards)
+			}
+			for _, w := range []int{2, 3, 4} {
+				label := tc.spec + "/" + tc.D.String()
+				sharded := costOn(t, topo, src, jitter, w)
+				if sharded.ReplayShards < 2 {
+					t.Fatalf("%s w=%d jitter=%v: sharded replay fell back (ReplayShards=%d)",
+						label, w, jitter, sharded.ReplayShards)
+				}
+				requireBitIdentical(t, label, serial, sharded)
+			}
+		}
+	}
+}
+
+// Single-phase fragments — the optimizer's memoized costing unit — must
+// shard equivalently too.
+func TestShardedFragmentEquivalence(t *testing.T) {
+	topo := topology.MustParseSpec("hypercube-6")
+	plan, err := exchange.NewPlanOn(topo, 16, partition.Partition{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := 0; pi < plan.NumPhases(); pi++ {
+		frag := plan.CompilePhase(pi)
+		serial := costOn(t, topo, frag, 0, 1)
+		sharded := costOn(t, topo, frag, 0, 4)
+		if sharded.ReplayShards < 2 {
+			t.Fatalf("phase %d: fragment fell back (ReplayShards=%d)", pi, sharded.ReplayShards)
+		}
+		requireBitIdentical(t, "fragment", serial, sharded)
+	}
+}
+
+// PhaseSpans is the compiled plan's sharding metadata: one span per
+// phase, row counts covering the whole table, and fragment compilation
+// reproducing the corresponding whole-plan entry.
+func TestCompiledPlanPhaseSpans(t *testing.T) {
+	topo := topology.MustParseSpec("hypercube-6")
+	plan, err := exchange.NewPlanOn(topo, 16, partition.Partition{3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := plan.Compile()
+	spans := c.PhaseSpans()
+	if len(spans) != plan.NumPhases() {
+		t.Fatalf("PhaseSpans has %d entries for %d phases", len(spans), plan.NumPhases())
+	}
+	total := 0
+	for i, sp := range spans {
+		if sp.Rows < 1 || sp.Span < 2 || sp.Stride < 1 {
+			t.Fatalf("span %d malformed: %+v", i, sp)
+		}
+		total += sp.Rows
+	}
+	if total != c.NumOps(0) {
+		t.Fatalf("span rows sum to %d, op table has %d rows", total, c.NumOps(0))
+	}
+	for i := 0; i < plan.NumPhases(); i++ {
+		frag := plan.CompilePhase(i)
+		fs := frag.PhaseSpans()
+		if len(fs) != 1 {
+			t.Fatalf("fragment %d has %d spans", i, len(fs))
+		}
+		if fs[0] != spans[i] {
+			t.Fatalf("fragment %d span %+v ≠ whole-plan span %+v", i, fs[0], spans[i])
+		}
+		if fs[0].Rows != frag.NumOps(0) {
+			t.Fatalf("fragment %d span covers %d of %d rows", i, fs[0].Rows, frag.NumOps(0))
+		}
+	}
+}
+
+// A slow-wire-only overlay keeps base routes, so sharding still engages
+// and stays bit-identical: per-circuit slow factors are pure functions of
+// the route.
+func TestShardedDegradedSlowWiresStillShard(t *testing.T) {
+	base := topology.MustParseSpec("hypercube-5")
+	slow, err := topology.Overlay(base, topology.FaultSet{
+		SlowLinks: []topology.SlowLink{{Link: topology.Link{A: 0, B: 1}, Factor: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := exchange.NewPlanOn(slow, 16, partition.Partition{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := plan.Compile()
+	serial := costOn(t, slow, src, 0, 1)
+	sharded := costOn(t, slow, src, 0, 4)
+	if sharded.ReplayShards < 2 {
+		t.Fatalf("slow-only overlay fell back (ReplayShards=%d)", sharded.ReplayShards)
+	}
+	requireBitIdentical(t, "slow overlay", serial, sharded)
+}
+
+// phaseIndexWithStride locates the compiled phase whose sub-block field
+// has the given stride — plans order their phases by the partition's
+// dimension grouping, so tests select phases structurally, not by index.
+func phaseIndexWithStride(t *testing.T, plan *exchange.Plan, stride int) int {
+	t.Helper()
+	spans := plan.Compile().PhaseSpans()
+	for i, sp := range spans {
+		if sp.Stride == stride {
+			return i
+		}
+	}
+	t.Fatalf("no phase with stride %d among %+v", stride, spans)
+	return -1
+}
+
+// A dead wire makes fault-aware routing detour through links that belong
+// to other sub-blocks: the partitioner must detect the cross-span
+// coverage and take the serial fallback path — and the fallback must
+// still produce the serial result exactly.
+func TestShardedDegradedDetourFallsBackToSerial(t *testing.T) {
+	base := topology.MustParseSpec("hypercube-3")
+	// Kill a dimension-2 wire. The stride-4 phase pairs 0↔4 directly
+	// across it, so its detour has to borrow wires owned by the other
+	// pair groups ({1,5}, {2,6}, {3,7}) — cross-shard coverage.
+	dead, err := topology.Overlay(base, topology.FaultSet{
+		DeadLinks: []topology.Link{{A: 0, B: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := exchange.NewPlanOn(dead, 8, partition.Partition{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag := plan.CompilePhase(phaseIndexWithStride(t, plan, 4))
+	serial := costOn(t, dead, frag, 0, 1)
+	sharded := costOn(t, dead, frag, 0, 4)
+	if sharded.ReplayShards != 1 {
+		t.Fatalf("detour-crossed fragment did not fall back: ReplayShards=%d", sharded.ReplayShards)
+	}
+	requireBitIdentical(t, "detour fallback", serial, sharded)
+
+	// The whole plan still replays equivalently whatever mix of sharded
+	// and fallback phases it ends up with.
+	whole := plan.Compile()
+	requireBitIdentical(t, "degraded whole plan",
+		costOn(t, dead, whole, 0, 1), costOn(t, dead, whole, 0, 4))
+}
+
+// A timed FaultPlan whose faulted wires are touched by a single shard
+// keeps sharding (that shard resolves the faults exactly as serial
+// replay would); wires spread across two shards force the phase serial.
+func TestShardedFaultPlanConfinement(t *testing.T) {
+	topo := topology.MustParseSpec("hypercube-3")
+	plan, err := exchange.NewPlanOn(topo, 8, partition.Partition{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := plan.Compile()
+
+	runWith := func(fp simnet.FaultPlan, shards int) (simnet.Result, error) {
+		net := simnet.New(topo, model.IPSC860())
+		net.SetReplayShards(shards)
+		if err := net.SetFaultPlan(fp); err != nil {
+			t.Fatal(err)
+		}
+		return net.RunSource(src)
+	}
+
+	// Confined: one slowed wire whose slots only the stride-1 phase's
+	// {4..7} sub-block ever touches.
+	confined := simnet.FaultPlan{Links: []simnet.LinkFault{{A: 4, B: 5, At: 0, Factor: 3}}}
+	serial, err := runWith(confined, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := runWith(confined, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.ReplayShards < 2 {
+		t.Fatalf("confined fault plan fell back (ReplayShards=%d)", sharded.ReplayShards)
+	}
+	requireBitIdentical(t, "confined fault", serial, sharded)
+
+	// Unconfined: wires 0–1 and 4–5 land in the stride-1 phase's two
+	// different sub-blocks ({0..3} and {4..7}), so two shards touch
+	// faulted slots and that phase must run serial.
+	spread := simnet.FaultPlan{Links: []simnet.LinkFault{
+		{A: 0, B: 1, At: 0, Factor: 3},
+		{A: 4, B: 5, At: 0, Factor: 5},
+	}}
+	serial2, err := runWith(spread, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag := plan.CompilePhase(phaseIndexWithStride(t, plan, 1))
+	net := simnet.New(topo, model.IPSC860())
+	net.SetReplayShards(4)
+	if err := net.SetFaultPlan(spread); err != nil {
+		t.Fatal(err)
+	}
+	fres, err := net.RunSource(frag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.ReplayShards != 1 {
+		t.Fatalf("spread fault plan kept sharding (ReplayShards=%d)", fres.ReplayShards)
+	}
+	sharded2, err := runWith(spread, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "spread fault", serial2, sharded2)
+
+	// A confined down wire fails the sharded run with the serial error.
+	down := simnet.FaultPlan{Links: []simnet.LinkFault{{A: 4, B: 5, At: 0, Factor: 0}}}
+	_, serialErr := runWith(down, 1)
+	_, shardedErr := runWith(down, 4)
+	if serialErr == nil || shardedErr == nil {
+		t.Fatalf("down wire did not fail: serial=%v sharded=%v", serialErr, shardedErr)
+	}
+	if serialErr.Error() != shardedErr.Error() {
+		t.Fatalf("down-wire errors differ:\nserial:  %v\nsharded: %v", serialErr, shardedErr)
+	}
+}

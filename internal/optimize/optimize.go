@@ -122,9 +122,13 @@ func (c Costing) String() string {
 // MaxSimulatedDim is the dimension limit of the Simulated backend on the
 // compiled costing path. The goroutine path stays capped at
 // MaxGoroutineDim — 2^d goroutines with per-node payload buffers do not
-// scale past it — which is exactly why the compiled path exists.
+// scale past it — which is exactly why the compiled path exists. The
+// compiled cap rose from 16 to 18 when sharded replay landed
+// (simnet.Network.SetReplayShards): link-disjoint sub-block shards split
+// a 2^18-node phase across cores with bit-identical results, keeping
+// the largest fragments tractable.
 const (
-	MaxSimulatedDim = 16
+	MaxSimulatedDim = 18
 	MaxGoroutineDim = 10
 )
 
@@ -169,6 +173,13 @@ type Stats struct {
 	Pruned      int64 `json:"pruned"`
 	MemoHits    int64 `json:"memo_hits"`
 	MemoMisses  int64 `json:"memo_misses"`
+	// ReplaysSharded and ReplaysSerial split the simulated backend's
+	// event-engine replays (memoized fragments and whole-plan winner
+	// re-derivations) by the mode that actually ran: sharded when the
+	// link-disjoint partitioner engaged (Result.ReplayShards > 1),
+	// serial otherwise — including every sharded attempt that fell back.
+	ReplaysSharded int64 `json:"replays_sharded"`
+	ReplaysSerial  int64 `json:"replays_serial"`
 }
 
 // Add accumulates another snapshot into s (serving tiers aggregate stats
@@ -179,6 +190,8 @@ func (s *Stats) Add(t Stats) {
 	s.Pruned += t.Pruned
 	s.MemoHits += t.MemoHits
 	s.MemoMisses += t.MemoMisses
+	s.ReplaysSharded += t.ReplaysSharded
+	s.ReplaysSerial += t.ReplaysSerial
 }
 
 // Optimizer enumerates dimension groupings for one machine parameter set
@@ -190,13 +203,16 @@ type Optimizer struct {
 	costing atomic.Int32 // Costing; atomic so SetCosting is race-free
 	evals   atomic.Int64 // evaluateAll invocations, for stampede tests
 
-	workers    atomic.Int32 // SetWorkers; ≤ 0 selects the default
-	exhaustive atomic.Bool  // SetExhaustive; disables pruning/reordering
+	workers      atomic.Int32 // SetWorkers; ≤ 0 selects the default
+	replayShards atomic.Int32 // SetReplayShards; ≤ 1 keeps replays serial
+	exhaustive   atomic.Bool  // SetExhaustive; disables pruning/reordering
 
-	evaluated  atomic.Int64
-	pruned     atomic.Int64
-	memoHits   atomic.Int64
-	memoMisses atomic.Int64
+	evaluated      atomic.Int64
+	pruned         atomic.Int64
+	memoHits       atomic.Int64
+	memoMisses     atomic.Int64
+	replaysSharded atomic.Int64
+	replaysSerial  atomic.Int64
 
 	enums sync.Map // topology name -> *enumSet
 
@@ -327,6 +343,31 @@ func (o *Optimizer) SetWorkers(n int) {
 	o.workers.Store(int32(n))
 }
 
+// SetReplayShards sets the event-engine shard count the simulated
+// backend's replays request (simnet.Network.SetReplayShards): phases
+// whose sub-blocks are provably link-disjoint run on up to n private
+// engines and merge at each barrier; everything else falls back to
+// serial dynamics. Sharded replays are bit-identical to serial ones, so
+// the setting never changes which Choice is returned or its TimeMicro —
+// only how fast the largest fragments cost. n ≤ 1 keeps replays serial
+// (the default). Safe to call concurrently with Best; an in-flight
+// evaluation keeps the count it started with.
+func (o *Optimizer) SetReplayShards(n int) {
+	if n < 0 {
+		n = 0
+	}
+	o.replayShards.Store(int32(n))
+}
+
+// countReplay feeds the replay-mode stats split from one replay result.
+func (o *Optimizer) countReplay(res simnet.Result) {
+	if res.ReplayShards > 1 {
+		o.replaysSharded.Add(1)
+	} else {
+		o.replaysSerial.Add(1)
+	}
+}
+
 // SetExhaustive toggles the branch-and-bound cut and the best-first
 // candidate ordering off (true) or back on (false). With pruning off,
 // every candidate is costed in enumeration order — the oracle mode the
@@ -348,6 +389,9 @@ func (o *Optimizer) Stats() Stats {
 		Pruned:      o.pruned.Load(),
 		MemoHits:    o.memoHits.Load(),
 		MemoMisses:  o.memoMisses.Load(),
+
+		ReplaysSharded: o.replaysSharded.Load(),
+		ReplaysSerial:  o.replaysSerial.Load(),
 	}
 }
 
@@ -651,6 +695,7 @@ func (o *Optimizer) evaluateMemoized(ctx context.Context, topo topology.Network,
 	var net *simnet.Network
 	if simulated {
 		net = simnet.New(topo, o.params)
+		net.SetReplayShards(int(o.replayShards.Load()))
 	}
 
 	var incMu sync.Mutex
@@ -783,6 +828,7 @@ func (o *Optimizer) candidateCost(net *simnet.Network, topo topology.Network, m 
 				if err != nil {
 					return 0, err
 				}
+				o.countReplay(res)
 				return res.Makespan, nil
 			})
 		if err != nil {
@@ -821,6 +867,8 @@ func (o *Optimizer) finalizeSimulated(ctx context.Context, net *simnet.Network, 
 				if err != nil {
 					return 0, err
 				}
+				o.countReplay(res)
+				sp.SetInt("replay_shards", int64(res.ReplayShards))
 				return res.Makespan, nil
 			})
 	}
@@ -834,6 +882,8 @@ func (o *Optimizer) finalizeSimulated(ctx context.Context, net *simnet.Network, 
 	if err != nil {
 		return 0, err
 	}
+	o.countReplay(res)
+	sp.SetInt("replay_shards", int64(res.ReplayShards))
 	return res.Makespan, nil
 }
 

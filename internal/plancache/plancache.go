@@ -74,6 +74,12 @@ type Config struct {
 	// costing worker-pool size, clamped to GOMAXPROCS. Zero keeps the
 	// optimizer's own default.
 	OptWorkers int
+	// ReplayWorkers is passed to each optimizer's SetReplayShards: the
+	// event-engine shard count a simulated replay may split each
+	// link-disjoint phase across. Sharded replays are bit-identical to
+	// serial ones, so this only affects build latency, never answers.
+	// Zero or one keeps replays serial.
+	ReplayWorkers int
 	// Fetch, when non-nil, is consulted inside the per-key singleflight
 	// before a missing line is built locally — the cluster peer-fetch
 	// hook. It may return (nil, nil) to decline (this replica owns the
@@ -357,6 +363,9 @@ func (c *Cache) optimizer(name string, p model.Params) *optimize.Optimizer {
 	o := c.cfg.NewOptimizer(p)
 	if c.cfg.OptWorkers > 0 {
 		o.SetWorkers(c.cfg.OptWorkers)
+	}
+	if c.cfg.ReplayWorkers > 1 {
+		o.SetReplayShards(c.cfg.ReplayWorkers)
 	}
 	c.opts[name] = o
 	return o

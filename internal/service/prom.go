@@ -34,6 +34,8 @@ func (s *Server) writePrometheus(w http.ResponseWriter) int {
 	p.Counter("pland_optimizer_pruned_total", "Candidate partitions cut by the bound.", nil, float64(os.Pruned))
 	p.Counter("pland_optimizer_memo_hits_total", "Phase-cost memo hits.", nil, float64(os.MemoHits))
 	p.Counter("pland_optimizer_memo_misses_total", "Phase-cost memo misses.", nil, float64(os.MemoMisses))
+	p.Counter("pland_optimizer_replays_sharded_total", "Simulated replays that ran on link-disjoint engine shards.", nil, float64(os.ReplaysSharded))
+	p.Counter("pland_optimizer_replays_serial_total", "Simulated replays that ran serial (including sharded fallbacks).", nil, float64(os.ReplaysSerial))
 
 	fm := s.faultMetrics()
 	p.Gauge("pland_fault_sets_active", "Fabrics currently carrying fault state.", nil, float64(fm.ActiveFaultSets))

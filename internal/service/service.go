@@ -58,6 +58,11 @@ type Config struct {
 	// 12). The compiled-trace replay is fast, but its event count grows
 	// like 4^d; a serving tier must refuse work that large per request.
 	CostMaxDim int
+	// ReplayWorkers is the event-engine shard count a /v1/cost replay may
+	// split each link-disjoint phase across (simnet sharded replay).
+	// Sharded results are bit-identical to serial ones, so this only
+	// affects latency. Zero or one keeps replays serial.
+	ReplayWorkers int
 	// PlanMaxDim bounds the dimension /v1/plan, /v1/hull and /v1/batch
 	// accept (default 20, the optimizer's own limit). A daemon whose
 	// cache costs hull sweeps by simulation must set this near
@@ -536,7 +541,9 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
-	res, err := plan.Cost(simnet.New(net, prm))
+	costNet := simnet.New(net, prm)
+	costNet.SetReplayShards(s.cfg.ReplayWorkers)
+	res, err := plan.Cost(costNet)
 	if err != nil {
 		return writeError(w, http.StatusInternalServerError, err.Error())
 	}

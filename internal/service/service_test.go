@@ -236,9 +236,10 @@ func TestPlanMaxDimBound(t *testing.T) {
 }
 
 func TestBuildFailureIs500(t *testing.T) {
-	// A simulated-backend cache accepts d ≤ 16; d=17 passes the
-	// request-validation bound but fails inside the line build, which
-	// must surface as a server error, not a bad request.
+	// A simulated-backend cache accepts d ≤ optimize.MaxSimulatedDim;
+	// one past that passes the request-validation bound (PlanMaxDim)
+	// but fails inside the line build, which must surface as a server
+	// error, not a bad request.
 	cache := plancache.New(plancache.Config{NewOptimizer: optimize.NewSimulated})
 	srv, err := New(Config{Cache: cache})
 	if err != nil {
@@ -246,7 +247,7 @@ func TestBuildFailureIs500(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/v1/plan?d=17&m=40")
+	resp, err := http.Get(fmt.Sprintf("%s/v1/plan?d=%d&m=40", ts.URL, optimize.MaxSimulatedDim+1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,6 @@ package simnet
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"repro/internal/event"
@@ -23,6 +22,7 @@ type Network struct {
 	jitterFrac float64
 	jitterSeed int64
 	faults     *compiledFaults // timed fault schedule (SetFaultPlan), nil when none
+	shards     int             // SetReplayShards; ≤ 1 replays serially
 }
 
 // SetJitter enables deterministic pseudo-random perturbation of every
@@ -32,11 +32,15 @@ type Network struct {
 // imperfect agreement with the model can be quantified. frac = 0 restores
 // exact model behaviour.
 //
-// The noise source is never the global math/rand state: each Run
-// constructs its own rand.Rand from this Network's seed, so repeated Runs
-// of the same programs give bit-identical results (go test -count=2),
-// concurrent Runs on different Networks do not perturb each other, and
-// two Networks with the same seed agree exactly.
+// The noise source is never the global math/rand state: every node owns a
+// private splitmix64 stream seeded from (this Network's seed, node id), so
+// repeated Runs of the same programs give bit-identical results
+// (go test -count=2), concurrent Runs on different Networks do not perturb
+// each other, and two Networks with the same seed agree exactly. Per-node
+// streams — rather than one per-Run stream consumed in global event
+// order — are what let the sharded replay mode (SetReplayShards) stay
+// bit-identical to serial replay: a node draws the same noise values
+// regardless of how unrelated nodes' events interleave around it.
 func (n *Network) SetJitter(frac float64, seed int64) {
 	if frac < 0 {
 		frac = 0
@@ -119,6 +123,12 @@ type Result struct {
 	// Timeline holds per-op occupancy intervals when tracing is enabled
 	// (Network.SetTrace), in completion order.
 	Timeline []Interval
+	// ReplayShards is the number of event-engine shards the run actually
+	// used: 1 for a serial replay (including every sharded attempt that
+	// fell back — cross-span detour routes, unconfined fault plans), the
+	// maximum per-phase shard count otherwise. Sharded and serial replays
+	// of the same source are bit-identical in every other field.
+	ReplayShards int
 }
 
 // Source is the program set of one run addressed by (node, index). It is
@@ -194,7 +204,23 @@ type runState struct {
 
 	res    Result
 	failed error
-	rng    *rand.Rand
+
+	// rngs holds one splitmix64 jitter stream per node (nil when jitter
+	// is off). Per-node streams keep noise draws independent of the
+	// global event interleaving, which the sharded replay mode requires
+	// for bit-identity with serial replay.
+	rngs []uint64
+	// stall accumulates ContentionStall per owning node; the run sums it
+	// in node-index order at the end. Event-order accumulation into one
+	// float64 would make the total depend on how unrelated nodes'
+	// reservations interleave — per-node accumulation makes the sharded
+	// and serial totals bit-identical.
+	stall []float64
+
+	// windowed marks a shard interpreting one phase's row window under
+	// runSharded: barriers are handled by the orchestrator between
+	// windows, so encountering one mid-window is a verification bug.
+	windowed bool
 
 	// Long-lived bound handlers so event scheduling never allocates.
 	stepH    event.ArgHandler
@@ -316,6 +342,13 @@ func (n *Network) RunSource(src Source) (Result, error) {
 }
 
 func (n *Network) runSource(src Source) (Result, error) {
+	if n.shards > 1 && !n.trace {
+		if sh, ok := src.(Sharded); ok {
+			if res, ran, err := n.runSharded(sh, n.shards); ran {
+				return res, err
+			}
+		}
+	}
 	nodes := n.topo.Nodes()
 	d := 0
 	if n.hyper != nil {
@@ -342,12 +375,14 @@ func (n *Network) runSource(src Source) (Result, error) {
 		exReady: make([]float64, nodes),
 		edges:   make([]edgeState, nodes*n.topo.Degree()),
 		outIdx:  make([][]chanRef, nodes),
-		res:     Result{NodeFinish: make([]float64, nodes)},
-
-		// A fresh per-Run source seeded from the Network keeps jitter
+		stall:   make([]float64, nodes),
+		res:     Result{NodeFinish: make([]float64, nodes), ReplayShards: 1},
+	}
+	if n.jitterFrac != 0 {
+		// Fresh per-Run streams seeded from the Network keep jitter
 		// reproducible across repeated and concurrent Runs (see
 		// SetJitter); never touch the global math/rand state here.
-		rng: rand.New(rand.NewSource(n.jitterSeed)),
+		st.rngs = seedJitterStreams(n.jitterSeed, nodes)
 	}
 	if dg, ok := n.topo.(*topology.Degraded); ok && dg.HasSlowLinks() {
 		st.degr = dg
@@ -395,6 +430,12 @@ func (n *Network) runSource(src Source) (Result, error) {
 		if q := int(st.edges[i].maxQueue); q > st.res.MaxEdgeQueue {
 			st.res.MaxEdgeQueue = q
 		}
+	}
+	// Per-node stall sums collapse to the reported total in node-index
+	// order — the same order the sharded merge uses, so both modes add
+	// the same floats in the same sequence.
+	for p := 0; p < nodes; p++ {
+		st.res.ContentionStall += st.stall[p]
 	}
 	return st.res, nil
 }

@@ -21,6 +21,18 @@
 // Node behaviour is specified as a Program — a sequence of Ops — and the
 // network executes one program per node, returning per-node completion
 // times and aggregate statistics.
+//
+// Replay is serial by default: one event engine orders every event in
+// the machine. A Source that also declares per-phase sub-block structure
+// (the Sharded interface; exchange.CompiledPlan does) can opt into
+// parallel replay via SetReplayShards: each phase's node groups are
+// verified to share no directed link — from the actual routes, detours
+// included — and link-disjoint groups then run on private engines that
+// merge at every barrier. Verification failure (a detour crossing spans,
+// a fault plan touched by two shards, a mid-window barrier) falls the
+// phase back to serial dynamics, so sharded results are always
+// bit-identical to serial ones: same makespans, same counters, same
+// jitter draws (per-node RNG streams), same float summation order.
 package simnet
 
 import "fmt"

@@ -9,13 +9,48 @@ import (
 )
 
 // jitter perturbs a transmission duration by the network's configured
-// measurement noise (a no-op at the default frac = 0).
-func (st *runState) jitter(dur float64) float64 {
+// measurement noise (a no-op at the default frac = 0). The draw comes
+// from node p's private stream: p is the node computing the transfer (the
+// sender of a send, the second arriver of an exchange rendezvous), which
+// is deterministic for a given program, so the noise sequence does not
+// depend on how unrelated nodes' events interleave — the property the
+// sharded replay mode needs for bit-identity with serial replay.
+func (st *runState) jitter(p int, dur float64) float64 {
 	f := st.net.jitterFrac
 	if f == 0 {
 		return dur
 	}
-	return dur * (1 + f*(2*st.rng.Float64()-1))
+	return dur * (1 + f*(2*nextJitter(&st.rngs[p])-1))
+}
+
+// seedJitterStreams builds one splitmix64 state per node from the network
+// seed. Each node's stream is decorrelated from its neighbours' by the
+// splitmix64 finalizer over (seed, node id).
+func seedJitterStreams(seed int64, nodes int) []uint64 {
+	s := make([]uint64, nodes)
+	for p := range s {
+		z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(p+1)
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		s[p] = z
+	}
+	return s
+}
+
+// nextJitter advances one node's splitmix64 state and returns a uniform
+// draw in [0, 1) with the full 53 bits of float64 precision.
+func nextJitter(state *uint64) float64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) * 0x1p-53
 }
 
 // dist returns the routed distance between two nodes: the Hamming
@@ -92,6 +127,9 @@ func (st *runState) holdCircuit(src, dst int, finish float64) {
 // the fault-adjusted duration: slow wires on the route stretch the
 // transmission by the worst per-hop factor, and a wire a FaultPlan took
 // down before the acquisition instant fails with ErrLinkDown.
+// The wait is charged to src's per-node stall account (summed in node
+// order at run end) so the reported total is independent of the global
+// event interleaving.
 func (st *runState) reservePath(src, dst int, t, dur float64) (start, adjDur float64, err error) {
 	if src == dst {
 		return t, dur, nil
@@ -105,13 +143,15 @@ func (st *runState) reservePath(src, dst int, t, dur float64) (start, adjDur flo
 		dur *= f
 	}
 	st.holdCircuit(src, dst, start+dur)
-	st.res.ContentionStall += start - t
+	st.stall[src] += start - t
 	return start, dur, nil
 }
 
 // reservePair acquires both directed circuits of a pairwise exchange at
 // a common start time; both directions hold for the same fault-adjusted
-// duration (the exchange completes when its slowest direction does).
+// duration (the exchange completes when its slowest direction does). The
+// wait is charged to p — the second arriver, who computes the exchange —
+// which is deterministic per program (see reservePath).
 func (st *runState) reservePair(p, q int, t, dur float64) (start, adjDur float64, err error) {
 	start = st.circuitFreeAt(p, q, t)
 	start = st.circuitFreeAt(q, p, start)
@@ -129,13 +169,21 @@ func (st *runState) reservePair(p, q int, t, dur float64) (start, adjDur float64
 	}
 	st.holdCircuit(p, q, start+dur)
 	st.holdCircuit(q, p, start+dur)
-	st.res.ContentionStall += start - t
+	st.stall[p] += start - t
 	return start, dur, nil
 }
 
 // enterBarrier implements OpBarrier: all nodes wait for the last arrival,
 // then pay the global synchronization cost 150·d µs (§7.3) together.
 func (st *runState) enterBarrier(p int) {
+	if st.windowed {
+		// Barriers are global; a shard interprets only the rows between
+		// them, with the orchestrator synchronizing at each boundary. The
+		// partitioner rejects windows containing barrier rows, so this is
+		// unreachable short of a verification bug.
+		st.fail(fmt.Errorf("simnet: node %d: barrier inside a sharded phase window", p))
+		return
+	}
 	b := &st.bar
 	b.arrived++
 	if st.ready[p] > b.maxTime {
@@ -213,7 +261,7 @@ func (st *runState) enterExchange(p int, op Op) {
 	if firstReady > both {
 		both = firstReady
 	}
-	dur := st.jitter(st.net.params.ExchangeTime(op.Bytes, h))
+	dur := st.jitter(p, st.net.params.ExchangeTime(op.Bytes, h))
 	start, dur, err := st.reservePair(p, q, both, dur)
 	if err != nil {
 		st.fail(fmt.Errorf("simnet: exchange %d↔%d at t=%g µs: %w", p, q, both, err))
@@ -281,7 +329,7 @@ func (st *runState) doSend(p int, op Op) {
 	} else {
 		dur = prm.RawMessageTime(op.Bytes, h)
 	}
-	dur = st.jitter(dur)
+	dur = st.jitter(p, dur)
 	start, dur, err := st.reservePath(p, q, st.ready[p], dur)
 	if err != nil {
 		st.fail(fmt.Errorf("simnet: send %d→%d at t=%g µs: %w", p, q, st.ready[p], err))

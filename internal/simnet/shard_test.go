@@ -1,0 +1,205 @@
+package simnet
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/topology"
+)
+
+// shardedProgs adapts explicit per-node programs plus a span table to the
+// Sharded interface, so the orchestrator can be exercised without the
+// exchange compiler (which has its own equivalence suite).
+type shardedProgs struct {
+	progs []Program
+	spans []PhaseSpan
+}
+
+func (s *shardedProgs) NumNodes() int           { return len(s.progs) }
+func (s *shardedProgs) NumOps(p int) int        { return len(s.progs[p]) }
+func (s *shardedProgs) Op(p, i int) Op          { return s.progs[p][i] }
+func (s *shardedProgs) PhaseSpans() []PhaseSpan { return s.spans }
+
+// multiphaseSource builds a d=3 hypercube program of two XOR phases plus
+// compute and shuffle rows: phase one exchanges across dimension 2
+// (stride 4, span 2, four independent pairs), phase two across the
+// {0,1} field (stride 1, span 4, two independent quads).
+func multiphaseSource() *shardedProgs {
+	const n = 8
+	progs := make([]Program, n)
+	for p := 0; p < n; p++ {
+		progs[p] = Program{
+			{Kind: OpBarrier},
+			{Kind: OpExchange, Peer: p ^ 4, Bytes: 64},
+			{Kind: OpCompute, Micros: 5},
+			{Kind: OpShuffle, Bytes: 128},
+			{Kind: OpBarrier},
+			{Kind: OpExchange, Peer: p ^ 1, Bytes: 32},
+			{Kind: OpExchange, Peer: p ^ 2, Bytes: 32},
+			{Kind: OpExchange, Peer: p ^ 3, Bytes: 32},
+		}
+	}
+	return &shardedProgs{
+		progs: progs,
+		spans: []PhaseSpan{
+			{Rows: 4, Stride: 4, Span: 2},
+			{Rows: 4, Stride: 1, Span: 4},
+		},
+	}
+}
+
+func mustRunSource(t *testing.T, net *Network, src Source) Result {
+	t.Helper()
+	res, err := net.RunSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// requireIdentical asserts two results agree bit-for-bit in every field
+// except ReplayShards (which reports the mode that produced them).
+func requireIdentical(t *testing.T, label string, serial, sharded Result) {
+	t.Helper()
+	serial.ReplayShards, sharded.ReplayShards = 0, 0
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Fatalf("%s: sharded result differs from serial\nserial:  %+v\nsharded: %+v", label, serial, sharded)
+	}
+}
+
+// The sharded replay of a link-disjoint multiphase program must be
+// bit-identical to the serial replay — with and without jitter, across
+// shard counts that divide the groups evenly and ones that do not.
+func TestShardedReplayMatchesSerial(t *testing.T) {
+	topo := topology.MustNew(3)
+	for _, jitter := range []float64{0, 0.08} {
+		src := multiphaseSource()
+		serialNet := New(topo, model.Hypothetical())
+		serialNet.SetJitter(jitter, 42)
+		serial := mustRunSource(t, serialNet, src)
+		if serial.ReplayShards != 1 {
+			t.Fatalf("serial ReplayShards = %d, want 1", serial.ReplayShards)
+		}
+		for _, w := range []int{2, 3, 4, 7} {
+			net := New(topo, model.Hypothetical())
+			net.SetJitter(jitter, 42)
+			net.SetReplayShards(w)
+			res := mustRunSource(t, net, src)
+			if res.ReplayShards < 2 {
+				t.Fatalf("jitter=%v w=%d: sharded replay fell back (ReplayShards=%d)", jitter, w, res.ReplayShards)
+			}
+			requireIdentical(t, "sharded vs serial", serial, res)
+		}
+	}
+}
+
+// A span table whose peers escape their declared groups must force the
+// affected phase onto one shard — and still produce the serial result.
+func TestShardedCrossGroupPeerFallsBack(t *testing.T) {
+	src := multiphaseSource()
+	// Lie about phase two: claim it spans only dimension 0 (stride 1,
+	// span 2) while its exchanges reach across dimensions 0–1.
+	src.spans[1] = PhaseSpan{Rows: 4, Stride: 1, Span: 2}
+	topo := topology.MustNew(3)
+	serialNet := New(topo, model.Hypothetical())
+	serial := mustRunSource(t, serialNet, src)
+	net := New(topo, model.Hypothetical())
+	net.SetReplayShards(4)
+	res := mustRunSource(t, net, src)
+	// Phase one still shards; the mis-declared phase runs single-shard.
+	if res.ReplayShards < 2 {
+		t.Fatalf("phase one should still shard, got ReplayShards=%d", res.ReplayShards)
+	}
+	requireIdentical(t, "cross-group fallback", serial, res)
+}
+
+// Structurally unusable span tables (wrong row totals, missing barriers,
+// non-dividing blocks) must reject the sharded path entirely.
+func TestShardedStructuralFallback(t *testing.T) {
+	topo := topology.MustNew(3)
+	serial := mustRunSource(t, New(topo, model.Hypothetical()), multiphaseSource())
+	cases := map[string]func(*shardedProgs){
+		"row sum mismatch":  func(s *shardedProgs) { s.spans[0].Rows = 3 },
+		"zero span":         func(s *shardedProgs) { s.spans[1].Span = 0 },
+		"non-dividing span": func(s *shardedProgs) { s.spans[1].Span = 3 },
+		"no spans":          func(s *shardedProgs) { s.spans = nil },
+		"barrier misplaced": func(s *shardedProgs) { s.spans[0].Rows = 5; s.spans[1].Rows = 3 },
+	}
+	for name, mutate := range cases {
+		src := multiphaseSource()
+		mutate(src)
+		net := New(topo, model.Hypothetical())
+		net.SetReplayShards(4)
+		res := mustRunSource(t, net, src)
+		if res.ReplayShards != 1 {
+			t.Errorf("%s: ReplayShards = %d, want serial fallback", name, res.ReplayShards)
+		}
+		requireIdentical(t, name, serial, res)
+	}
+}
+
+// Tracing records a global, completion-ordered timeline; the sharded
+// path must decline while a trace is on.
+func TestShardedDeclinesUnderTrace(t *testing.T) {
+	topo := topology.MustNew(3)
+	net := New(topo, model.Hypothetical())
+	net.SetReplayShards(4)
+	net.SetTrace(true)
+	res := mustRunSource(t, net, multiphaseSource())
+	if res.ReplayShards != 1 {
+		t.Fatalf("ReplayShards = %d under trace, want 1", res.ReplayShards)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("trace produced no timeline")
+	}
+}
+
+func TestSetReplayShardsClamps(t *testing.T) {
+	net := New(topology.MustNew(2), model.Hypothetical())
+	net.SetReplayShards(0)
+	if net.shards != 1 {
+		t.Fatalf("shards after SetReplayShards(0) = %d, want 1", net.shards)
+	}
+	net.SetReplayShards(1 << 20)
+	if net.shards != maxReplayShards {
+		t.Fatalf("shards after huge SetReplayShards = %d, want %d", net.shards, maxReplayShards)
+	}
+}
+
+// The shard-safety audit satellite: one Network must serve concurrent
+// RunSource calls — serial and sharded mixed — without data races (run
+// under -race) and with every call returning the identical result.
+func TestConcurrentRunSourceOneNetwork(t *testing.T) {
+	topo := topology.MustNew(3)
+	src := multiphaseSource()
+	want := mustRunSource(t, New(topo, model.Hypothetical()), src)
+
+	shardedNet := New(topo, model.Hypothetical())
+	shardedNet.SetReplayShards(4)
+	serialNet := New(topo, model.Hypothetical())
+
+	const callers = 8
+	results := make([]Result, 2*callers)
+	errs := make([]error, 2*callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = shardedNet.RunSource(src)
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			results[callers+i], errs[callers+i] = serialNet.RunSource(src)
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		requireIdentical(t, "concurrent caller", want, results[i])
+	}
+}
